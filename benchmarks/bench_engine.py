@@ -1,0 +1,128 @@
+"""Engine operator micro-benchmarks.
+
+Calibrates the building blocks the paper's rewrites trade between: sort vs
+stream vs hash aggregation, hash vs merge join, full Sort vs TopN — the raw
+material behind every plan-level comparison in the other benchmark files.
+"""
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.expr import Col
+from repro.engine.index import SortedIndex
+from repro.engine.operators import (
+    AggSpec,
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    Limit,
+    MergeJoin,
+    SeqScan,
+    Sort,
+    StreamAggregate,
+    TopN,
+)
+from repro.engine.schema import Schema
+from repro.engine.table import Table
+from repro.engine.types import DataType
+
+ROWS = 50_000
+GROUPS = 200
+
+
+@pytest.fixture(scope="module")
+def fact():
+    rng = random.Random(7)
+    table = Table(
+        "fact", Schema.of(("g", DataType.INT), ("v", DataType.FLOAT))
+    )
+    rows = [(rng.randint(1, GROUPS), rng.random() * 100) for _ in range(ROWS)]
+    rows.sort()  # clustered by g
+    table.load(rows, check=False)
+    SortedIndex("fact_g", table, ["g"]).build()
+    return table
+
+
+@pytest.fixture(scope="module")
+def fact_index(fact):
+    return SortedIndex("fact_g2", fact, ["g"]).build()
+
+
+@pytest.fixture(scope="module")
+def dim():
+    table = Table("dim", Schema.of(("k", DataType.INT), ("name", DataType.STR)))
+    table.load([(i, f"g{i}") for i in range(1, GROUPS + 1)], check=False)
+    return table
+
+
+SPECS = lambda: [AggSpec("SUM", Col("v"), "s"), AggSpec("COUNT", None, "n")]
+
+
+def test_hash_aggregate(benchmark, fact):
+    def run():
+        return len(HashAggregate(SeqScan(fact), ["g"], SPECS()).run()[0])
+
+    assert benchmark(run) == GROUPS
+
+
+def test_stream_aggregate(benchmark, fact, fact_index):
+    def run():
+        return len(StreamAggregate(IndexScan(fact_index), ["g"], SPECS()).run()[0])
+
+    assert benchmark(run) == GROUPS
+
+
+def test_sort_then_stream_aggregate(benchmark, fact):
+    def run():
+        return len(
+            StreamAggregate(Sort(SeqScan(fact), ["g"]), ["g"], SPECS()).run()[0]
+        )
+
+    assert benchmark(run) == GROUPS
+
+
+def test_hash_join(benchmark, fact, dim):
+    def run():
+        return sum(1 for _ in HashJoin(
+            SeqScan(fact), SeqScan(dim), ["g"], ["k"]
+        ).run()[0])
+
+    assert benchmark(run) == ROWS
+
+
+def test_merge_join_presorted(benchmark, fact, fact_index, dim):
+    dim_index = SortedIndex("dim_k", dim, ["k"]).build()
+
+    def run():
+        return sum(1 for _ in MergeJoin(
+            IndexScan(fact_index), IndexScan(dim_index), ["g"], ["k"]
+        ).run()[0])
+
+    assert benchmark(run) == ROWS
+
+
+def test_full_sort_limit(benchmark, fact):
+    def run():
+        return Limit(Sort(SeqScan(fact), ["v"]), 10).run()[0]
+
+    rows = benchmark(run)
+    assert len(rows) == 10
+
+
+def test_topn(benchmark, fact):
+    def run():
+        return TopN(SeqScan(fact), ["v"], 10).run()[0]
+
+    rows = benchmark(run)
+    assert len(rows) == 10
+
+
+def test_topn_equals_sort_limit(benchmark, fact):
+    def run():
+        fused = TopN(SeqScan(fact), ["v"], 25).run()[0]
+        reference = Limit(Sort(SeqScan(fact), ["v"]), 25).run()[0]
+        return fused == reference
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+"""E7 — Example 1: the introduction's query, three reasoning levels.
+
+Paper claim: with the OD ``month ↦ quarter`` the optimizer can drop
+DEQUARTER from *both* the group-by and the order-by, so the
+``(year, month, day)`` index answers the query with **no sort operator**.
+FDs alone fix the group-by but not the order-by.
+
+Reproduced shape (asserted):
+
+* naive  — hash aggregate + sort;
+* fd     — stream aggregate off the index, sort still present ([17]);
+* od     — stream aggregate, **no sort** (the paper's plan).
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.logical import bind
+from repro.engine.sql.parser import parse
+from repro.optimizer.planner import Planner
+
+SQL = """
+SELECT d_year, d_qoy, d_moy, COUNT(*) AS days
+FROM date_dim d
+GROUP BY d_year, d_qoy, d_moy
+ORDER BY d_year, d_qoy, d_moy
+"""
+
+
+def run_mode(db, mode):
+    plan = Planner(db, mode=mode).plan(bind(parse(SQL)))
+    return plan.run()
+
+
+@pytest.mark.parametrize("mode", ["naive", "fd", "od"])
+def test_example1(benchmark, date_db, mode):
+    rows, metrics = benchmark(run_mode, date_db, mode)
+    assert len(rows) > 0
+    if mode == "od":
+        assert metrics.get("sorts") == 0, "OD plan must not sort"
+    if mode == "naive":
+        assert metrics.get("sorts") == 1
+
+
+def test_example1_shape_summary(benchmark, date_db):
+    """One run of all three modes; asserts the full paper shape."""
+
+    def run():
+        out = {}
+        for mode in ("naive", "fd", "od"):
+            rows, metrics = run_mode(date_db, mode)
+            out[mode] = (rows, metrics.work, metrics.get("sorts"))
+        return out
+
+    out = benchmark(run)
+    naive_rows, naive_work, naive_sorts = out["naive"]
+    fd_rows, fd_work, fd_sorts = out["fd"]
+    od_rows, od_work, od_sorts = out["od"]
+    assert naive_rows == fd_rows == od_rows
+    assert od_sorts == 0 and fd_sorts >= 1 and naive_sorts >= 1
+    assert od_work < fd_work < naive_work

@@ -1,0 +1,62 @@
+"""E1 — Figure 1 / Examples 2-3: OD satisfaction checking.
+
+Paper artifact: the worked instance showing ``[A,B,C] ↦ [F,E,D]`` holds
+while ``[A,B,C] ↦ [F,D,E]`` is falsified.  Reproduced exactly in
+``tests/core/test_paper_figures.py``; here we benchmark the checker itself
+— the O(n log n) split/swap scan — at growing instance sizes.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attrs import AttrList
+from repro.core.dependency import od
+from repro.core.relation import Relation
+from repro.core.satisfaction import satisfies, satisfies_naive
+from repro.workloads.random_instances import relation_satisfying
+
+
+def _instance(rows: int) -> Relation:
+    built = relation_satisfying(
+        [od("A", "B")], ("A", "B", "C", "D"), rows=min(rows, 200), domain=8, rng=1
+    )
+    # tile up to the requested size; duplicates never falsify ODs
+    data = (built.rows * (rows // len(built.rows) + 1))[:rows]
+    return Relation(built.attributes, data)
+
+
+@pytest.mark.parametrize("rows", [1_000, 10_000, 50_000])
+def test_satisfaction_check_scaling(benchmark, rows):
+    relation = _instance(rows)
+    dependency = od("A", "B")
+    result = benchmark(satisfies, relation, dependency)
+    assert result is True
+
+
+def test_satisfaction_check_falsified(benchmark):
+    relation = _instance(10_000)
+    # C is random: A |-> C is falsified; witness search must stay fast
+    dependency = od("A", "C")
+    result = benchmark(satisfies, relation, dependency)
+    assert result is False
+
+
+def test_fast_vs_naive_small(benchmark):
+    """The naive O(n²) oracle on 300 rows, for the crossover picture."""
+    relation = _instance(300)
+    dependency = od("A", "B")
+    result = benchmark(satisfies_naive, relation, dependency)
+    assert result is True
+
+
+def test_figure1_examples(benchmark):
+    figure1 = Relation(
+        AttrList.parse("A,B,C,D,E,F"),
+        [(3, 2, 0, 4, 7, 9), (3, 2, 1, 3, 8, 9)],
+    )
+
+    def run():
+        assert satisfies(figure1, od("A,B,C", "F,E,D"))
+        assert not satisfies(figure1, od("A,B,C", "F,D,E"))
+
+    benchmark(run)

@@ -1,0 +1,88 @@
+"""E3 + E13 — the implication oracle (the future-work theorem prover).
+
+Scaling of exact OD implication with the number of *relevant* attributes
+(the decision problem is coNP-complete, so exponential worst case is
+expected — the benchmark shows where the wall sits and how connected-
+component filtering moves it), plus the Chain-axiom scenario of Figure 3.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dependency import compat, od
+from repro.core.inference import ODTheory
+
+
+def chain_theory(width: int) -> ODTheory:
+    """A transitive chain c0 |-> c1 |-> ... — one connected component."""
+    return ODTheory(
+        [od(f"c{i}", f"c{i+1}") for i in range(width - 1)], max_attributes=40
+    )
+
+
+@pytest.mark.parametrize("width", [4, 8, 12, 16])
+def test_implication_scaling_chain(benchmark, width):
+    theory = chain_theory(width)
+    goal = od("c0", f"c{width-1}")
+    result = benchmark(theory.implies, goal)
+    assert result is True
+
+
+@pytest.mark.parametrize("width", [4, 8, 12, 16])
+def test_refutation_scaling_chain(benchmark, width):
+    theory = chain_theory(width)
+    goal = od(f"c{width-1}", "c0")
+    result = benchmark(theory.implies, goal)
+    assert result is False
+
+
+def test_component_filtering_payoff(benchmark):
+    """30 disjoint premise islands; the query touches one island of 3."""
+    statements = []
+    for island in range(30):
+        statements.append(od(f"i{island}_a", f"i{island}_b"))
+        statements.append(od(f"i{island}_b", f"i{island}_c"))
+    theory = ODTheory(statements, max_attributes=40)
+    goal = od("i7_a", "i7_c")
+    result = benchmark(theory.implies, goal)
+    assert result is True
+
+
+def test_chain_axiom_instance(benchmark):
+    """Figure 3 / Lemma 7: the chain premises force A ~ Z."""
+    links = 4
+    premises = [compat("A", "y0")]
+    for i in range(links - 1):
+        premises.append(compat(f"y{i}", f"y{i+1}"))
+    premises.append(compat(f"y{links-1}", "Z"))
+    for i in range(links):
+        premises.append(compat(f"y{i},A", f"y{i},Z"))
+    theory = ODTheory(premises)
+    result = benchmark(theory.implies, compat("A", "Z"))
+    assert result is True
+
+
+def test_counterexample_generation(benchmark):
+    theory = ODTheory([od("A", "B"), od("B", "C")])
+
+    def run():
+        witness = theory.counterexample(od("C", "A"))
+        assert witness is not None
+        return witness
+
+    benchmark(run)
+
+
+def test_proof_search_example1(benchmark):
+    """Certificate-producing mode: find + check an axiom-level proof."""
+    from repro.core.proofs import check_proof
+    from repro.core.prover import prove
+    from repro.core.dependency import equiv
+
+    def run():
+        proof = prove([od("moy", "qoy")], equiv("year,qoy,moy", "year,moy"))
+        assert proof is not None
+        check_proof(proof)
+        return proof
+
+    benchmark(run)

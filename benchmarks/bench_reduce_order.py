@@ -1,0 +1,87 @@
+"""E10 — ReduceOrder ([17]) vs ReduceOrder++ (the paper's augmentation).
+
+Measures both the rewrite throughput and the *reduction power*: across a
+family of order specs over the date hierarchy, ReduceOrder++ must strictly
+dominate (drop at least as much, and strictly more on the paper's
+``[year, quarter, month]`` shape).
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.core.inference import ODTheory
+from repro.core.dependency import fd, od
+from repro.optimizer.reduce_order import (
+    reduce_order_exact,
+    reduce_order_fd,
+    reduce_order_od,
+)
+
+#: the date-hierarchy knowledge: ODs + the FDs they imply
+THEORY = ODTheory(
+    [
+        od("moy", "qoy"),
+        od("date", "year,moy,dom"),
+        od("date", "week"),
+        fd("moy", "qoy"),
+        fd("date", "year,qoy,moy,dom,week"),
+    ]
+)
+
+SPECS = [
+    ["year", "qoy", "moy"],
+    ["year", "moy", "qoy"],
+    ["year", "qoy", "moy", "dom"],
+    ["date", "year", "qoy"],
+    ["year", "week", "qoy", "moy"],
+    ["qoy", "moy", "dom"],
+    ["year", "moy", "dom", "qoy"],
+]
+
+
+@pytest.mark.parametrize("algo,fn", [
+    ("fd", reduce_order_fd),
+    ("od", reduce_order_od),
+    ("exact", reduce_order_exact),
+])
+def test_reduction_throughput(benchmark, algo, fn):
+    def run():
+        return [fn(THEORY, spec) for spec in SPECS]
+
+    results = benchmark(run)
+    assert len(results) == len(SPECS)
+
+
+def test_reduction_power(benchmark):
+    """ReduceOrder++ strictly dominates ReduceOrder on this family."""
+
+    def run():
+        fd_dropped = od_dropped = 0
+        for spec in SPECS:
+            fd_out = reduce_order_fd(THEORY, spec)
+            od_out = reduce_order_od(THEORY, spec)
+            assert len(od_out) <= len(fd_out)
+            fd_dropped += len(spec) - len(fd_out)
+            od_dropped += len(spec) - len(od_out)
+        return fd_dropped, od_dropped
+
+    fd_dropped, od_dropped = benchmark(run)
+    assert od_dropped > fd_dropped
+    print(
+        f"\nE10 attributes dropped across {len(SPECS)} specs: "
+        f"ReduceOrder={fd_dropped}, ReduceOrder++={od_dropped}"
+    )
+
+
+def test_headline_spec(benchmark):
+    """[year, quarter, month]: FD keeps quarter, OD removes it."""
+
+    def run():
+        return (
+            reduce_order_fd(THEORY, ["year", "qoy", "moy"]),
+            reduce_order_od(THEORY, ["year", "qoy", "moy"]),
+        )
+
+    fd_out, od_out = benchmark(run)
+    assert fd_out == ("year", "qoy", "moy")
+    assert od_out == ("year", "moy")

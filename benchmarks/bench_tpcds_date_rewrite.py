@@ -1,0 +1,102 @@
+"""E9 — the Section 2.3 TPC-DS experiment: date surrogate-key rewrite.
+
+Paper numbers (IBM DB2 9.7 prototype, TPC-DS): *thirteen* queries matched
+the rewrite's preconditions; **every one benefited**, average wall-clock
+gain ≈ **48%** (later extended to eighteen queries).
+
+Reproduction contract: same shape — all thirteen query templates must (a)
+trigger the rewrite, (b) return identical answers, and (c) win, with an
+average gain of comparable magnitude.  Absolute numbers differ (our
+substrate is a Python engine, not DB2); EXPERIMENTS.md records the measured
+per-query gains next to the paper's headline.
+"""
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.workloads.tpcds_lite import DATE_QUERIES
+
+def _range(tpcds, fraction_start=0.35, fraction_len=0.03):
+    """A selective range placed relative to the calendar length, so the
+    benchmark is meaningful at any REPRO_BENCH_SCALE."""
+    start = int(tpcds.days * fraction_start)
+    length = max(3, int(tpcds.days * fraction_len))
+    return tpcds.date_range(start, length)
+
+
+def _sql(tpcds, template):
+    lo, hi = _range(tpcds)
+    return template.format(lo=lo, hi=hi)
+
+
+@pytest.mark.parametrize("qid,template", DATE_QUERIES)
+def test_baseline(benchmark, tpcds, qid, template):
+    sql = _sql(tpcds, template)
+    result = benchmark(tpcds.database.execute, sql, False)
+    assert result.rows is not None
+
+
+@pytest.mark.parametrize("qid,template", DATE_QUERIES)
+def test_rewritten(benchmark, tpcds, qid, template):
+    sql = _sql(tpcds, template)
+    result = benchmark(tpcds.database.execute, sql, True)
+    assert result.plan.plan_info.date_rewrites, f"{qid}: rewrite did not fire"
+
+
+def test_all_thirteen_benefit(benchmark, tpcds):
+    """The headline claim, measured in one pass: 13/13 queries benefit."""
+    database = tpcds.database
+
+    def sweep():
+        gains = {}
+        for qid, template in DATE_QUERIES:
+            sql = _sql(tpcds, template)
+            t0 = time.perf_counter()
+            base = database.execute(sql, optimize=False)
+            t1 = time.perf_counter()
+            opt = database.execute(sql, optimize=True)
+            t2 = time.perf_counter()
+            assert sorted(base.rows) == sorted(opt.rows), qid
+            assert opt.plan.plan_info.date_rewrites, qid
+            wall_gain = 1 - (t2 - t1) / max(t1 - t0, 1e-9)
+            work_gain = 1 - opt.metrics.work / max(base.metrics.work, 1e-9)
+            gains[qid] = (wall_gain, work_gain)
+        return gains
+
+    gains = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    wall = [g[0] for g in gains.values()]
+    work = [g[1] for g in gains.values()]
+    # paper shape: every query benefits; average gain substantial (~48% there)
+    assert all(g > 0 for g in work), f"work regressions: {gains}"
+    if len(tpcds.database.table("store_sales")) >= 50_000:
+        # wall-clock includes planning; it only dominates at real data sizes
+        assert sum(wall) / len(wall) > 0.2, f"average wall gain too small: {gains}"
+    print("\nE9 per-query gains (paper: 13/13 benefit, avg 48%):")
+    for qid, (wg, kg) in gains.items():
+        print(f"  {qid:4s}  wall {wg:6.1%}   work {kg:6.1%}")
+    print(f"  avg   wall {sum(wall)/len(wall):6.1%}   work {sum(work)/len(work):6.1%}")
+
+
+def test_partition_pruning_effect(benchmark, tpcds):
+    """The 'scan only the relevant partitions' effect: rows touched by the
+    optimized plan scale with the date range, not the table."""
+    database = tpcds.database
+    template = DATE_QUERIES[0][1]
+
+    def run():
+        narrow_range = _range(tpcds, 0.35, 0.01)
+        wide_range = _range(tpcds, 0.10, 0.70)
+        narrow = database.execute(
+            template.format(lo=narrow_range[0], hi=narrow_range[1]), optimize=True
+        )
+        wide = database.execute(
+            template.format(lo=wide_range[0], hi=wide_range[1]), optimize=True
+        )
+        return narrow.metrics.get("rows_scanned"), wide.metrics.get("rows_scanned")
+
+    narrow_rows, wide_rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert narrow_rows < wide_rows
+    total = len(database.table("store_sales"))
+    assert narrow_rows < total / 10

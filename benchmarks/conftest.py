@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Workloads are built once per session at laptop scale.  Set
+``REPRO_BENCH_SCALE`` (default 1.0) to shrink/grow all datasets together.
+"""
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int) -> int:
+    return max(1, int(n * SCALE))
+
+
+def _warm(database):
+    """Build every index up front so benchmarks measure query work, not the
+    one-time lazy index construction."""
+    for index in database.indexes.values():
+        index.build()
+
+
+@pytest.fixture(scope="session")
+def tpcds():
+    from repro.workloads.tpcds_lite import build_tpcds_lite
+
+    workload = build_tpcds_lite(days=scaled(365 * 3), sales_rows=scaled(120_000))
+    _warm(workload.database)
+    return workload
+
+
+@pytest.fixture(scope="session")
+def date_db():
+    from repro.engine.database import Database
+    from repro.workloads.datedim import build_date_dim
+
+    database = Database()
+    build_date_dim(database, days=scaled(365 * 6))
+    _warm(database)
+    return database
+
+
+@pytest.fixture(scope="session")
+def tax_db():
+    from repro.engine.database import Database
+    from repro.workloads.taxes import build_taxes
+
+    database = Database()
+    build_taxes(database, rows=scaled(50_000))
+    _warm(database)
+    return database

@@ -1,0 +1,64 @@
+"""Physical design with ODs: narrowing and dropping redundant indexes.
+
+The design-side payoff of OD reasoning (the paper's future-work item on
+normalization, and [6]'s "reduce indexing space"): columns whose order is
+already implied make index keys wider than they need to be, and whole
+indexes order-subsumed by others can be dropped without losing any sort
+order the workload relies on.
+
+Run:  python examples/index_advisor.py
+"""
+from repro.core.dependency import equiv, fd, od
+from repro.core.inference import ODTheory, irreducible_cover
+from repro.design import recommend_key, subsumed_indexes
+from repro.workloads.datedim import date_dim_ods
+
+
+def main() -> None:
+    # the date dimension's declared knowledge
+    theory = ODTheory(date_dim_ods())
+
+    # ------------------------------------------------------------------
+    # 1. Audit an index zoo.
+    # ------------------------------------------------------------------
+    indexes = {
+        "idx_sk": ["d_date_sk"],
+        "idx_date": ["d_date"],
+        "idx_ymd": ["d_year", "d_moy", "d_dom"],
+        "idx_yqmd": ["d_year", "d_qoy", "d_moy", "d_dom"],
+        "idx_week": ["d_year", "d_week_seq", "d_dow"],
+    }
+    print("index audit (given the declared date-hierarchy ODs):")
+    for advice in subsumed_indexes(theory, indexes):
+        print("  ", advice.describe())
+
+    # ------------------------------------------------------------------
+    # 2. Recommend a single key for a sort workload.
+    # ------------------------------------------------------------------
+    workload = [
+        ["d_year"],
+        ["d_year", "d_qoy"],
+        ["d_year", "d_qoy", "d_moy"],
+        ["d_year", "d_moy", "d_dom"],
+    ]
+    key = recommend_key(theory, workload)
+    print(f"\none key covering {len(workload)} requested sort orders: {list(key)}")
+
+    # ------------------------------------------------------------------
+    # 3. Constraint-set hygiene: drop redundant declarations.
+    # ------------------------------------------------------------------
+    declared = [
+        od("d_moy", "d_qoy"),
+        od("d_date", "d_year,d_moy,d_dom"),
+        od("d_date", "d_year,d_qoy,d_moy,d_dom"),   # implied by the two above
+        equiv("d_date_sk", "d_date"),
+        fd("d_moy", "d_qoy"),                        # implied by the OD (Lemma 1)
+    ]
+    cover = irreducible_cover(declared)
+    print(f"\ndeclared {len(declared)} constraints; irreducible cover keeps {len(cover)}:")
+    for statement in cover:
+        print("  ", statement)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: order dependencies in five minutes.
+
+Covers the core API surface: stating dependencies, checking them against
+data, asking the implication oracle, and getting counterexample witnesses.
+
+Run:  python examples/quickstart.py
+"""
+from repro import (
+    ODTheory,
+    Relation,
+    compat,
+    counterexample,
+    equiv,
+    explain_violation,
+    fd,
+    implies,
+    od,
+    satisfies,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. State dependencies.  X |-> Y reads "ordering by X also orders Y".
+    # ------------------------------------------------------------------
+    month_orders_quarter = od("month", "quarter")           # [month] |-> [quarter]
+    print("an OD:        ", month_orders_quarter)
+    print("an equivalence:", equiv("year,month", "year,month,quarter"))
+    print("a compatibility:", compat("year", "month"))
+    print("an FD:         ", fd("month", "quarter"))
+
+    # ------------------------------------------------------------------
+    # 2. Check dependencies against concrete data (the paper's Figure 1).
+    # ------------------------------------------------------------------
+    figure1 = Relation(
+        "A,B,C,D,E,F",
+        [(3, 2, 0, 4, 7, 9), (3, 2, 1, 3, 8, 9)],
+    )
+    print("\nFigure 1 instance:")
+    print(figure1)
+    print("[A,B,C] |-> [F,E,D] holds:   ", satisfies(figure1, od("A,B,C", "F,E,D")))
+    print("[A,B,C] |-> [F,D,E] falsified:", not satisfies(figure1, od("A,B,C", "F,D,E")))
+    print("why:", explain_violation(figure1, od("A,B,C", "F,D,E")))
+
+    # ------------------------------------------------------------------
+    # 3. Ask the implication oracle (the paper's future-work theorem
+    #    prover): does a set of declared ODs imply another?
+    # ------------------------------------------------------------------
+    theory = ODTheory([month_orders_quarter])
+    question = equiv("year,quarter,month", "year,month")
+    print(f"\nGiven {month_orders_quarter}:")
+    print(f"  {question} ?  ->", theory.implies(question))
+    # This is the paper's Example 1: the quarter column can be dropped from
+    # an ORDER BY — something the FD month -> quarter alone cannot justify:
+    fd_only = ODTheory([fd("month", "quarter")])
+    print("  same question from the FD alone ->", fd_only.implies(question))
+
+    # ------------------------------------------------------------------
+    # 4. Non-implications come with two-row counterexample witnesses.
+    # ------------------------------------------------------------------
+    witness = counterexample([od("A", "B")], od("B", "A"))
+    print("\n[A] |-> [B] does not imply [B] |-> [A]; witness:")
+    print(witness)
+
+    # ------------------------------------------------------------------
+    # 5. ODs subsume FDs (Theorem 13/16): FD questions work too.
+    # ------------------------------------------------------------------
+    print("\nFD reasoning through the OD oracle:")
+    print("  A->B, B->C  |=  A->C ?", implies([fd("A", "B"), fd("B", "C")], fd("A", "C")))
+    print("  [A] |-> [B]  |=  A->B ?", implies([od("A", "B")], fd("A", "B")))
+    print("  A->B  |=  [A] |-> [B] ?", implies([fd("A", "B")], od("A", "B")))
+
+
+if __name__ == "__main__":
+    main()

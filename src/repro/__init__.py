@@ -1,0 +1,78 @@
+"""repro — Order Dependencies: theory, inference, and query optimization.
+
+A from-scratch reproduction of *Fundamentals of Order Dependencies*
+(Szlichta, Godfrey, Gryz; PVLDB 5(11), 2012): the lexicographic order
+dependency (OD) formalism, the sound-and-complete axiomatization OD1–OD6,
+machine-checked derived theorems, an exact implication oracle, the
+completeness (Armstrong-relation) construction, OD discovery, and an
+OD-aware relational engine + optimizer reproducing the paper's
+query-rewrite experiments.
+
+Quickstart::
+
+    from repro import od, ODTheory
+
+    theory = ODTheory([od("month", "quarter")])
+    theory.implies(od("year,month", "year,quarter,month"))   # True
+
+See ``examples/`` for end-to-end scenarios and ``DESIGN.md`` for the system
+inventory.
+"""
+from .core import (
+    EMPTY,
+    AttrList,
+    FunctionalDependency,
+    ODTheory,
+    OrderCompatibility,
+    OrderDependency,
+    OrderEquivalence,
+    Relation,
+    Witness,
+    attrlist,
+    compat,
+    counterexample,
+    equiv,
+    explain_violation,
+    fd,
+    find_split,
+    find_swap,
+    find_witness,
+    implies,
+    is_trivial,
+    od,
+    parse_statement,
+    satisfies,
+    satisfies_naive,
+    to_ods,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttrList",
+    "attrlist",
+    "EMPTY",
+    "OrderDependency",
+    "OrderEquivalence",
+    "OrderCompatibility",
+    "FunctionalDependency",
+    "od",
+    "equiv",
+    "compat",
+    "fd",
+    "parse_statement",
+    "to_ods",
+    "Relation",
+    "satisfies",
+    "satisfies_naive",
+    "find_split",
+    "find_swap",
+    "find_witness",
+    "explain_violation",
+    "Witness",
+    "ODTheory",
+    "implies",
+    "counterexample",
+    "is_trivial",
+    "__version__",
+]

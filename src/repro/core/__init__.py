@@ -1,0 +1,68 @@
+"""Core order-dependency theory: lists, statements, satisfaction, inference.
+
+This package implements the paper's formal machinery:
+
+* :mod:`repro.core.attrs` — attribute lists (Section 2.1 notation),
+* :mod:`repro.core.dependency` — OD / ↔ / ~ / FD statement types,
+* :mod:`repro.core.relation` — instances and the ``≼`` operators (Defs 1–3),
+* :mod:`repro.core.satisfaction` — Definition 4 plus split/swap witnesses,
+* :mod:`repro.core.signs` — two-row sign-vector semantics,
+* :mod:`repro.core.inference` — the exact implication oracle,
+* :mod:`repro.core.axioms` — the six inference rules OD1–OD6,
+* :mod:`repro.core.proofs` — machine-checkable proof objects,
+* :mod:`repro.core.theorems` — the derived rules (Theorems 2–15),
+* :mod:`repro.core.prover` — axiomatic proof search,
+* :mod:`repro.core.armstrong` — the completeness construction (Section 4).
+"""
+from .attrs import EMPTY, AttrList, attrlist
+from .dependency import (
+    FunctionalDependency,
+    OrderCompatibility,
+    OrderDependency,
+    OrderEquivalence,
+    compat,
+    equiv,
+    fd,
+    od,
+    parse_statement,
+    to_ods,
+)
+from .inference import ODTheory, counterexample, implies, is_trivial
+from .relation import Relation
+from .satisfaction import (
+    Witness,
+    explain_violation,
+    find_split,
+    find_swap,
+    find_witness,
+    satisfies,
+    satisfies_naive,
+)
+
+__all__ = [
+    "AttrList",
+    "attrlist",
+    "EMPTY",
+    "OrderDependency",
+    "OrderEquivalence",
+    "OrderCompatibility",
+    "FunctionalDependency",
+    "od",
+    "equiv",
+    "compat",
+    "fd",
+    "parse_statement",
+    "to_ods",
+    "Relation",
+    "satisfies",
+    "satisfies_naive",
+    "find_split",
+    "find_swap",
+    "find_witness",
+    "explain_violation",
+    "Witness",
+    "ODTheory",
+    "implies",
+    "counterexample",
+    "is_trivial",
+]

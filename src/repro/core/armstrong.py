@@ -1,0 +1,315 @@
+"""The completeness construction: Armstrong-style relations for OD sets.
+
+Section 4 of the paper proves the axiomatization complete by *constructing*,
+for any OD set ``M``, a table that satisfies ``M`` and falsifies every OD not
+in ``M⁺``.  The table is ``split(M) append swap(M)``:
+
+* ``split(M)`` (Figure 7, Lemma 10) — Ullman's two-row blocks, one per
+  attribute subset ``W``: the rows agree exactly on the FD-closure of ``W``
+  and ascend elsewhere.  Splits falsify every non-implied FD facet and the
+  ascending pattern can never introduce a swap.
+* ``swap(M)`` (Figures 8–9, Lemmas 12–13) — for every attribute pair that
+  must disagree on order in some *context*, a sub-table realizing that swap:
+  recursively constructed with the context frozen to constants (Hypothesis
+  1's induction), or, in the *empty context*, the direct two-row pattern of
+  Figure 9 whose consistency is exactly what the Chain axiom (OD6)
+  guarantees.
+* ``append`` (Definition 17, Figures 4–6) — stacks sub-tables after shifting
+  values so every cell of the second table exceeds every cell of the first;
+  Lemma 9 shows this introduces no new splits or swaps.  (Constant
+  attributes keep their single value across blocks — the paper handles
+  constants by projecting them out via Lemma 8; pinning them is the
+  equivalent inline form.)
+
+Two constructions are provided and cross-validated in the test suite:
+
+* :func:`paper_armstrong` — the construction above, faithful to Section 4;
+* :func:`canonical_armstrong` — a direct product construction: one two-row
+  block per *sign-vector model* of ``M`` (guaranteed complete by the
+  two-row small-model property, see :mod:`repro.core.signs`).
+"""
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from .attrs import EMPTY, AttrList, attrlist
+from .dependency import OrderCompatibility, OrderDependency, Statement
+from .inference import ODTheory
+from .relation import Relation
+
+__all__ = [
+    "append_tables",
+    "split_table",
+    "swap_table",
+    "paper_armstrong",
+    "canonical_armstrong",
+]
+
+
+# ----------------------------------------------------------------------
+# Definition 17 — append
+# ----------------------------------------------------------------------
+def append_tables(
+    first: Relation,
+    second: Relation,
+    constant_attrs: FrozenSet[str] = frozenset(),
+) -> Relation:
+    """Append two sub-tables per Definition 17.
+
+    Normalizes the first table to minimum value 0, then shifts the second
+    above the first's maximum, so cross-table tuple pairs ascend on every
+    non-constant attribute (Lemma 9: no new splits or swaps, barring the
+    trivial ``[] ↦ Y``).  Columns in ``constant_attrs`` are pinned instead
+    of shifted.
+    """
+    if tuple(first.attributes) != tuple(second.attributes):
+        raise ValueError("append requires identical schemas")
+    variable_positions = [
+        i for i, name in enumerate(first.attributes) if name not in constant_attrs
+    ]
+    if not first.rows:
+        return second.subrelation(second.rows)
+    if not second.rows:
+        return first.subrelation(first.rows)
+
+    def shifted(rows: Sequence[tuple], delta: int) -> List[tuple]:
+        out = []
+        for row in rows:
+            new_row = list(row)
+            for i in variable_positions:
+                new_row[i] = row[i] + delta
+            out.append(tuple(new_row))
+        return out
+
+    def extremum(rows: Sequence[tuple], func) -> int:
+        values = [row[i] for row in rows for i in variable_positions]
+        return func(values) if values else 0
+
+    first_rows = shifted(first.rows, -extremum(first.rows, min))
+    second_rows = shifted(second.rows, -extremum(second.rows, min))
+    delta = extremum(first_rows, max) + 1
+    second_rows = shifted(second_rows, delta)
+    return Relation(first.attributes, first_rows + second_rows, name="append")
+
+
+def _append_all(
+    tables: Iterable[Relation],
+    attributes: AttrList,
+    constant_attrs: FrozenSet[str],
+) -> Relation:
+    result = Relation(attributes, [], name="armstrong")
+    for table in tables:
+        result = append_tables(result, table, constant_attrs)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — split(M)
+# ----------------------------------------------------------------------
+def split_table(
+    theory: ODTheory, attributes: "AttrList | Sequence[str] | None" = None
+) -> Relation:
+    """Ullman's construction lifted to ODs: two rows per attribute subset.
+
+    For each ``W`` the block agrees exactly on ``fd_closure(W)`` and ascends
+    0 → 1 elsewhere, falsifying every FD ``W → A`` with ``A ∉ W⁺`` (hence
+    every OD ``X ↦ XY`` not in ``M⁺`` with ``set(X) = W``) while ascending
+    columns can never produce a swap.
+    """
+    attributes = attrlist(attributes) if attributes is not None else AttrList(
+        sorted(theory.attributes)
+    )
+    constants = theory.constants() & set(attributes)
+    blocks: List[Relation] = []
+    names = list(attributes)
+    for size in range(len(names) + 1):
+        for subset in itertools.combinations(names, size):
+            closure = theory.fd_closure(subset) | constants
+            top = tuple(0 if a in closure else 1 for a in names)
+            bottom = tuple(0 for _ in names)
+            if top == bottom:
+                continue
+            blocks.append(Relation(attributes, [bottom, top], name="split-block"))
+    return _append_all(blocks, attributes, frozenset(constants))
+
+
+# ----------------------------------------------------------------------
+# Figures 8-9 — swap(M)
+# ----------------------------------------------------------------------
+def _is_context(
+    theory: ODTheory, context: FrozenSet[str], a: str, b: str
+) -> bool:
+    """Is a swap between ``a`` and ``b`` required within ``context``?
+
+    True iff some model of ``M`` freezes the context attributes and still
+    swaps ``a`` against ``b`` — i.e. freezing the context does *not* make
+    ``[a] ~ [b]`` derivable.
+    """
+    frozen = [OrderDependency(EMPTY, AttrList([name])) for name in sorted(context)]
+    extended = theory.extended(frozen)
+    return not extended.order_compatible(AttrList([a]), AttrList([b]))
+
+
+def _maximal_contexts(
+    theory: ODTheory, non_constants: Sequence[str], a: str, b: str
+) -> List[FrozenSet[str]]:
+    """All maximal context sets for the pair, largest first."""
+    candidates = [name for name in non_constants if name not in (a, b)]
+    contexts: List[FrozenSet[str]] = []
+    for size in range(len(candidates), -1, -1):
+        for combo in itertools.combinations(candidates, size):
+            context = frozenset(combo)
+            if any(context < bigger for bigger in contexts):
+                continue  # only maximal contexts matter
+            if any(context <= bigger for bigger in contexts):
+                continue
+            if _is_context(theory, context, a, b):
+                contexts.append(context)
+    return contexts
+
+
+def _empty_context_swap(
+    theory: ODTheory, attributes: AttrList, a: str, b: str
+) -> Optional[Relation]:
+    """The direct two-row swap of Figure 9 (Lemma 12).
+
+    Partitions the non-constant attributes into ``a``'s group (those
+    connected to ``a`` through pairwise order-compatibility), ``b``'s group,
+    and the rest; ``a``'s side ascends while ``b``'s side descends.  The
+    Chain axiom is what guarantees the two groups are disjoint.
+    """
+    constants = theory.constants() & set(attributes)
+    non_constants = [name for name in attributes if name not in constants]
+    adjacency: Dict[str, set] = {name: set() for name in non_constants}
+    for x, y in itertools.combinations(non_constants, 2):
+        if theory.order_compatible(AttrList([x]), AttrList([y])):
+            adjacency[x].add(y)
+            adjacency[y].add(x)
+
+    def component(start: str) -> set:
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbor in adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return seen
+
+    group_a = component(a)
+    if b in group_a:
+        # A compatibility chain connects a to b; the Chain axiom then forces
+        # [a] ~ [b], so no empty-context swap is constructible (or needed).
+        return None
+    group_b = component(b)
+    row1, row2 = [], []
+    for name in attributes:
+        if name in constants:
+            row1.append(0)
+            row2.append(0)
+        elif name in group_b:
+            row1.append(1)
+            row2.append(0)
+        else:  # a's group and the remaining attributes ascend together
+            row1.append(0)
+            row2.append(1)
+    return Relation(attributes, [tuple(row1), tuple(row2)], name=f"swap-{a}-{b}")
+
+
+def swap_table(
+    theory: ODTheory,
+    attributes: "AttrList | Sequence[str] | None" = None,
+    _depth: int = 0,
+) -> Relation:
+    """``swap(M)``: falsify every non-implied order-compatibility.
+
+    For every attribute pair and every *maximal* context in which the pair
+    must swap: if the context is non-empty, recursively build a complete
+    table for ``M`` extended with the context frozen to constants
+    (Hypothesis 1); if empty, emit the Figure 9 two-row block directly.
+    """
+    attributes = attrlist(attributes) if attributes is not None else AttrList(
+        sorted(theory.attributes)
+    )
+    constants = theory.constants() & set(attributes)
+    non_constants = [name for name in attributes if name not in constants]
+    blocks: List[Relation] = []
+    if _depth > len(attributes):  # safety net; recursion shrinks non-constants
+        raise RuntimeError("swap construction failed to terminate")
+    for a, b in itertools.combinations(non_constants, 2):
+        for context in _maximal_contexts(theory, non_constants, a, b):
+            if context:
+                frozen = [
+                    OrderDependency(EMPTY, AttrList([name]))
+                    for name in sorted(context)
+                ]
+                sub_theory = theory.extended(frozen)
+                blocks.append(
+                    paper_armstrong(sub_theory, attributes, _depth=_depth + 1)
+                )
+            else:
+                block = _empty_context_swap(theory, attributes, a, b)
+                if block is not None:
+                    blocks.append(block)
+    return _append_all(blocks, attributes, frozenset(constants))
+
+
+def paper_armstrong(
+    theory: ODTheory,
+    attributes: "AttrList | Sequence[str] | None" = None,
+    _depth: int = 0,
+) -> Relation:
+    """``split(M) append swap(M)`` — the Section 4 completeness table."""
+    attributes = attrlist(attributes) if attributes is not None else AttrList(
+        sorted(theory.attributes)
+    )
+    constants = frozenset(theory.constants() & set(attributes))
+    split_part = split_table(theory, attributes)
+    swap_part = swap_table(theory, attributes, _depth=_depth)
+    return append_tables(split_part, swap_part, constants)
+
+
+# ----------------------------------------------------------------------
+# Canonical (model-enumeration) construction
+# ----------------------------------------------------------------------
+def canonical_armstrong(
+    theory: ODTheory, attributes: "AttrList | Sequence[str] | None" = None
+) -> Relation:
+    """One two-row block per sign-vector model of ``M``.
+
+    Complete by construction: any OD over these attributes not implied by
+    ``M`` has a two-row model of ``M`` refuting it, and that exact sign
+    pattern appears as a block.  Satisfies ``M`` because each block is a
+    model and cross-block pairs ascend on all non-constants (constants,
+    which every model zeroes, are pinned).
+    """
+    attributes = attrlist(attributes) if attributes is not None else AttrList(
+        sorted(theory.attributes)
+    )
+    constants = theory.constants() & set(attributes)
+    rows: List[tuple] = []
+    seen: set = set()
+    base = 0
+    for sigma in theory.models(tuple(attributes)):
+        signs = tuple(sigma[a] for a in attributes)
+        if all(s == 0 for s in signs):
+            continue
+        if signs in seen or tuple(-s for s in signs) in seen:
+            continue  # σ and -σ describe the same unordered two-row set
+        seen.add(signs)
+        row1, row2 = [], []
+        for name, sign in zip(attributes, signs):
+            if name in constants:
+                row1.append(0)
+                row2.append(0)
+            else:
+                row1.append(base + 1)
+                row2.append(base + 1 + sign)
+        rows.append(tuple(row1))
+        rows.append(tuple(row2))
+        base += 3
+    if not rows:  # no informative models: a single row still satisfies M
+        rows = [tuple(0 for _ in attributes)]
+    return Relation(attributes, rows, name="canonical-armstrong")

@@ -1,0 +1,183 @@
+"""Attribute lists: the ordered counterpart of attribute sets.
+
+Order dependencies (ODs) are stated over *lists* of attributes, not sets,
+because ``ORDER BY [A, B]`` and ``ORDER BY [B, A]`` mean different things.
+This module provides :class:`AttrList`, an immutable sequence of attribute
+names with the list manipulations the paper's axioms need: concatenation,
+prefix/suffix tests, normalization (removal of repeated attributes), and
+contiguous-sublist enumeration.
+
+Attribute names are plain strings; an :class:`AttrList` is a thin immutable
+wrapper over a ``tuple`` of them, so instances hash and compare cheaply and
+can key dictionaries and sets.
+"""
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Iterable, Iterator
+
+__all__ = ["AttrList", "attrlist", "EMPTY"]
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.]*$")
+
+
+class AttrList(tuple):
+    """An immutable list of attribute names.
+
+    Supports the paper's notational conventions:
+
+    * concatenation ``X + Y`` (written ``XY`` in the paper),
+    * ``X.attrs`` for ``set(X)``,
+    * ``X.normalized()`` removing repeated attributes (justified by the
+      Normalization axiom, OD3),
+    * prefix/suffix structure used by the Prefix and Suffix axioms.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, items: Iterable[str] = ()) -> "AttrList":
+        items = tuple(items)
+        for item in items:
+            if not isinstance(item, str) or not item:
+                raise TypeError(f"attribute names must be non-empty strings, got {item!r}")
+        return super().__new__(cls, items)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "AttrList":
+        """Parse ``"A, B, C"`` or ``"[A, B, C]"`` into an :class:`AttrList`."""
+        text = text.strip()
+        if text.startswith("[") and text.endswith("]"):
+            text = text[1:-1]
+        if not text.strip():
+            return EMPTY
+        names = [part.strip() for part in text.split(",")]
+        for name in names:
+            if not _NAME_RE.match(name):
+                raise ValueError(f"invalid attribute name: {name!r}")
+        return cls(names)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: Iterable[str]) -> "AttrList":
+        return AttrList(tuple(self) + tuple(other))
+
+    def __radd__(self, other: Iterable[str]) -> "AttrList":
+        return AttrList(tuple(other) + tuple(self))
+
+    def __getitem__(self, index):
+        result = super().__getitem__(index)
+        if isinstance(index, slice):
+            return AttrList(result)
+        return result
+
+    @property
+    def attrs(self) -> frozenset:
+        """The underlying attribute *set* (``set(X)`` in the paper)."""
+        return frozenset(self)
+
+    def head(self) -> str:
+        """The first attribute (``[A | T]`` notation: the ``A``)."""
+        if not self:
+            raise IndexError("head of the empty attribute list")
+        return self[0]
+
+    def tail(self) -> "AttrList":
+        """Everything but the first attribute (the ``T`` in ``[A | T]``)."""
+        if not self:
+            raise IndexError("tail of the empty attribute list")
+        return self[1:]
+
+    def normalized(self) -> "AttrList":
+        """Drop every attribute occurrence that repeats an earlier one.
+
+        ``[A, B, A, C, B]`` normalizes to ``[A, B, C]``.  Sound by iterated
+        application of the Normalization axiom (OD3): a later occurrence of an
+        attribute never influences the lexicographic order because ties on the
+        earlier occurrence force equality on the later one.
+        """
+        seen: set = set()
+        out = []
+        for name in self:
+            if name not in seen:
+                seen.add(name)
+                out.append(name)
+        return AttrList(out)
+
+    def is_normalized(self) -> bool:
+        """True iff no attribute occurs twice."""
+        return len(set(self)) == len(self)
+
+    def is_prefix_of(self, other: "AttrList") -> bool:
+        """True iff ``self`` is a (not necessarily proper) prefix of ``other``."""
+        return len(self) <= len(other) and tuple(other[: len(self)]) == tuple(self)
+
+    def is_suffix_of(self, other: "AttrList") -> bool:
+        """True iff ``self`` is a (not necessarily proper) suffix of ``other``."""
+        return len(self) <= len(other) and (
+            len(self) == 0 or tuple(other[-len(self):]) == tuple(self)
+        )
+
+    def without(self, names: Iterable[str]) -> "AttrList":
+        """Remove every occurrence of the given attributes, keeping order."""
+        drop = set(names)
+        return AttrList(name for name in self if name not in drop)
+
+    def common_prefix(self, other: "AttrList") -> "AttrList":
+        """The longest list that prefixes both ``self`` and ``other``."""
+        out = []
+        for a, b in zip(self, other):
+            if a != b:
+                break
+            out.append(a)
+        return AttrList(out)
+
+    def contiguous_sublists(self, max_len: int | None = None) -> Iterator["AttrList"]:
+        """Yield every non-empty contiguous sublist, shortest first."""
+        n = len(self)
+        limit = n if max_len is None else min(n, max_len)
+        for length in range(1, limit + 1):
+            for start in range(0, n - length + 1):
+                yield self[start:start + length]
+
+    def prefixes(self, include_empty: bool = True) -> Iterator["AttrList"]:
+        """Yield prefixes of ``self``, shortest first."""
+        start = 0 if include_empty else 1
+        for i in range(start, len(self) + 1):
+            yield self[:i]
+
+    def suffixes(self, include_empty: bool = True) -> Iterator["AttrList"]:
+        """Yield suffixes of ``self``, longest first."""
+        end = len(self) + 1 if include_empty else len(self)
+        for i in range(0, end):
+            yield self[i:]
+
+    def permutations(self) -> Iterator["AttrList"]:
+        """Yield every permutation of ``self`` (``X'`` in the paper)."""
+        for perm in itertools.permutations(self):
+            yield AttrList(perm)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{', '.join(self)}]"
+
+
+def attrlist(spec: "str | Iterable[str] | AttrList") -> AttrList:
+    """Coerce a string spec or iterable of names into an :class:`AttrList`.
+
+    ``attrlist("A,B,C")``, ``attrlist(["A", "B", "C"])`` and
+    ``attrlist(existing)`` all work; single names without commas parse as a
+    one-element list.
+    """
+    if isinstance(spec, AttrList):
+        return spec
+    if isinstance(spec, str):
+        return AttrList.parse(spec)
+    return AttrList(spec)
+
+
+#: The empty attribute list (``[]`` in the paper).
+EMPTY = AttrList()

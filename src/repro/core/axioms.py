@@ -1,0 +1,270 @@
+"""The six OD inference rules (Definition 7: axioms OD1–OD6).
+
+Each axiom is realized two ways:
+
+* as a **constructor** — a function that, given premise statements and the
+  list parameters of the schema, *builds* the conclusion (raising
+  :class:`InvalidRuleApplication` if the premises do not fit the schema);
+* as an entry in the :data:`AXIOMS` registry used by the proof checker
+  (:mod:`repro.core.proofs`) to replay derivations step by step.
+
+The axioms (``X``, ``Y``, ... range over attribute lists):
+
+=====================  ==========================================================
+OD1  Reflexivity       ``⊢ XY ↦ X``
+OD2  Prefix            ``X ↦ Y ⊢ ZX ↦ ZY``
+OD3  Normalization     ``⊢ WXYXV ↔ WXYV``   (a repeated list occurrence drops)
+OD4  Transitivity      ``X ↦ Y, Y ↦ Z ⊢ X ↦ Z``
+OD5  Suffix            ``X ↦ Y ⊢ X ↔ YX``
+OD6  Chain             ``X ~ Y₁, Yᵢ ~ Yᵢ₊₁, Yₙ ~ Z, ∀i YᵢX ~ YᵢZ ⊢ X ~ Z``
+=====================  ==========================================================
+
+A handful of **structural rules** (zero logical content: they move between an
+equivalence / compatibility and its defining component ODs) are registered
+alongside so proofs can be written at the granularity the paper uses.
+
+Every rule here is exercised against the semantic oracle in the test suite
+(soundness, Theorem 1): for random instantiations, any sign vector or
+relation satisfying the premises satisfies the conclusion.
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+from .attrs import AttrList, attrlist
+from .dependency import (
+    OrderCompatibility,
+    OrderDependency,
+    OrderEquivalence,
+    Statement,
+    to_ods,
+)
+
+__all__ = [
+    "InvalidRuleApplication",
+    "canon",
+    "reflexivity",
+    "prefix",
+    "normalization",
+    "transitivity",
+    "suffix",
+    "chain",
+    "equiv_intro",
+    "equiv_left",
+    "equiv_right",
+    "equiv_trans",
+    "compat_intro",
+    "compat_elim",
+    "AXIOMS",
+    "STRUCTURAL",
+]
+
+
+class InvalidRuleApplication(ValueError):
+    """The premises/parameters do not match the rule schema."""
+
+
+def canon(statement: Statement) -> frozenset:
+    """Canonical form of a statement: the set of its component ODs.
+
+    Two statements are *the same claim* iff their component OD sets are
+    equal; e.g. ``X ↔ Y`` equals ``Y ↔ X``, and ``X ~ Y`` equals the
+    equivalence ``XY ↔ YX`` it abbreviates.
+    """
+    return frozenset(
+        (tuple(dep.lhs), tuple(dep.rhs)) for dep in to_ods(statement)
+    )
+
+
+def _as_od(statement: Statement, rule: str) -> OrderDependency:
+    if isinstance(statement, OrderDependency):
+        return statement
+    raise InvalidRuleApplication(f"{rule} expects an OD premise, got {statement}")
+
+
+def _as_equiv(statement: Statement, rule: str) -> OrderEquivalence:
+    if isinstance(statement, OrderEquivalence):
+        return statement
+    raise InvalidRuleApplication(f"{rule} expects an equivalence premise, got {statement}")
+
+
+def _as_compat(statement: Statement, rule: str) -> OrderCompatibility:
+    if isinstance(statement, OrderCompatibility):
+        return statement
+    raise InvalidRuleApplication(f"{rule} expects a compatibility premise, got {statement}")
+
+
+# ----------------------------------------------------------------------
+# OD1 — Reflexivity
+# ----------------------------------------------------------------------
+def reflexivity(x, y) -> OrderDependency:
+    """OD1: ``XY ↦ X`` — a list orders every prefix of itself."""
+    x, y = attrlist(x), attrlist(y)
+    return OrderDependency(x + y, x)
+
+
+# ----------------------------------------------------------------------
+# OD2 — Prefix
+# ----------------------------------------------------------------------
+def prefix(premise: Statement, z) -> OrderDependency:
+    """OD2: from ``X ↦ Y`` infer ``ZX ↦ ZY`` for any list ``Z``."""
+    dependency = _as_od(premise, "Prefix")
+    z = attrlist(z)
+    return OrderDependency(z + dependency.lhs, z + dependency.rhs)
+
+
+# ----------------------------------------------------------------------
+# OD3 — Normalization
+# ----------------------------------------------------------------------
+def normalization(w, x, y, v) -> OrderEquivalence:
+    """OD3: ``WXYXV ↔ WXYV`` — the second occurrence of ``X`` is redundant.
+
+    Once tuples compare equal on the first ``X`` occurrence, the second
+    occurrence can never break a tie.
+    """
+    w, x, y, v = attrlist(w), attrlist(x), attrlist(y), attrlist(v)
+    return OrderEquivalence(w + x + y + x + v, w + x + y + v)
+
+
+# ----------------------------------------------------------------------
+# OD4 — Transitivity
+# ----------------------------------------------------------------------
+def transitivity(first: Statement, second: Statement) -> OrderDependency:
+    """OD4: ``X ↦ Y, Y ↦ Z ⊢ X ↦ Z``."""
+    od1 = _as_od(first, "Transitivity")
+    od2 = _as_od(second, "Transitivity")
+    if tuple(od1.rhs) != tuple(od2.lhs):
+        raise InvalidRuleApplication(
+            f"Transitivity: middle lists differ ({od1.rhs!r} vs {od2.lhs!r})"
+        )
+    return OrderDependency(od1.lhs, od2.rhs)
+
+
+# ----------------------------------------------------------------------
+# OD5 — Suffix
+# ----------------------------------------------------------------------
+def suffix(premise: Statement) -> OrderEquivalence:
+    """OD5: from ``X ↦ Y`` infer ``X ↔ YX``.
+
+    If ``X`` orders ``Y`` then prepending ``Y`` to ``X`` changes nothing:
+    ties broken by ``Y`` were already broken the same way by ``X``.
+    """
+    dependency = _as_od(premise, "Suffix")
+    return OrderEquivalence(dependency.lhs, dependency.rhs + dependency.lhs)
+
+
+# ----------------------------------------------------------------------
+# OD6 — Chain
+# ----------------------------------------------------------------------
+def chain(premises: Sequence[Statement], x, links, z) -> OrderCompatibility:
+    """OD6: the Chain axiom.
+
+    Parameters ``x``/``z`` are lists, ``links`` a non-empty sequence of
+    intermediate lists ``Y₁ … Yₙ``.  Required premises (as compatibilities):
+
+    * ``X ~ Y₁``
+    * ``Yᵢ ~ Yᵢ₊₁`` for ``i = 1 … n-1``
+    * ``Yₙ ~ Z``
+    * ``YᵢX ~ YᵢZ`` for every ``i``
+
+    Conclusion: ``X ~ Z``.  This is the axiom that rules out an undetected
+    swap between ``X`` and ``Z`` hiding behind a chain of pairwise-compatible
+    intermediaries (Figure 3); it is indispensable for completeness (the
+    empty-context case of the construction, Lemma 12).
+    """
+    x, z = attrlist(x), attrlist(z)
+    links = [attrlist(link) for link in links]
+    if not links:
+        raise InvalidRuleApplication("Chain requires at least one intermediate list")
+    required = [OrderCompatibility(x, links[0])]
+    for first, second in zip(links, links[1:]):
+        required.append(OrderCompatibility(first, second))
+    required.append(OrderCompatibility(links[-1], z))
+    for link in links:
+        required.append(OrderCompatibility(link + x, link + z))
+    have = {canon(statement) for statement in premises}
+    for requirement in required:
+        if canon(requirement) not in have:
+            raise InvalidRuleApplication(
+                f"Chain: missing premise {requirement} "
+                f"(need {len(required)} premises)"
+            )
+    return OrderCompatibility(x, z)
+
+
+# ----------------------------------------------------------------------
+# Structural rules (definitional, no logical content)
+# ----------------------------------------------------------------------
+def equiv_intro(first: Statement, second: Statement) -> OrderEquivalence:
+    """``X ↦ Y, Y ↦ X ⊢ X ↔ Y`` (definition of ↔)."""
+    od1 = _as_od(first, "EquivIntro")
+    od2 = _as_od(second, "EquivIntro")
+    if tuple(od1.lhs) != tuple(od2.rhs) or tuple(od1.rhs) != tuple(od2.lhs):
+        raise InvalidRuleApplication("EquivIntro: the two ODs are not converses")
+    return OrderEquivalence(od1.lhs, od1.rhs)
+
+
+def equiv_left(premise: Statement) -> OrderDependency:
+    """``X ↔ Y ⊢ X ↦ Y``."""
+    equivalence = _as_equiv(premise, "EquivLeft")
+    return OrderDependency(equivalence.lhs, equivalence.rhs)
+
+
+def equiv_right(premise: Statement) -> OrderDependency:
+    """``X ↔ Y ⊢ Y ↦ X``."""
+    equivalence = _as_equiv(premise, "EquivRight")
+    return OrderDependency(equivalence.rhs, equivalence.lhs)
+
+
+def equiv_trans(first: Statement, second: Statement) -> OrderEquivalence:
+    """``X ↔ Y, Y ↔ Z ⊢ X ↔ Z`` (two Transitivity applications)."""
+    e1 = _as_equiv(first, "EquivTrans")
+    e2 = _as_equiv(second, "EquivTrans")
+    if tuple(e1.rhs) == tuple(e2.lhs):
+        return OrderEquivalence(e1.lhs, e2.rhs)
+    if tuple(e1.rhs) == tuple(e2.rhs):
+        return OrderEquivalence(e1.lhs, e2.lhs)
+    if tuple(e1.lhs) == tuple(e2.lhs):
+        return OrderEquivalence(e1.rhs, e2.rhs)
+    raise InvalidRuleApplication("EquivTrans: no shared side")
+
+
+def compat_intro(premise: Statement, x, y) -> OrderCompatibility:
+    """``XY ↔ YX ⊢ X ~ Y`` (definition of ~)."""
+    equivalence = _as_equiv(premise, "CompatIntro")
+    x, y = attrlist(x), attrlist(y)
+    expected = OrderCompatibility(x, y).equivalence()
+    if canon(premise) != canon(expected):
+        raise InvalidRuleApplication(
+            f"CompatIntro: {equivalence} is not the defining equivalence of "
+            f"{x!r} ~ {y!r}"
+        )
+    return OrderCompatibility(x, y)
+
+
+def compat_elim(premise: Statement) -> OrderEquivalence:
+    """``X ~ Y ⊢ XY ↔ YX``."""
+    compatibility = _as_compat(premise, "CompatElim")
+    return compatibility.equivalence()
+
+
+#: Registry: rule name -> (constructor, number of premise arguments).
+#: ``chain`` takes its premises as one sequence argument; the proof checker
+#: special-cases it.
+AXIOMS: Dict[str, Callable] = {
+    "Reflexivity": reflexivity,
+    "Prefix": prefix,
+    "Normalization": normalization,
+    "Transitivity": transitivity,
+    "Suffix": suffix,
+    "Chain": chain,
+}
+
+STRUCTURAL: Dict[str, Callable] = {
+    "EquivIntro": equiv_intro,
+    "EquivLeft": equiv_left,
+    "EquivRight": equiv_right,
+    "EquivTrans": equiv_trans,
+    "CompatIntro": compat_intro,
+    "CompatElim": compat_elim,
+}

@@ -1,0 +1,239 @@
+"""Dependency statements: order dependencies, equivalences, compatibilities, FDs.
+
+The paper works with four kinds of statements:
+
+* ``X ↦ Y`` — an **order dependency** (OD, Definition 4): any tuple stream
+  ordered by ``X`` is also ordered by ``Y``.
+* ``X ↔ Y`` — **order equivalence** (both ``X ↦ Y`` and ``Y ↦ X``).
+* ``X ~ Y`` — **order compatibility** (Definition 5): ``XY ↔ YX``.
+* ``X' → Y'`` — a classical **functional dependency** over attribute *sets*.
+
+Equivalence and compatibility are definable from ODs, so every statement can
+be *expanded* into a set of component ODs via :func:`to_ods`; the inference
+oracle and the proof checker work on those expansions.
+
+ASCII rendering uses ``|->`` for ``↦``, ``<->`` for ``↔``, ``~`` for
+compatibility, and ``->`` for FDs, and :func:`parse_statement` reads the same
+notation back.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from .attrs import EMPTY, AttrList, attrlist
+
+__all__ = [
+    "OrderDependency",
+    "OrderEquivalence",
+    "OrderCompatibility",
+    "FunctionalDependency",
+    "Statement",
+    "od",
+    "equiv",
+    "compat",
+    "fd",
+    "to_ods",
+    "expand_all",
+    "parse_statement",
+]
+
+
+@dataclass(frozen=True)
+class OrderDependency:
+    """An order dependency ``lhs ↦ rhs`` (Definition 4).
+
+    For every pair of tuples ``s``, ``t`` in a satisfying instance,
+    ``s ≼_lhs t`` implies ``s ≼_rhs t``: ordering by ``lhs`` also orders by
+    ``rhs``.  We say ``lhs`` *orders* ``rhs``.
+    """
+
+    lhs: AttrList
+    rhs: AttrList
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lhs", attrlist(self.lhs))
+        object.__setattr__(self, "rhs", attrlist(self.rhs))
+
+    @property
+    def attributes(self) -> frozenset:
+        """All attributes mentioned by the dependency."""
+        return self.lhs.attrs | self.rhs.attrs
+
+    def reversed(self) -> "OrderDependency":
+        """The converse statement ``rhs ↦ lhs`` (not implied in general)."""
+        return OrderDependency(self.rhs, self.lhs)
+
+    def normalized(self) -> "OrderDependency":
+        """Normalize both sides (sound by the Normalization axiom)."""
+        return OrderDependency(self.lhs.normalized(), self.rhs.normalized())
+
+    def fd_facet(self) -> "OrderDependency":
+        """The OD ``lhs ↦ lhs ++ rhs``, equivalent to the FD
+        ``set(lhs) → set(rhs)`` by Theorem 13."""
+        return OrderDependency(self.lhs, self.lhs + self.rhs)
+
+    def __str__(self) -> str:
+        return f"{self.lhs!r} |-> {self.rhs!r}"
+
+
+@dataclass(frozen=True)
+class OrderEquivalence:
+    """``lhs ↔ rhs``: each side orders the other."""
+
+    lhs: AttrList
+    rhs: AttrList
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lhs", attrlist(self.lhs))
+        object.__setattr__(self, "rhs", attrlist(self.rhs))
+
+    @property
+    def attributes(self) -> frozenset:
+        return self.lhs.attrs | self.rhs.attrs
+
+    def ods(self) -> tuple[OrderDependency, OrderDependency]:
+        """The two component ODs."""
+        return (
+            OrderDependency(self.lhs, self.rhs),
+            OrderDependency(self.rhs, self.lhs),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.lhs!r} <-> {self.rhs!r}"
+
+
+@dataclass(frozen=True)
+class OrderCompatibility:
+    """``lhs ~ rhs``: order compatibility (Definition 5), i.e. ``XY ↔ YX``.
+
+    Two lists are order compatible when no pair of tuples *swaps* between
+    them: sorting by ``lhs`` then ``rhs`` gives the same order as sorting by
+    ``rhs`` then ``lhs``.
+    """
+
+    lhs: AttrList
+    rhs: AttrList
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lhs", attrlist(self.lhs))
+        object.__setattr__(self, "rhs", attrlist(self.rhs))
+
+    @property
+    def attributes(self) -> frozenset:
+        return self.lhs.attrs | self.rhs.attrs
+
+    def equivalence(self) -> OrderEquivalence:
+        """The defining equivalence ``lhs ++ rhs ↔ rhs ++ lhs``."""
+        return OrderEquivalence(self.lhs + self.rhs, self.rhs + self.lhs)
+
+    def ods(self) -> tuple[OrderDependency, OrderDependency]:
+        return self.equivalence().ods()
+
+    def __str__(self) -> str:
+        return f"{self.lhs!r} ~ {self.rhs!r}"
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A classical FD ``lhs → rhs`` over attribute *sets*.
+
+    Stored with sorted tuples so instances are hashable and deterministic.
+    By Theorem 13 the FD ``X' → Y'`` holds iff the OD ``X ↦ XY`` holds for
+    any (equivalently, every) ordering ``X`` of ``X'`` and ``Y`` of ``Y'``.
+    """
+
+    lhs: tuple
+    rhs: tuple
+
+    def __init__(self, lhs: Iterable[str], rhs: Iterable[str]) -> None:
+        if isinstance(lhs, str):
+            lhs = AttrList.parse(lhs)
+        if isinstance(rhs, str):
+            rhs = AttrList.parse(rhs)
+        object.__setattr__(self, "lhs", tuple(sorted(set(lhs))))
+        object.__setattr__(self, "rhs", tuple(sorted(set(rhs))))
+
+    @property
+    def attributes(self) -> frozenset:
+        return frozenset(self.lhs) | frozenset(self.rhs)
+
+    def as_od(self) -> OrderDependency:
+        """A canonical OD carrying the same constraint (Theorem 13)."""
+        lhs = AttrList(self.lhs)
+        rhs = AttrList(self.rhs)
+        return OrderDependency(lhs, lhs + rhs)
+
+    def __str__(self) -> str:
+        return f"{{{', '.join(self.lhs)}}} -> {{{', '.join(self.rhs)}}}"
+
+
+Statement = Union[
+    OrderDependency, OrderEquivalence, OrderCompatibility, FunctionalDependency
+]
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def od(lhs, rhs) -> OrderDependency:
+    """Build an OD from list specs: ``od("A,B", "C")``."""
+    return OrderDependency(attrlist(lhs), attrlist(rhs))
+
+
+def equiv(lhs, rhs) -> OrderEquivalence:
+    """Build an order equivalence from list specs."""
+    return OrderEquivalence(attrlist(lhs), attrlist(rhs))
+
+
+def compat(lhs, rhs) -> OrderCompatibility:
+    """Build an order compatibility from list specs."""
+    return OrderCompatibility(attrlist(lhs), attrlist(rhs))
+
+
+def fd(lhs, rhs) -> FunctionalDependency:
+    """Build an FD from set specs: ``fd("A,B", "C")``."""
+    return FunctionalDependency(lhs, rhs)
+
+
+def to_ods(statement: Statement) -> tuple[OrderDependency, ...]:
+    """Expand any statement into its component order dependencies."""
+    if isinstance(statement, OrderDependency):
+        return (statement,)
+    if isinstance(statement, (OrderEquivalence, OrderCompatibility)):
+        return statement.ods()
+    if isinstance(statement, FunctionalDependency):
+        return (statement.as_od(),)
+    raise TypeError(f"not a dependency statement: {statement!r}")
+
+
+def expand_all(statements: Iterable[Statement]) -> tuple[OrderDependency, ...]:
+    """Expand a collection of statements into a flat tuple of ODs."""
+    out: list[OrderDependency] = []
+    for statement in statements:
+        out.extend(to_ods(statement))
+    return tuple(out)
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse the ASCII notation back into a statement object.
+
+    * ``"[A,B] |-> [C]"`` → :class:`OrderDependency`
+    * ``"[A,B] <-> [B,A]"`` → :class:`OrderEquivalence`
+    * ``"[A] ~ [B]"`` → :class:`OrderCompatibility`
+    * ``"A,B -> C"`` → :class:`FunctionalDependency`
+    """
+    for symbol, maker in (
+        ("|->", od),
+        ("<->", equiv),
+        ("->", fd),
+        ("~", compat),
+    ):
+        if symbol in text:
+            left, _, right = text.partition(symbol)
+            return maker(left.strip(), right.strip())
+    raise ValueError(f"unrecognized dependency notation: {text!r}")
+
+
+#: The always-true OD over the empty list pair; handy in tests.
+TRIVIAL = OrderDependency(EMPTY, EMPTY)

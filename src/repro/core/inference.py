@@ -1,0 +1,340 @@
+"""The OD implication oracle: an exact theorem prover for order dependencies.
+
+The paper lists an efficient *theorem prover* — deciding whether a set of
+prescribed ODs ``M`` logically implies a candidate OD — as the first item of
+future work.  This module supplies one, exact and complete, built on the
+two-row small-model property (:mod:`repro.core.signs`):
+
+    ``M ⊨ θ``  iff  every sign vector satisfying ``M`` satisfies ``θ``.
+
+The enumeration is exponential in the number of *mentioned* attributes
+(consistent with the later coNP-completeness result for OD implication), with
+a DFS that prunes whole subtrees as soon as a partial assignment already
+falsifies some OD in ``M`` whose attributes are all assigned.  Schema-scale
+problems (≤ 16 or so attributes) decide in well under a second.
+
+Besides yes/no answers the oracle produces **counterexample witnesses**: a
+concrete two-row relation satisfying ``M`` and falsifying ``θ``, which is how
+the library *shows its work* and how the test suite cross-validates every
+derived theorem in :mod:`repro.core.theorems`.
+"""
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from .attrs import EMPTY, AttrList, attrlist
+from .dependency import (
+    FunctionalDependency,
+    OrderCompatibility,
+    OrderDependency,
+    OrderEquivalence,
+    Statement,
+    expand_all,
+    to_ods,
+)
+from .relation import Relation
+from .signs import CompiledOD, materialize
+
+__all__ = [
+    "ODTheory",
+    "implies",
+    "counterexample",
+    "is_trivial",
+    "constants",
+    "irreducible_cover",
+]
+
+#: Refuse enumeration beyond this many attributes by default (3^18 ≈ 4e8).
+DEFAULT_MAX_ATTRIBUTES = 18
+
+
+class TooManyAttributes(RuntimeError):
+    """Raised when an implication problem exceeds the enumeration budget."""
+
+
+class ODTheory:
+    """A set of prescribed dependency statements with an implication oracle.
+
+    Wraps a collection of statements (ODs, equivalences, compatibilities,
+    FDs — anything :func:`repro.core.dependency.to_ods` understands) and
+    answers implication queries against it.  Compiled premises are cached per
+    attribute universe, so repeated queries over the same schema are cheap.
+    """
+
+    def __init__(
+        self,
+        statements: Iterable[Statement] = (),
+        max_attributes: int = DEFAULT_MAX_ATTRIBUTES,
+    ) -> None:
+        self.statements: tuple = tuple(statements)
+        self.ods: tuple = expand_all(self.statements)
+        self.max_attributes = max_attributes
+        self._universe = frozenset().union(
+            *(dependency.attributes for dependency in self.ods)
+        ) if self.ods else frozenset()
+        self._compiled_cache: Dict[tuple, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> frozenset:
+        """Every attribute mentioned by some premise."""
+        return self._universe
+
+    def __len__(self) -> int:
+        return len(self.ods)
+
+    def extended(self, statements: Iterable[Statement]) -> "ODTheory":
+        """A new theory with additional premises."""
+        return ODTheory(self.statements + tuple(statements), self.max_attributes)
+
+    # ------------------------------------------------------------------
+    # Core decision procedure
+    # ------------------------------------------------------------------
+    def _attribute_order(self, extra: frozenset) -> tuple:
+        return tuple(sorted(self._universe | extra))
+
+    def _relevant_premises(self, goal_attrs: frozenset) -> tuple:
+        """Premises in the attribute-connected component of the goal.
+
+        Sound *and* complete filtering: a two-row model over the component
+        extends to a full model by zeroing every other attribute (all-equal
+        signs satisfy any OD), so disconnected premises can never block a
+        counterexample.  This keeps implication queries exponential only in
+        the *relevant* attribute count, not the schema width.
+        """
+        component = set(goal_attrs)
+        remaining = list(self.ods)
+        changed = True
+        while changed:
+            changed = False
+            still = []
+            for dependency in remaining:
+                attrs = dependency.attributes
+                if attrs & component:
+                    component |= attrs
+                    changed = True
+                elif not attrs:
+                    continue  # trivially true, never constrains anything
+                else:
+                    still.append(dependency)
+            remaining = still
+        used = tuple(
+            dependency
+            for dependency in self.ods
+            if dependency.attributes and dependency.attributes <= component
+        )
+        return frozenset(component), used
+
+    def _refuting_sign_tuple(
+        self, statement: Statement
+    ) -> Optional[tuple]:
+        """A sign tuple satisfying the theory but falsifying the statement.
+
+        Returns ``(names, signs)`` or ``None`` when the statement is implied.
+        """
+        goal_ods = to_ods(statement)
+        goal_attrs = (
+            frozenset().union(*(d.attributes for d in goal_ods))
+            if goal_ods
+            else frozenset()
+        )
+        component, used = self._relevant_premises(goal_attrs)
+        names = tuple(sorted(component | goal_attrs))
+        if len(names) > self.max_attributes:
+            raise TooManyAttributes(
+                f"{len(names)} attributes exceed the enumeration budget "
+                f"({self.max_attributes}); raise max_attributes explicitly"
+            )
+        index = {name: i for i, name in enumerate(names)}
+        cache_key = (names, used)
+        premises = self._compiled_cache.get(cache_key)
+        if premises is None:
+            premises = tuple(CompiledOD(dep, index) for dep in used)
+            self._compiled_cache[cache_key] = premises
+        goals = tuple(CompiledOD(dependency, index) for dependency in goal_ods)
+
+        # Partial-assignment pruning: a premise can be evaluated as soon as
+        # the last of its attributes is assigned.  Bucket premises by that
+        # trigger position so the DFS checks each exactly once.
+        buckets: List[List[CompiledOD]] = [[] for _ in names]
+        always_true: List[CompiledOD] = []
+        for compiled in premises:
+            positions = compiled.lhs_positions + compiled.rhs_positions
+            if positions:
+                buckets[max(positions)].append(compiled)
+            else:
+                always_true.append(compiled)
+        for compiled in always_true:
+            if not compiled.holds(()):  # pragma: no cover - vacuous ODs hold
+                return None
+
+        signs = [0] * len(names)
+
+        def dfs(position: int) -> Optional[tuple]:
+            if position == len(names):
+                if not all(goal.holds(signs) for goal in goals):
+                    return tuple(signs)
+                return None
+            for value in (0, -1, 1):
+                signs[position] = value
+                if all(c.holds(signs) for c in buckets[position]):
+                    found = dfs(position + 1)
+                    if found is not None:
+                        return found
+            signs[position] = 0
+            return None
+
+        found = dfs(0)
+        if found is None:
+            return None
+        return (names, found)
+
+    def implies(self, statement: Statement) -> bool:
+        """Exact logical implication: does every model of the theory satisfy
+        the statement?"""
+        return self._refuting_sign_tuple(statement) is None
+
+    def counterexample(self, statement: Statement) -> Optional[Relation]:
+        """A two-row relation satisfying the theory and falsifying the
+        statement, or ``None`` when the statement is implied."""
+        refutation = self._refuting_sign_tuple(statement)
+        if refutation is None:
+            return None
+        names, signs = refutation
+        sigma = dict(zip(names, signs))
+        # Attributes outside the relevant component take equal values (sign
+        # 0), which satisfies every OD, so the witness models the whole
+        # theory, not just the filtered premises.
+        for name in self._universe:
+            sigma.setdefault(name, 0)
+        return materialize(sigma, AttrList(sorted(sigma)))
+
+    def entails_all(self, statements: Iterable[Statement]) -> bool:
+        """Check several statements at once."""
+        return all(self.implies(statement) for statement in statements)
+
+    # ------------------------------------------------------------------
+    # Derived queries
+    # ------------------------------------------------------------------
+    def is_constant(self, attribute: str) -> bool:
+        """Definition 18: ``A`` is constant iff ``[] ↦ [A]`` is implied."""
+        return self.implies(OrderDependency(EMPTY, AttrList([attribute])))
+
+    def constants(self) -> frozenset:
+        """Every mentioned attribute forced to a single value."""
+        return frozenset(a for a in self._universe if self.is_constant(a))
+
+    def order_compatible(self, lhs, rhs) -> bool:
+        """Is ``lhs ~ rhs`` implied (Definition 5)?"""
+        return self.implies(OrderCompatibility(attrlist(lhs), attrlist(rhs)))
+
+    def equivalent(self, lhs, rhs) -> bool:
+        """Is ``lhs ↔ rhs`` implied?"""
+        return self.implies(OrderEquivalence(attrlist(lhs), attrlist(rhs)))
+
+    def fd_holds(self, dependency: "FunctionalDependency | str") -> bool:
+        """Is the FD implied?  Uses the Theorem 13 OD encoding."""
+        if isinstance(dependency, str):
+            from .dependency import parse_statement
+
+            parsed = parse_statement(dependency)
+            if not isinstance(parsed, FunctionalDependency):
+                raise TypeError(f"not an FD: {dependency!r}")
+            dependency = parsed
+        return self.implies(dependency)
+
+    def fd_closure(self, attributes: Iterable[str]) -> frozenset:
+        """The FD-closure of an attribute set under the theory's FD facets.
+
+        ``A ∈ closure(W)`` iff ``W ↦ W ++ [A]`` is implied — by Theorem 13
+        that is exactly the classical ``W → A``.
+        """
+        base = AttrList(sorted(set(attributes)))
+        closed = set(base)
+        for attribute in sorted(self._universe - set(base)):
+            candidate = OrderDependency(base, base + [attribute])
+            if self.implies(candidate):
+                closed.add(attribute)
+        return frozenset(closed)
+
+    def compatibility_graph(self) -> Dict[str, frozenset]:
+        """Adjacency of single attributes under implied pairwise ``~``.
+
+        Used by the empty-context swap construction (Figure 9 / Lemma 12) and
+        exposed for diagnostics: two attributes in the same connected
+        component can never receive an empty-context swap.
+        """
+        names = sorted(self._universe)
+        adjacency: Dict[str, set] = {name: set() for name in names}
+        for a, b in itertools.combinations(names, 2):
+            if self.order_compatible(AttrList([a]), AttrList([b])):
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+        return {name: frozenset(neighbors) for name, neighbors in adjacency.items()}
+
+    def models(self, attributes: Sequence[str] = ()) -> Iterator[Dict[str, int]]:
+        """Yield every sign vector over the universe (plus ``attributes``)
+        satisfying the theory.  Basis of the canonical Armstrong relation."""
+        names = self._attribute_order(frozenset(attributes))
+        if len(names) > self.max_attributes:
+            raise TooManyAttributes(
+                f"{len(names)} attributes exceed the enumeration budget"
+            )
+        index = {name: i for i, name in enumerate(names)}
+        premises = tuple(CompiledOD(dep, index) for dep in self.ods)
+        for combo in itertools.product((-1, 0, 1), repeat=len(names)):
+            if all(compiled.holds(combo) for compiled in premises):
+                yield dict(zip(names, combo))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ODTheory({len(self.statements)} statements, {len(self._universe)} attributes)"
+
+
+# ----------------------------------------------------------------------
+# Module-level conveniences
+# ----------------------------------------------------------------------
+def implies(premises: Iterable[Statement], statement: Statement) -> bool:
+    """One-shot implication check: ``premises ⊨ statement``."""
+    return ODTheory(premises).implies(statement)
+
+
+def counterexample(
+    premises: Iterable[Statement], statement: Statement
+) -> Optional[Relation]:
+    """One-shot counterexample search."""
+    return ODTheory(premises).counterexample(statement)
+
+
+def is_trivial(statement: Statement) -> bool:
+    """Is the statement satisfied by *every* instance (implied by ∅)?
+
+    For example ``XY ↦ X`` (Reflexivity) is trivial; ``X ↦ XY`` is not.
+    """
+    return ODTheory(()).implies(statement)
+
+
+def constants(premises: Iterable[Statement]) -> frozenset:
+    """Attributes forced constant by the premises (Definition 18)."""
+    return ODTheory(premises).constants()
+
+
+def irreducible_cover(statements: Iterable[Statement]) -> tuple:
+    """A non-redundant subset equivalent to the input (Definition 9 sense).
+
+    Greedily removes any statement implied by the remainder; the result
+    implies (and is implied by) the original set.  Deterministic given
+    input order; analogous to an FD minimal cover at the statement level.
+    """
+    working = list(statements)
+    index = 0
+    while index < len(working):
+        candidate = working[index]
+        rest = working[:index] + working[index + 1:]
+        if ODTheory(tuple(rest)).implies(candidate):
+            working = rest
+        else:
+            index += 1
+    return tuple(working)

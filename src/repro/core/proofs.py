@@ -1,0 +1,137 @@
+"""Machine-checkable proof objects for OD derivations (Definition 6).
+
+A *proof of θ from M* is a sequence of statements, each of which is either a
+premise of ``M`` or follows from earlier lines by a rule instantiation.  The
+:class:`Proof` object records exactly that, and :func:`check_proof` replays
+every line through the rule constructors of :mod:`repro.core.axioms` (and,
+when permitted, the derived theorems of :mod:`repro.core.theorems`),
+re-deriving each conclusion and comparing canonical forms.
+
+This gives the reproduction a *kernel*: the paper's derived theorems ship
+with explicit derivations (:mod:`repro.core.proofs_library`) that the kernel
+verifies in the test suite, so "Theorem 8 follows from the axioms" is not a
+claim but a replayed computation.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+from .axioms import AXIOMS, STRUCTURAL, InvalidRuleApplication, canon
+from .dependency import Statement
+
+__all__ = ["ProofLine", "Proof", "ProofError", "check_proof"]
+
+
+class ProofError(ValueError):
+    """A proof line failed verification."""
+
+
+@dataclass(frozen=True)
+class ProofLine:
+    """One derivation step.
+
+    ``rule`` is ``"Given"`` or a rule name known to the checker;
+    ``premises`` are 0-based indices of earlier lines; ``params`` holds the
+    schema parameters (attribute lists and similar) of the instantiation.
+    """
+
+    statement: Statement
+    rule: str
+    premises: Tuple[int, ...] = ()
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        premise_part = (
+            f"({', '.join(str(i + 1) for i in self.premises)})" if self.premises else ""
+        )
+        return f"{self.statement}   [{self.rule}{premise_part}]"
+
+
+@dataclass
+class Proof:
+    """A named derivation: assumptions, lines, and the final conclusion."""
+
+    name: str
+    assumptions: Tuple[Statement, ...]
+    lines: Tuple[ProofLine, ...]
+
+    @property
+    def conclusion(self) -> Statement:
+        return self.lines[-1].statement
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"Proof of {self.name}:"]
+        for i, assumption in enumerate(self.assumptions):
+            parts.append(f"  A{i + 1}. {assumption}")
+        for i, line in enumerate(self.lines):
+            parts.append(f"  {i + 1:>3}. {line}")
+        return "\n".join(parts)
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+
+def _rule_registry(allow_theorems: bool) -> Dict[str, Any]:
+    registry: Dict[str, Any] = {}
+    registry.update(AXIOMS)
+    registry.update(STRUCTURAL)
+    if allow_theorems:
+        from .theorems import THEOREMS  # local import avoids a cycle
+
+        registry.update(THEOREMS)
+    return registry
+
+
+def check_proof(proof: Proof, allow_theorems: bool = True) -> bool:
+    """Replay the proof line by line; raise :class:`ProofError` on failure.
+
+    With ``allow_theorems=False`` only the six axioms and the structural
+    rules are accepted (a *kernel-only* check); otherwise lines may also
+    cite derived theorems, which is how the paper chains results (each cited
+    theorem has its own kernel-checked proof in the library — the
+    stratification test in the suite verifies there are no cycles).
+    """
+    registry = _rule_registry(allow_theorems)
+    assumption_forms = [canon(statement) for statement in proof.assumptions]
+    for number, line in enumerate(proof.lines):
+        for premise_index in line.premises:
+            if not 0 <= premise_index < number:
+                raise ProofError(
+                    f"{proof.name} line {number + 1}: premise reference "
+                    f"{premise_index + 1} is not an earlier line"
+                )
+        if line.rule == "Given":
+            if canon(line.statement) not in assumption_forms:
+                raise ProofError(
+                    f"{proof.name} line {number + 1}: {line.statement} is not "
+                    f"among the assumptions"
+                )
+            continue
+        constructor = registry.get(line.rule)
+        if constructor is None:
+            raise ProofError(
+                f"{proof.name} line {number + 1}: unknown rule {line.rule!r}"
+            )
+        premise_statements = tuple(proof.lines[i].statement for i in line.premises)
+        try:
+            if line.rule == "Chain":
+                derived = constructor(premise_statements, **line.params)
+            else:
+                derived = constructor(*premise_statements, **line.params)
+        except InvalidRuleApplication as exc:
+            raise ProofError(
+                f"{proof.name} line {number + 1}: invalid {line.rule} "
+                f"application: {exc}"
+            ) from exc
+        except TypeError as exc:
+            raise ProofError(
+                f"{proof.name} line {number + 1}: bad arity/params for "
+                f"{line.rule}: {exc}"
+            ) from exc
+        if canon(derived) != canon(line.statement):
+            raise ProofError(
+                f"{proof.name} line {number + 1}: rule {line.rule} derives "
+                f"{derived}, not the claimed {line.statement}"
+            )
+    return True

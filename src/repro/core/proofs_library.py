@@ -1,0 +1,364 @@
+"""Explicit derivations of the paper's theorems from the axioms.
+
+Each builder returns a :class:`~repro.core.proofs.Proof` for one theorem,
+instantiated at caller-supplied attribute lists, so the test suite can replay
+the derivations at *random* instantiations through the proof checker.
+
+The library is **stratified**: a proof may cite a derived theorem by name
+only if that theorem appears *earlier* in :data:`DERIVATION_ORDER` (and
+therefore ultimately reduces to the axioms).  ``tests/core/test_proof_objects``
+verifies both each proof and the stratification.
+
+Derivation map (who cites whom):
+
+* Union, Augmentation, Decomposition, FrontReplace, Compose — axioms only.
+* Shift — cites FrontReplace.
+* Replace — cites FrontReplace.
+* Eliminate, LeftEliminate, CompatFacet — cite Replace.
+* Drop, Path — cite Eliminate.
+* FDFacet — cites Union.
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from .attrs import EMPTY, AttrList, attrlist
+from .dependency import (
+    OrderCompatibility,
+    OrderDependency,
+    OrderEquivalence,
+)
+from .proofs import Proof, ProofLine
+
+__all__ = ["PROOF_BUILDERS", "DERIVATION_ORDER", "build_proof"]
+
+
+def _l(statement, rule, premises=(), **params) -> ProofLine:
+    return ProofLine(statement, rule, tuple(premises), dict(params))
+
+
+def proof_union(x, y, z) -> Proof:
+    """Theorem 2: ``X ↦ Y, X ↦ Z ⊢ X ↦ YZ`` (mirrors the paper's proof)."""
+    x, y, z = attrlist(x), attrlist(y), attrlist(z)
+    a1 = OrderDependency(x, y)
+    a2 = OrderDependency(x, z)
+    return Proof(
+        "Union",
+        (a1, a2),
+        (
+            _l(a1, "Given"),
+            _l(a2, "Given"),
+            _l(OrderEquivalence(x, y + x), "Suffix", [0]),
+            _l(OrderDependency(x, y + x), "EquivLeft", [2]),
+            _l(OrderDependency(y + x, y + z), "Prefix", [1], z=y),
+            _l(OrderDependency(x, y + z), "Transitivity", [3, 4]),
+        ),
+    )
+
+
+def proof_augmentation(x, y, z) -> Proof:
+    """Theorem 3: ``X ↦ Y ⊢ XZ ↦ Y``."""
+    x, y, z = attrlist(x), attrlist(y), attrlist(z)
+    a1 = OrderDependency(x, y)
+    return Proof(
+        "Augmentation",
+        (a1,),
+        (
+            _l(a1, "Given"),
+            _l(OrderDependency(x + z, x), "Reflexivity", [], x=x, y=z),
+            _l(OrderDependency(x + z, y), "Transitivity", [1, 0]),
+        ),
+    )
+
+
+def proof_decomposition(x, y, z) -> Proof:
+    """Theorem 5: ``X ↦ YZ ⊢ X ↦ Y``."""
+    x, y, z = attrlist(x), attrlist(y), attrlist(z)
+    a1 = OrderDependency(x, y + z)
+    return Proof(
+        "Decomposition",
+        (a1,),
+        (
+            _l(a1, "Given"),
+            _l(OrderDependency(y + z, y), "Reflexivity", [], x=y, y=z),
+            _l(OrderDependency(x, y), "Transitivity", [0, 1]),
+        ),
+    )
+
+
+def proof_front_replace(x, y, w) -> Proof:
+    """FrontReplace lemma: ``X ↔ Y ⊢ XW ↦ YW``, from the axioms alone.
+
+    The crux is commuting equivalent lists at the head: from ``X ↔ Y`` the
+    Suffix axiom pins ``XW ↔ YXW`` and ``YW ↔ XYW``, and Normalization
+    collapses ``XYXW`` to ``XYW``, letting transitivity carry ``XW`` over to
+    ``YW``.
+    """
+    x, y, w = attrlist(x), attrlist(y), attrlist(w)
+    a1 = OrderEquivalence(x, y)
+    return Proof(
+        "FrontReplace",
+        (a1,),
+        (
+            _l(a1, "Given"),                                                    # 0
+            _l(OrderDependency(x, y), "EquivLeft", [0]),                        # 1
+            _l(OrderDependency(y, x), "EquivRight", [0]),                       # 2
+            _l(OrderDependency(x + w, x), "Reflexivity", [], x=x, y=w),         # 3
+            _l(OrderDependency(x + w, y), "Transitivity", [3, 1]),              # 4
+            _l(OrderEquivalence(x + w, y + x + w), "Suffix", [4]),              # 5
+            _l(OrderDependency(x + w, y + x + w), "EquivLeft", [5]),            # 6
+            _l(OrderDependency(y + x + w, y), "Reflexivity", [], x=y, y=x + w), # 7
+            _l(OrderDependency(y + x + w, x), "Transitivity", [7, 2]),          # 8
+            _l(OrderEquivalence(y + x + w, x + y + x + w), "Suffix", [8]),      # 9
+            _l(
+                OrderEquivalence(x + y + x + w, x + y + w),
+                "Normalization", [], w=EMPTY, x=x, y=y, v=w,
+            ),                                                                  # 10
+            _l(OrderEquivalence(y + x + w, x + y + w), "EquivTrans", [9, 10]),  # 11
+            _l(OrderDependency(y + w, y), "Reflexivity", [], x=y, y=w),         # 12
+            _l(OrderDependency(y + w, x), "Transitivity", [12, 2]),             # 13
+            _l(OrderEquivalence(y + w, x + y + w), "Suffix", [13]),             # 14
+            _l(OrderDependency(x + y + w, y + w), "EquivRight", [14]),          # 15
+            _l(OrderDependency(y + x + w, x + y + w), "EquivLeft", [11]),       # 16
+            _l(OrderDependency(x + w, x + y + w), "Transitivity", [6, 16]),     # 17
+            _l(OrderDependency(x + w, y + w), "Transitivity", [17, 15]),        # 18
+        ),
+    )
+
+
+def proof_shift(x, y, v, w) -> Proof:
+    """Theorem 4 (Shift): ``X ↔ Y, V ↦ W ⊢ XV ↦ YW``."""
+    x, y, v, w = attrlist(x), attrlist(y), attrlist(v), attrlist(w)
+    a1 = OrderEquivalence(x, y)
+    a2 = OrderDependency(v, w)
+    return Proof(
+        "Shift",
+        (a1, a2),
+        (
+            _l(a1, "Given"),
+            _l(a2, "Given"),
+            _l(OrderDependency(x + v, y + v), "FrontReplace", [0], w=v),
+            _l(OrderDependency(y + v, y + w), "Prefix", [1], z=y),
+            _l(OrderDependency(x + v, y + w), "Transitivity", [2, 3]),
+        ),
+    )
+
+
+def proof_replace(x, y, z, w) -> Proof:
+    """Theorem 6 (Replace): ``X ↔ Y ⊢ ZXW ↔ ZYW``."""
+    x, y, z, w = attrlist(x), attrlist(y), attrlist(z), attrlist(w)
+    a1 = OrderEquivalence(x, y)
+    return Proof(
+        "Replace",
+        (a1,),
+        (
+            _l(a1, "Given"),                                                   # 0
+            _l(OrderDependency(x, y), "EquivLeft", [0]),                       # 1
+            _l(OrderDependency(y, x), "EquivRight", [0]),                      # 2
+            _l(OrderDependency(z + x, z + y), "Prefix", [1], z=z),             # 3
+            _l(OrderDependency(z + y, z + x), "Prefix", [2], z=z),             # 4
+            _l(OrderEquivalence(z + x, z + y), "EquivIntro", [3, 4]),          # 5
+            _l(OrderDependency(z + x + w, z + y + w), "FrontReplace", [5], w=w),  # 6
+            _l(OrderEquivalence(z + y, z + x), "EquivIntro", [4, 3]),          # 7
+            _l(OrderDependency(z + y + w, z + x + w), "FrontReplace", [7], w=w),  # 8
+            _l(OrderEquivalence(z + x + w, z + y + w), "EquivIntro", [6, 8]),  # 9
+        ),
+    )
+
+
+def proof_eliminate(x, y, w, v, u) -> Proof:
+    """Theorem 7 (Eliminate): ``X ↦ Y ⊢ WXVYU ↔ WXVU``."""
+    x, y = attrlist(x), attrlist(y)
+    w, v, u = attrlist(w), attrlist(v), attrlist(u)
+    a1 = OrderDependency(x, y)
+    return Proof(
+        "Eliminate",
+        (a1,),
+        (
+            _l(a1, "Given"),                                                     # 0
+            _l(OrderEquivalence(x, y + x), "Suffix", [0]),                       # 1
+            _l(
+                OrderEquivalence(w + x + v + y + u, w + y + x + v + y + u),
+                "Replace", [1], z=w, w=v + y + u,
+            ),                                                                   # 2
+            _l(
+                OrderEquivalence(w + y + x + v + y + u, w + y + x + v + u),
+                "Normalization", [], w=w, x=y, y=x + v, v=u,
+            ),                                                                   # 3
+            _l(
+                OrderEquivalence(w + x + v + y + u, w + y + x + v + u),
+                "EquivTrans", [2, 3],
+            ),                                                                   # 4
+            _l(
+                OrderEquivalence(w + x + v + u, w + y + x + v + u),
+                "Replace", [1], z=w, w=v + u,
+            ),                                                                   # 5
+            _l(
+                OrderEquivalence(w + x + v + y + u, w + x + v + u),
+                "EquivTrans", [4, 5],
+            ),                                                                   # 6
+        ),
+    )
+
+
+def proof_left_eliminate(x, y, z, w) -> Proof:
+    """Theorem 8 (Left Eliminate): ``X ↦ Y ⊢ ZYXW ↔ ZXW``.
+
+    Exactly the paper's two-line proof: Suffix then Replace.
+    """
+    x, y, z, w = attrlist(x), attrlist(y), attrlist(z), attrlist(w)
+    a1 = OrderDependency(x, y)
+    return Proof(
+        "LeftEliminate",
+        (a1,),
+        (
+            _l(a1, "Given"),
+            _l(OrderEquivalence(x, y + x), "Suffix", [0]),
+            _l(
+                OrderEquivalence(z + y + x + w, z + x + w),
+                "Replace", [1], z=z, w=w,
+            ),
+        ),
+    )
+
+
+def proof_drop(x, v, u, t) -> Proof:
+    """Theorem 9 (Drop): ``X ↦ VUT, V ↦ U ⊢ X ↦ VT``."""
+    x, v, u, t = attrlist(x), attrlist(v), attrlist(u), attrlist(t)
+    a1 = OrderDependency(x, v + u + t)
+    a2 = OrderDependency(v, u)
+    return Proof(
+        "Drop",
+        (a1, a2),
+        (
+            _l(a1, "Given"),
+            _l(a2, "Given"),
+            _l(
+                OrderEquivalence(v + u + t, v + t),
+                "Eliminate", [1], w=EMPTY, v=EMPTY, u=t,
+            ),
+            _l(OrderDependency(v + u + t, v + t), "EquivLeft", [2]),
+            _l(OrderDependency(x, v + t), "Transitivity", [0, 3]),
+        ),
+    )
+
+
+def proof_path(x, u, v, t) -> Proof:
+    """Theorem 10 (Path): ``X ↦ UT, U ↦ V ⊢ X ↦ UVT``."""
+    x, u, v, t = attrlist(x), attrlist(u), attrlist(v), attrlist(t)
+    a1 = OrderDependency(x, u + t)
+    a2 = OrderDependency(u, v)
+    return Proof(
+        "Path",
+        (a1, a2),
+        (
+            _l(a1, "Given"),
+            _l(a2, "Given"),
+            _l(
+                OrderEquivalence(u + v + t, u + t),
+                "Eliminate", [1], w=EMPTY, v=EMPTY, u=t,
+            ),
+            _l(OrderDependency(u + t, u + v + t), "EquivRight", [2]),
+            _l(OrderDependency(x, u + v + t), "Transitivity", [0, 3]),
+        ),
+    )
+
+
+def proof_fd_facet(x, y) -> Proof:
+    """Theorem 15 (⇒, FD side): ``X ↦ Y ⊢ X ↦ XY``."""
+    x, y = attrlist(x), attrlist(y)
+    a1 = OrderDependency(x, y)
+    return Proof(
+        "FDFacet",
+        (a1,),
+        (
+            _l(a1, "Given"),
+            _l(OrderDependency(x, x), "Reflexivity", [], x=x, y=EMPTY),
+            _l(OrderDependency(x, x + y), "Union", [1, 0]),
+        ),
+    )
+
+
+def proof_compat_facet(x, y) -> Proof:
+    """Theorem 15 (⇒, compatibility side): ``X ↦ Y ⊢ X ~ Y``."""
+    x, y = attrlist(x), attrlist(y)
+    a1 = OrderDependency(x, y)
+    return Proof(
+        "CompatFacet",
+        (a1,),
+        (
+            _l(a1, "Given"),                                                   # 0
+            _l(OrderEquivalence(x, y + x), "Suffix", [0]),                     # 1
+            _l(
+                OrderEquivalence(x + y, y + x + y),
+                "Replace", [1], z=EMPTY, w=y,
+            ),                                                                 # 2
+            _l(
+                OrderEquivalence(y + x + y, y + x),
+                "Normalization", [], w=EMPTY, x=y, y=x, v=EMPTY,
+            ),                                                                 # 3
+            _l(OrderEquivalence(x + y, y + x), "EquivTrans", [2, 3]),          # 4
+            _l(OrderCompatibility(x, y), "CompatIntro", [4], x=x, y=y),        # 5
+        ),
+    )
+
+
+def proof_compose(x, y) -> Proof:
+    """Theorem 15 (⇐): ``X ↦ XY, X ~ Y ⊢ X ↦ Y``."""
+    x, y = attrlist(x), attrlist(y)
+    a1 = OrderDependency(x, x + y)
+    a2 = OrderCompatibility(x, y)
+    return Proof(
+        "Compose",
+        (a1, a2),
+        (
+            _l(a1, "Given"),
+            _l(a2, "Given"),
+            _l(OrderEquivalence(x + y, y + x), "CompatElim", [1]),
+            _l(OrderDependency(x + y, y + x), "EquivLeft", [2]),
+            _l(OrderDependency(x, y + x), "Transitivity", [0, 3]),
+            _l(OrderDependency(y + x, y), "Reflexivity", [], x=y, y=x),
+            _l(OrderDependency(x, y), "Transitivity", [4, 5]),
+        ),
+    )
+
+
+#: name -> (builder, parameter names).  Builders take attribute-list specs.
+PROOF_BUILDERS: Dict[str, Tuple[Callable, Tuple[str, ...]]] = {
+    "Union": (proof_union, ("x", "y", "z")),
+    "Augmentation": (proof_augmentation, ("x", "y", "z")),
+    "Decomposition": (proof_decomposition, ("x", "y", "z")),
+    "FrontReplace": (proof_front_replace, ("x", "y", "w")),
+    "Shift": (proof_shift, ("x", "y", "v", "w")),
+    "Replace": (proof_replace, ("x", "y", "z", "w")),
+    "Eliminate": (proof_eliminate, ("x", "y", "w", "v", "u")),
+    "LeftEliminate": (proof_left_eliminate, ("x", "y", "z", "w")),
+    "Drop": (proof_drop, ("x", "v", "u", "t")),
+    "Path": (proof_path, ("x", "u", "v", "t")),
+    "FDFacet": (proof_fd_facet, ("x", "y")),
+    "CompatFacet": (proof_compat_facet, ("x", "y")),
+    "Compose": (proof_compose, ("x", "y")),
+}
+
+#: Stratification: a proof may cite theorems occurring strictly earlier.
+DERIVATION_ORDER: Tuple[str, ...] = (
+    "Union",
+    "Augmentation",
+    "Decomposition",
+    "FrontReplace",
+    "Shift",
+    "Replace",
+    "Eliminate",
+    "LeftEliminate",
+    "Drop",
+    "Path",
+    "FDFacet",
+    "CompatFacet",
+    "Compose",
+)
+
+
+def build_proof(name: str, **lists) -> Proof:
+    """Instantiate a library proof at the given attribute lists."""
+    builder, parameters = PROOF_BUILDERS[name]
+    return builder(*(lists[p] for p in parameters))

@@ -1,0 +1,249 @@
+"""Axiomatic proof search: derive ODs from premises with named rules.
+
+The semantic oracle (:mod:`repro.core.inference`) already *decides*
+implication exactly.  This module complements it with a forward-chaining
+**proof search** that, when it succeeds, returns an explicit
+:class:`~repro.core.proofs.Proof` object replayable through the kernel —
+the "efficient theorem prover" the paper lists as future work, in its
+certificate-producing form.
+
+The search is sound and bounded (list length and statement-count budgets),
+hence deliberately incomplete; :func:`decide` combines both worlds and always
+returns a definitive verdict:
+
+* implied + proof found → ``Verdict(implied=True, proof=...)``
+* implied, search exhausted → ``Verdict(implied=True, proof=None)``
+* not implied → ``Verdict(implied=False, counterexample=<two-row relation>)``
+"""
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .attrs import AttrList
+from .dependency import (
+    OrderDependency,
+    OrderEquivalence,
+    Statement,
+    expand_all,
+    to_ods,
+)
+from .inference import ODTheory
+from .proofs import Proof, ProofLine
+from .relation import Relation
+
+__all__ = ["Verdict", "prove", "decide"]
+
+_Key = Tuple[tuple, tuple]
+
+
+def _key(dependency: OrderDependency) -> _Key:
+    return (tuple(dependency.lhs), tuple(dependency.rhs))
+
+
+@dataclass
+class Verdict:
+    """Outcome of :func:`decide`."""
+
+    implied: bool
+    proof: Optional[Proof] = None
+    counterexample: Optional[Relation] = None
+
+
+@dataclass
+class _Derivation:
+    dependency: OrderDependency
+    rule: str
+    premises: Tuple[_Key, ...]
+    params: Dict
+
+
+class _SearchState:
+    """Known ODs with provenance, supporting proof reconstruction."""
+
+    def __init__(self) -> None:
+        self.known: Dict[_Key, _Derivation] = {}
+        self.frontier: List[OrderDependency] = []
+
+    def add(
+        self,
+        dependency: OrderDependency,
+        rule: str,
+        premises: Tuple[_Key, ...] = (),
+        **params,
+    ) -> bool:
+        key = _key(dependency)
+        if key in self.known:
+            return False
+        self.known[key] = _Derivation(dependency, rule, premises, params)
+        self.frontier.append(dependency)
+        return True
+
+
+def prove(
+    premises: Iterable[Statement],
+    goal: Statement,
+    max_len: int = 4,
+    max_statements: int = 30000,
+) -> Optional[Proof]:
+    """Search for a derivation of ``goal`` from ``premises``.
+
+    Works over ODs with duplicate-free lists of bounded length; applies
+    Reflexivity, Prefix (by one attribute), Suffix, Transitivity and Union
+    exhaustively until the goal's component ODs are all derived or the
+    budget runs out.  Returns a kernel-checkable :class:`Proof` or ``None``.
+    """
+    premise_ods = expand_all(premises)
+    goal_ods = to_ods(goal)
+    attributes = sorted(
+        set().union(*(d.attributes for d in premise_ods + goal_ods))
+        if premise_ods + goal_ods
+        else set()
+    )
+    goal_keys = {_key(d.normalized()) for d in goal_ods}
+
+    state = _SearchState()
+    for dependency in premise_ods:
+        state.add(dependency.normalized(), "Given")
+    # Seed goal-directed Reflexivity instances so premise-free goals (and
+    # goals mentioning lists absent from the premises) are reachable.
+    for dependency in goal_ods:
+        for source in (dependency.lhs.normalized(), dependency.rhs.normalized()):
+            for split in range(len(source) + 1):
+                head, tail = source[:split], source[split:]
+                state.add(
+                    OrderDependency(source, head), "Reflexivity", (), x=head, y=tail
+                )
+
+    def saturated() -> bool:
+        return goal_keys <= set(state.known)
+
+    def emit(dependency, rule, premise_keys, **params) -> None:
+        normalized = dependency.normalized()
+        if len(normalized.lhs) > max_len or len(normalized.rhs) > max_len:
+            return
+        if _key(normalized) != _key(dependency):
+            # Record the raw result, then its normalized image via the
+            # Normalize macro, so the replayed proof stays kernel-valid.
+            if len(dependency.lhs) <= max_len + 1 and len(dependency.rhs) <= max_len + 1:
+                if state.add(dependency, rule, premise_keys, **params):
+                    state.add(normalized, "Normalize", (_key(dependency),))
+            return
+        state.add(dependency, rule, premise_keys, **params)
+
+    cursor = 0
+    while cursor < len(state.frontier) and len(state.known) < max_statements:
+        if saturated():
+            break
+        current = state.frontier[cursor]
+        cursor += 1
+        current_key = _key(current)
+
+        # Reflexivity instances over lists appearing in the statement.
+        for source in (current.lhs, current.rhs):
+            for split in range(len(source) + 1):
+                head, tail = source[:split], source[split:]
+                emit(OrderDependency(source, head), "Reflexivity", (), x=head, y=tail)
+
+        # Suffix: X |-> Y gives X <-> YX.
+        forward = OrderDependency(current.lhs, current.rhs + current.lhs)
+        backward = OrderDependency(current.rhs + current.lhs, current.lhs)
+        emit(forward, "SuffixLeft", (current_key,))
+        emit(backward, "SuffixRight", (current_key,))
+
+        # Prefix by a single attribute.
+        for attribute in attributes:
+            z = AttrList([attribute])
+            emit(
+                OrderDependency(z + current.lhs, z + current.rhs),
+                "Prefix",
+                (current_key,),
+                z=z,
+            )
+
+        # Transitivity and Union against everything known so far.
+        for other_key, derivation in list(state.known.items()):
+            other = derivation.dependency
+            if tuple(current.rhs) == tuple(other.lhs):
+                emit(
+                    OrderDependency(current.lhs, other.rhs),
+                    "Transitivity",
+                    (current_key, other_key),
+                )
+            if tuple(other.rhs) == tuple(current.lhs):
+                emit(
+                    OrderDependency(other.lhs, current.rhs),
+                    "Transitivity",
+                    (other_key, current_key),
+                )
+            if tuple(current.lhs) == tuple(other.lhs):
+                emit(
+                    OrderDependency(current.lhs, current.rhs + other.rhs),
+                    "Union",
+                    (current_key, other_key),
+                )
+
+    if not saturated():
+        return None
+    return _reconstruct(premises, goal, goal_ods, state)
+
+
+def _reconstruct(premises, goal, goal_ods, state: _SearchState) -> Proof:
+    """Rebuild a linear proof from the derivations reachable from the goal."""
+    order: List[_Key] = []
+    seen: set = set()
+
+    def visit(key: _Key) -> None:
+        if key in seen:
+            return
+        seen.add(key)
+        for premise in state.known[key].premises:
+            visit(premise)
+        order.append(key)
+
+    for dependency in goal_ods:
+        visit(_key(dependency.normalized()))
+
+    index = {key: i for i, key in enumerate(order)}
+    lines: List[ProofLine] = []
+    for key in order:
+        derivation = state.known[key]
+        rule = derivation.rule
+        premise_ids = tuple(index[p] for p in derivation.premises)
+        if rule in ("SuffixLeft", "SuffixRight"):
+            # Expand the macro: Suffix derives the equivalence, then a
+            # structural projection picks the direction.
+            source = state.known[derivation.premises[0]].dependency
+            equivalence = OrderEquivalence(source.lhs, source.rhs + source.lhs)
+            lines.append(ProofLine(equivalence, "Suffix", premise_ids))
+            projector = "EquivLeft" if rule == "SuffixLeft" else "EquivRight"
+            lines.append(
+                ProofLine(derivation.dependency, projector, (len(lines) - 1,))
+            )
+            index[key] = len(lines) - 1
+            continue
+        lines.append(
+            ProofLine(derivation.dependency, rule, premise_ids, derivation.params)
+        )
+        index[key] = len(lines) - 1
+
+    # Re-point premise references that shifted due to macro expansion.
+    fixed: List[ProofLine] = []
+    for line in lines:
+        fixed.append(line)
+    return Proof(f"derivation of {goal}", tuple(premises), tuple(fixed))
+
+
+def decide(
+    premises: Iterable[Statement],
+    goal: Statement,
+    max_len: int = 4,
+    max_statements: int = 30000,
+) -> Verdict:
+    """Oracle verdict plus, when implied, a best-effort proof object."""
+    theory = ODTheory(tuple(premises))
+    if not theory.implies(goal):
+        return Verdict(False, counterexample=theory.counterexample(goal))
+    proof = prove(premises, goal, max_len=max_len, max_statements=max_statements)
+    return Verdict(True, proof=proof)

@@ -1,0 +1,192 @@
+"""Relation instances and the lexicographic comparison operators.
+
+Implements Definitions 1–3 of the paper: the operators ``≼`` (precedes or
+equal), ``≺`` (strictly precedes) and ``=_X`` (equal on list ``X``) between
+two tuples with respect to an attribute list, under ascending lexicographic
+order — the ordering used by SQL's ``ORDER BY``.
+
+A :class:`Relation` is a named schema (an :class:`~repro.core.attrs.AttrList`
+giving column order) plus a list of tuples.  Values within a column must be
+mutually comparable (ints, strings, dates, ...); the operators only ever
+compare values drawn from the same column.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from .attrs import AttrList, attrlist
+
+__all__ = ["Relation", "lex_cmp", "leq", "less", "equal_on"]
+
+Row = tuple
+
+
+def _cmp(a: Any, b: Any) -> int:
+    """Three-way comparison of two column values."""
+    if a < b:
+        return -1
+    if b < a:
+        return 1
+    return 0
+
+
+@dataclass
+class Relation:
+    """A table instance: an attribute list (the schema) plus rows.
+
+    The paper limits instances to sets of tuples but notes bags change
+    nothing; we accept duplicate rows (they can never falsify an OD since a
+    duplicated tuple compares equal on every list).
+    """
+
+    attributes: AttrList
+    rows: list = field(default_factory=list)
+    name: str = "r"
+
+    def __post_init__(self) -> None:
+        self.attributes = attrlist(self.attributes)
+        if not self.attributes.is_normalized():
+            raise ValueError("relation schema contains duplicate attributes")
+        self._index = {name: i for i, name in enumerate(self.attributes)}
+        self.rows = [tuple(row) for row in self.rows]
+        for row in self.rows:
+            if len(row) != len(self.attributes):
+                raise ValueError(
+                    f"row width {len(row)} does not match schema width "
+                    f"{len(self.attributes)}"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dicts(
+        cls,
+        attributes: "AttrList | str | Sequence[str]",
+        dicts: Iterable[Mapping[str, Any]],
+        name: str = "r",
+    ) -> "Relation":
+        """Build a relation from mappings, selecting columns in schema order."""
+        attributes = attrlist(attributes)
+        rows = [tuple(d[a] for a in attributes) for d in dicts]
+        return cls(attributes, rows, name=name)
+
+    # ------------------------------------------------------------------
+    # Basic access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def column_position(self, attribute: str) -> int:
+        """The position of ``attribute`` in the schema."""
+        try:
+            return self._index[attribute]
+        except KeyError:
+            raise KeyError(f"no attribute {attribute!r} in {self.attributes!r}") from None
+
+    def positions(self, attrs: "AttrList | str | Sequence[str]") -> tuple:
+        """Column positions for each attribute in the given list."""
+        return tuple(self.column_position(a) for a in attrlist(attrs))
+
+    def project(self, row: Row, attrs: "AttrList | str | Sequence[str]") -> tuple:
+        """``row[X]``: the projection of a tuple on attribute list ``X``."""
+        return tuple(row[i] for i in self.positions(attrs))
+
+    def value(self, row: Row, attribute: str) -> Any:
+        """``row[A]`` for a single attribute."""
+        return row[self.column_position(attribute)]
+
+    def add(self, row: Sequence[Any]) -> None:
+        """Append a row (validating its width)."""
+        row = tuple(row)
+        if len(row) != len(self.attributes):
+            raise ValueError("row width does not match schema width")
+        self.rows.append(row)
+
+    # ------------------------------------------------------------------
+    # Lexicographic operators (Definitions 1-3)
+    # ------------------------------------------------------------------
+    def cmp(self, s: Row, t: Row, attrs: "AttrList | str | Sequence[str]") -> int:
+        """Three-way lexicographic comparison of ``s`` and ``t`` on list ``X``.
+
+        Returns ``-1`` if ``s ≺_X t``, ``0`` if ``s =_X t``, ``1`` if
+        ``t ≺_X s``.  The empty list compares everything equal.
+        """
+        for i in self.positions(attrs):
+            sign = _cmp(s[i], t[i])
+            if sign:
+                return sign
+        return 0
+
+    def leq(self, s: Row, t: Row, attrs) -> bool:
+        """Operator ``≼`` of Definition 1: ``s ≼_X t``."""
+        return self.cmp(s, t, attrs) <= 0
+
+    def less(self, s: Row, t: Row, attrs) -> bool:
+        """Operator ``≺`` of Definition 2: ``s ≼_X t`` and not ``t ≼_X s``."""
+        return self.cmp(s, t, attrs) < 0
+
+    def equal_on(self, s: Row, t: Row, attrs) -> bool:
+        """Definition 3: ``s =_X t`` (both ``≼`` directions hold)."""
+        return self.cmp(s, t, attrs) == 0
+
+    # ------------------------------------------------------------------
+    # Ordering helpers
+    # ------------------------------------------------------------------
+    def sort_key(self, attrs) -> Callable[[Row], tuple]:
+        """A sort key function realizing ``ORDER BY attrs`` ascending."""
+        positions = self.positions(attrs)
+        return lambda row: tuple(row[i] for i in positions)
+
+    def sorted_by(self, attrs) -> list:
+        """Rows sorted lexicographically by the given attribute list."""
+        return sorted(self.rows, key=self.sort_key(attrs))
+
+    def is_sorted_by(self, attrs) -> bool:
+        """True iff the rows, in current order, satisfy ``ORDER BY attrs``."""
+        positions = self.positions(attrs)
+        previous = None
+        for row in self.rows:
+            key = tuple(row[i] for i in positions)
+            if previous is not None and key < previous:
+                return False
+            previous = key
+        return True
+
+    def subrelation(self, rows: Iterable[Row]) -> "Relation":
+        """A new relation with the same schema over the given rows."""
+        return Relation(self.attributes, list(rows), name=self.name)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        header = " | ".join(f"{a:>6}" for a in self.attributes)
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(" | ".join(f"{str(v):>6}" for v in row))
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Module-level operator aliases (read like the paper when imported)
+# ----------------------------------------------------------------------
+def lex_cmp(relation: Relation, s: Row, t: Row, attrs) -> int:
+    """Three-way comparison ``s`` vs ``t`` on ``attrs`` within ``relation``."""
+    return relation.cmp(s, t, attrs)
+
+
+def leq(relation: Relation, s: Row, t: Row, attrs) -> bool:
+    """``s ≼_X t`` (Definition 1)."""
+    return relation.leq(s, t, attrs)
+
+
+def less(relation: Relation, s: Row, t: Row, attrs) -> bool:
+    """``s ≺_X t`` (Definition 2)."""
+    return relation.less(s, t, attrs)
+
+
+def equal_on(relation: Relation, s: Row, t: Row, attrs) -> bool:
+    """``s =_X t`` (Definition 3)."""
+    return relation.equal_on(s, t, attrs)

@@ -1,0 +1,362 @@
+"""Derived inference rules: the paper's Theorems 2–15 as checkable rules.
+
+Each theorem is a constructor in the style of :mod:`repro.core.axioms`: it
+validates its premises against the rule schema and builds the conclusion.
+The registry :data:`THEOREMS` lets proof lines cite theorems by name; every
+theorem that admits a compact derivation also ships an explicit axiom-level
+proof in :mod:`repro.core.proofs_library`, replayed by the kernel in tests.
+
+Statement fidelity note.  The source text of the paper available to this
+reproduction is OCR-garbled in the statements of Shift (Theorem 4) and Drop
+(Theorem 9).  Both are reconstructed here in forms that (a) support every
+use the paper makes of them (the Replace/Eliminate derivations, the
+Permutation proof, the Lemma 15 bookkeeping) and (b) are verified sound
+against the exact semantic oracle by exhaustive sign-vector checking in the
+test suite:
+
+* **Shift**: ``X ↔ Y, V ↦ W ⊢ XV ↦ YW`` (concatenation monotonicity).
+* **Drop**: ``X ↦ VUT, V ↦ U ⊢ X ↦ VT`` (an ordered middle segment drops).
+
+All other statements are as in the paper:
+
+=====================  ==========================================================
+Thm 2  Union           ``X ↦ Y, X ↦ Z ⊢ X ↦ YZ``
+Thm 3  Augmentation    ``X ↦ Y ⊢ XZ ↦ Y``
+Thm 4  Shift           ``X ↔ Y, V ↦ W ⊢ XV ↦ YW``
+Thm 5  Decomposition   ``X ↦ YZ ⊢ X ↦ Y``
+Thm 6  Replace         ``X ↔ Y ⊢ ZXW ↔ ZYW``
+Thm 7  Eliminate       ``X ↦ Y ⊢ WXVYU ↔ WXVU``
+Thm 8  Left Eliminate  ``X ↦ Y ⊢ ZYXW ↔ ZXW``
+Thm 9  Drop            ``X ↦ VUT, V ↦ U ⊢ X ↦ VT``
+Thm 10 Path            ``X ↦ UT, U ↦ V ⊢ X ↦ UVT``
+Thm 11 Partition       ``Z ↦ X, Z ↦ Y, set(X)=set(Y) ⊢ X ↔ Y``
+Thm 12 Downward Cl.    ``X ~ YZ ⊢ X ~ Y``
+Thm 14 Permutation     ``X ↦ XY ⊢ X' ↦ X'Y'``
+Thm 15 Characteriz.    ``X ↦ Y  ⟺  X ↦ XY  and  X ~ Y``
+=====================  ==========================================================
+
+(The FrontReplace lemma ``X ↔ Y ⊢ XW ↦ YW`` is the workhorse behind Shift
+and Replace; Theorem 13, the FD correspondence, lives in
+:mod:`repro.fd.bridge` since it crosses into set-based dependencies.)
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .attrs import AttrList, attrlist
+from .axioms import InvalidRuleApplication, canon
+from .dependency import (
+    OrderCompatibility,
+    OrderDependency,
+    OrderEquivalence,
+    Statement,
+)
+
+__all__ = [
+    "union",
+    "augmentation",
+    "front_replace",
+    "shift",
+    "decomposition",
+    "replace",
+    "eliminate",
+    "left_eliminate",
+    "drop",
+    "path",
+    "partition",
+    "downward_closure",
+    "permutation",
+    "compose",
+    "fd_facet",
+    "compat_facet",
+    "THEOREMS",
+]
+
+
+def _od(statement: Statement, rule: str) -> OrderDependency:
+    if not isinstance(statement, OrderDependency):
+        raise InvalidRuleApplication(f"{rule} expects an OD premise, got {statement}")
+    return statement
+
+
+def _equiv(statement: Statement, rule: str) -> OrderEquivalence:
+    if not isinstance(statement, OrderEquivalence):
+        raise InvalidRuleApplication(
+            f"{rule} expects an equivalence premise, got {statement}"
+        )
+    return statement
+
+
+def _compat(statement: Statement, rule: str) -> OrderCompatibility:
+    if not isinstance(statement, OrderCompatibility):
+        raise InvalidRuleApplication(
+            f"{rule} expects a compatibility premise, got {statement}"
+        )
+    return statement
+
+
+# ----------------------------------------------------------------------
+# Theorem 2 — Union
+# ----------------------------------------------------------------------
+def union(first: Statement, second: Statement) -> OrderDependency:
+    """``X ↦ Y, X ↦ Z ⊢ X ↦ YZ``."""
+    od1, od2 = _od(first, "Union"), _od(second, "Union")
+    if tuple(od1.lhs) != tuple(od2.lhs):
+        raise InvalidRuleApplication("Union: left-hand sides differ")
+    return OrderDependency(od1.lhs, od1.rhs + od2.rhs)
+
+
+# ----------------------------------------------------------------------
+# Theorem 3 — Augmentation
+# ----------------------------------------------------------------------
+def augmentation(premise: Statement, z) -> OrderDependency:
+    """``X ↦ Y ⊢ XZ ↦ Y``: extra order on the left never hurts."""
+    dependency = _od(premise, "Augmentation")
+    return OrderDependency(dependency.lhs + attrlist(z), dependency.rhs)
+
+
+# ----------------------------------------------------------------------
+# FrontReplace lemma (used by Shift and Replace)
+# ----------------------------------------------------------------------
+def front_replace(premise: Statement, w) -> OrderDependency:
+    """``X ↔ Y ⊢ XW ↦ YW``: equivalent lists interchange as prefixes."""
+    equivalence = _equiv(premise, "FrontReplace")
+    w = attrlist(w)
+    return OrderDependency(equivalence.lhs + w, equivalence.rhs + w)
+
+
+# ----------------------------------------------------------------------
+# Theorem 4 — Shift (reconstructed; see module docstring)
+# ----------------------------------------------------------------------
+def shift(first: Statement, second: Statement) -> OrderDependency:
+    """``X ↔ Y, V ↦ W ⊢ XV ↦ YW``: concatenation is monotone."""
+    equivalence = _equiv(first, "Shift")
+    dependency = _od(second, "Shift")
+    return OrderDependency(
+        equivalence.lhs + dependency.lhs, equivalence.rhs + dependency.rhs
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 5 — Decomposition
+# ----------------------------------------------------------------------
+def decomposition(premise: Statement, y) -> OrderDependency:
+    """``X ↦ YZ ⊢ X ↦ Y`` for any prefix ``Y`` of the right-hand side."""
+    dependency = _od(premise, "Decomposition")
+    y = attrlist(y)
+    if not y.is_prefix_of(dependency.rhs):
+        raise InvalidRuleApplication(
+            f"Decomposition: {y!r} is not a prefix of {dependency.rhs!r}"
+        )
+    return OrderDependency(dependency.lhs, y)
+
+
+# ----------------------------------------------------------------------
+# Theorem 6 — Replace
+# ----------------------------------------------------------------------
+def replace(premise: Statement, z, w) -> OrderEquivalence:
+    """``X ↔ Y ⊢ ZXW ↔ ZYW``: equivalents interchange in any context."""
+    equivalence = _equiv(premise, "Replace")
+    z, w = attrlist(z), attrlist(w)
+    return OrderEquivalence(
+        z + equivalence.lhs + w, z + equivalence.rhs + w
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 7 — Eliminate
+# ----------------------------------------------------------------------
+def eliminate(premise: Statement, w, v, u) -> OrderEquivalence:
+    """``X ↦ Y ⊢ WXVYU ↔ WXVU``: drop ``Y`` anywhere *after* ``X``.
+
+    Example 1's group-by flexibility: given ``month ↦ quarter``,
+    ``[year, month, quarter]`` is order-equivalent to ``[year, month]``.
+    """
+    dependency = _od(premise, "Eliminate")
+    w, v, u = attrlist(w), attrlist(v), attrlist(u)
+    x, y = dependency.lhs, dependency.rhs
+    return OrderEquivalence(w + x + v + y + u, w + x + v + u)
+
+
+# ----------------------------------------------------------------------
+# Theorem 8 — Left Eliminate
+# ----------------------------------------------------------------------
+def left_eliminate(premise: Statement, z, w) -> OrderEquivalence:
+    """``X ↦ Y ⊢ ZYXW ↔ ZXW``: drop ``Y`` when it *directly precedes* ``X``.
+
+    This is the rule that justifies Example 1's order-by rewrite:
+    ``[year, quarter, month]`` reduces to ``[year, month]`` given
+    ``month ↦ quarter`` — note the FD alone would not license this.
+    The paper stresses the adjacency requirement: ``ABD`` reduces to ``AD``
+    under ``D ↦ B``, but ``ABCD`` does not (``C`` intervenes).
+    """
+    dependency = _od(premise, "LeftEliminate")
+    z, w = attrlist(z), attrlist(w)
+    x, y = dependency.lhs, dependency.rhs
+    return OrderEquivalence(z + y + x + w, z + x + w)
+
+
+# ----------------------------------------------------------------------
+# Theorem 9 — Drop (reconstructed; see module docstring)
+# ----------------------------------------------------------------------
+def drop(first: Statement, second: Statement) -> OrderDependency:
+    """``X ↦ VUT, V ↦ U ⊢ X ↦ VT``: an ordered middle segment drops.
+
+    The right-hand side of premise 1 must factor as ``V ++ U ++ T`` where
+    ``V ↦ U`` is premise 2.
+    """
+    od1, od2 = _od(first, "Drop"), _od(second, "Drop")
+    v, u = od2.lhs, od2.rhs
+    head = v + u
+    if not head.is_prefix_of(od1.rhs):
+        raise InvalidRuleApplication(
+            f"Drop: {od1.rhs!r} does not start with {v!r} ++ {u!r}"
+        )
+    t = od1.rhs[len(head):]
+    return OrderDependency(od1.lhs, v + t)
+
+
+# ----------------------------------------------------------------------
+# Theorem 10 — Path
+# ----------------------------------------------------------------------
+def path(first: Statement, second: Statement) -> OrderDependency:
+    """``X ↦ UT, U ↦ V ⊢ X ↦ UVT``: insert a refinement after its source.
+
+    Example 4: from ``[date] ↦ [year, day_of_year]`` and
+    ``[year] ↦ [quarter]`` conclude ``[date] ↦ [year, quarter, day_of_year]``
+    — the Figure 2 date-hierarchy compositions.
+    """
+    od1, od2 = _od(first, "Path"), _od(second, "Path")
+    u, v = od2.lhs, od2.rhs
+    if not u.is_prefix_of(od1.rhs):
+        raise InvalidRuleApplication(
+            f"Path: {od1.rhs!r} does not start with {u!r}"
+        )
+    t = od1.rhs[len(u):]
+    return OrderDependency(od1.lhs, u + v + t)
+
+
+# ----------------------------------------------------------------------
+# Theorem 11 — Partition
+# ----------------------------------------------------------------------
+def partition(first: Statement, second: Statement) -> OrderEquivalence:
+    """``Z ↦ X, Z ↦ Y, set(X) = set(Y) ⊢ X ↔ Y``.
+
+    Two orderings over the same attribute set induced by a common source
+    are equivalent.  The paper derives this with the Chain axiom.
+    """
+    od1, od2 = _od(first, "Partition"), _od(second, "Partition")
+    if tuple(od1.lhs) != tuple(od2.lhs):
+        raise InvalidRuleApplication("Partition: sources differ")
+    if od1.rhs.attrs != od2.rhs.attrs:
+        raise InvalidRuleApplication(
+            f"Partition: set({od1.rhs!r}) != set({od2.rhs!r})"
+        )
+    return OrderEquivalence(od1.rhs, od2.rhs)
+
+
+# ----------------------------------------------------------------------
+# Theorem 12 — Downward Closure
+# ----------------------------------------------------------------------
+def downward_closure(premise: Statement, y) -> OrderCompatibility:
+    """``X ~ YZ ⊢ X ~ Y``: compatibility passes to prefixes."""
+    compatibility = _compat(premise, "DownwardClosure")
+    y = attrlist(y)
+    if not y.is_prefix_of(compatibility.rhs):
+        raise InvalidRuleApplication(
+            f"DownwardClosure: {y!r} is not a prefix of {compatibility.rhs!r}"
+        )
+    return OrderCompatibility(compatibility.lhs, y)
+
+
+# ----------------------------------------------------------------------
+# Theorem 14 — Permutation (of FD facets)
+# ----------------------------------------------------------------------
+def permutation(premise: Statement, x_perm, y_perm) -> OrderDependency:
+    """``X ↦ XY ⊢ X' ↦ X'Y'`` for permutations ``X'`` of ``X``, ``Y'`` of ``Y``.
+
+    FD-facet ODs (the Theorem 13 encodings of FDs) are insensitive to the
+    ordering of their lists — the bridge that lets Armstrong's set-based
+    world embed into the list-based one.
+    """
+    dependency = _od(premise, "Permutation")
+    x = dependency.lhs
+    if not x.is_prefix_of(dependency.rhs):
+        raise InvalidRuleApplication(
+            "Permutation applies to FD-facet ODs of the form X ↦ XY"
+        )
+    y = dependency.rhs[len(x):]
+    x_perm, y_perm = attrlist(x_perm), attrlist(y_perm)
+    if sorted(x_perm) != sorted(x) or sorted(y_perm) != sorted(y):
+        raise InvalidRuleApplication(
+            "Permutation: the given lists are not permutations of X and Y"
+        )
+    return OrderDependency(x_perm, x_perm + y_perm)
+
+
+# ----------------------------------------------------------------------
+# Theorem 15 — the split/swap characterization
+# ----------------------------------------------------------------------
+def compose(first: Statement, second: Statement) -> OrderDependency:
+    """``X ↦ XY, X ~ Y ⊢ X ↦ Y`` (Theorem 15, ⇐ direction).
+
+    An OD holds exactly when its FD facet (no splits) and its
+    order-compatibility facet (no swaps) both hold.
+    """
+    od1 = _od(first, "Compose")
+    compatibility = _compat(second, "Compose")
+    x, y = compatibility.lhs, compatibility.rhs
+    if canon(od1) != canon(OrderDependency(x, x + y)):
+        raise InvalidRuleApplication(
+            f"Compose: {od1} is not the FD facet of {compatibility}"
+        )
+    return OrderDependency(x, y)
+
+
+def normalize_statement(premise: Statement) -> Statement:
+    """Macro rule: rewrite every list to its normalized (duplicate-free) form.
+
+    Abbreviates iterated Normalization + Replace + Transitivity; used by the
+    proof search to keep its statement space canonical.
+    """
+    if isinstance(premise, OrderDependency):
+        return premise.normalized()
+    if isinstance(premise, OrderEquivalence):
+        return OrderEquivalence(premise.lhs.normalized(), premise.rhs.normalized())
+    if isinstance(premise, OrderCompatibility):
+        return OrderCompatibility(premise.lhs.normalized(), premise.rhs.normalized())
+    raise InvalidRuleApplication(f"Normalize: unsupported statement {premise}")
+
+
+def fd_facet(premise: Statement) -> OrderDependency:
+    """``X ↦ Y ⊢ X ↦ XY`` (Theorem 15, ⇒ FD direction)."""
+    dependency = _od(premise, "FDFacet")
+    return dependency.fd_facet()
+
+
+def compat_facet(premise: Statement) -> OrderCompatibility:
+    """``X ↦ Y ⊢ X ~ Y`` (Theorem 15, ⇒ compatibility direction)."""
+    dependency = _od(premise, "CompatFacet")
+    return OrderCompatibility(dependency.lhs, dependency.rhs)
+
+
+#: Registry of derived rules available to proof lines.
+THEOREMS: Dict[str, Callable] = {
+    "Union": union,
+    "Augmentation": augmentation,
+    "FrontReplace": front_replace,
+    "Shift": shift,
+    "Decomposition": decomposition,
+    "Replace": replace,
+    "Eliminate": eliminate,
+    "LeftEliminate": left_eliminate,
+    "Drop": drop,
+    "Path": path,
+    "Partition": partition,
+    "DownwardClosure": downward_closure,
+    "Permutation": permutation,
+    "Compose": compose,
+    "FDFacet": fd_facet,
+    "CompatFacet": compat_facet,
+    "Normalize": normalize_statement,
+}

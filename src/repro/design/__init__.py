@@ -1,0 +1,30 @@
+"""Database design: normalization (FD-driven) and OD-aware index advice."""
+from .index_advisor import (
+    IndexAdvice,
+    minimize_index_key,
+    order_subsumes,
+    recommend_key,
+    subsumed_indexes,
+)
+from .normalize import (
+    Relation3NF,
+    bcnf_decompose,
+    is_bcnf,
+    is_lossless_binary,
+    synthesize_3nf,
+    violating_fds,
+)
+
+__all__ = [
+    "violating_fds",
+    "is_bcnf",
+    "bcnf_decompose",
+    "synthesize_3nf",
+    "Relation3NF",
+    "is_lossless_binary",
+    "minimize_index_key",
+    "order_subsumes",
+    "subsumed_indexes",
+    "recommend_key",
+    "IndexAdvice",
+]

@@ -1,0 +1,153 @@
+"""OD-aware physical design advice: minimal index keys and subsumption.
+
+The OD-specific design payoff the paper's future work gestures at (and [6]
+pursued for "approximate" ODs): *ordering redundancy*.  A column in an
+index key whose order is already fixed by the columns before (or directly
+after) it adds width, maintenance cost and fan-out for nothing.  With a
+declared OD theory, we can:
+
+* **minimize an index key** — drop order-redundant columns while provably
+  preserving the set of ORDER BYs the index can answer
+  (``reduce_order_od``: the key and its reduction are order-equivalent);
+* **detect subsumed indexes** — index ``I`` is order-subsumed by ``J``
+  when ``J``'s key orders ``I``'s key, so every sort ``I`` provides, ``J``
+  provides too;
+* **recommend a key for a workload** — the shortest prefix-merged key
+  covering a set of requested sort orders.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.attrs import AttrList
+from ..core.dependency import OrderDependency, Statement
+from ..core.inference import ODTheory
+from ..optimizer.reduce_order import reduce_order_od
+
+__all__ = [
+    "minimize_index_key",
+    "order_subsumes",
+    "subsumed_indexes",
+    "recommend_key",
+    "IndexAdvice",
+]
+
+
+def minimize_index_key(
+    theory: ODTheory, key: Sequence[str]
+) -> Tuple[str, ...]:
+    """The shortest key order-equivalent to ``key`` under the theory.
+
+    Every ORDER BY satisfiable from the original key remains satisfiable:
+    the reduction is a two-way order equivalence (ReduceOrder++ invariant,
+    verified in the optimizer test suite).
+    """
+    return reduce_order_od(theory, key)
+
+
+def order_subsumes(
+    theory: ODTheory, stronger: Sequence[str], weaker: Sequence[str]
+) -> bool:
+    """Does a ``stronger``-keyed index provide every order the
+    ``weaker``-keyed one does?  Exactly ``stronger ↦ weaker``."""
+    return theory.implies(
+        OrderDependency(AttrList(stronger), AttrList(weaker))
+    )
+
+
+@dataclass(frozen=True)
+class IndexAdvice:
+    """Advice for one existing index."""
+
+    name: str
+    key: Tuple[str, ...]
+    minimized_key: Tuple[str, ...]
+    subsumed_by: Optional[str]
+
+    @property
+    def droppable(self) -> bool:
+        return self.subsumed_by is not None
+
+    @property
+    def narrowable(self) -> bool:
+        return len(self.minimized_key) < len(self.key)
+
+    def describe(self) -> str:
+        if self.droppable:
+            return f"{self.name}: drop (order-subsumed by {self.subsumed_by})"
+        if self.narrowable:
+            return (
+                f"{self.name}: narrow key [{', '.join(self.key)}] -> "
+                f"[{', '.join(self.minimized_key)}]"
+            )
+        return f"{self.name}: keep as-is"
+
+
+def subsumed_indexes(
+    theory: ODTheory, indexes: "dict[str, Sequence[str]]"
+) -> List[IndexAdvice]:
+    """Analyze a set of named index keys over one table.
+
+    An index is flagged *subsumed* when another (non-identical) index's key
+    orders it; among mutually subsuming indexes the lexicographically first
+    name survives.  Every index also gets its minimized key.
+    """
+    advice: List[IndexAdvice] = []
+    names = sorted(indexes)
+    for name in names:
+        key = tuple(indexes[name])
+        subsumed_by = None
+        for other in names:
+            if other == name:
+                continue
+            other_key = tuple(indexes[other])
+            if order_subsumes(theory, other_key, key):
+                mutual = order_subsumes(theory, key, other_key)
+                if mutual and name < other:
+                    continue  # this one is the designated survivor
+                subsumed_by = other
+                break
+        advice.append(
+            IndexAdvice(
+                name=name,
+                key=key,
+                minimized_key=minimize_index_key(theory, key),
+                subsumed_by=subsumed_by,
+            )
+        )
+    return advice
+
+
+def recommend_key(
+    theory: ODTheory, requested_orders: Iterable[Sequence[str]]
+) -> Tuple[str, ...]:
+    """A single index key covering every requested sort order, if one
+    exists by prefix-merging; otherwise the reduced first order.
+
+    Greedy: reduce each request, then try to arrange them along one chain
+    where each is a prefix (up to order equivalence) of the next.
+    Returns the chain's longest element, minimized.
+    """
+    reduced = [reduce_order_od(theory, order) for order in requested_orders]
+    reduced = [r for r in reduced if r]
+    if not reduced:
+        return ()
+    reduced.sort(key=len)
+    chain: List[Tuple[str, ...]] = []
+    for candidate in reduced:
+        merged = False
+        for i, existing in enumerate(chain):
+            longer, shorter = (
+                (candidate, existing)
+                if len(candidate) >= len(existing)
+                else (existing, candidate)
+            )
+            if order_subsumes(theory, longer, shorter):
+                chain[i] = longer
+                merged = True
+                break
+        if not merged:
+            chain.append(candidate)
+    best = max(chain, key=len)
+    return minimize_index_key(theory, best)

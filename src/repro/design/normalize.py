@@ -1,0 +1,164 @@
+"""Classical normalization: BCNF analysis/decomposition and 3NF synthesis.
+
+The paper's future work points at database design: "the determination of
+ODs might be an important part of designing databases ... used in database
+normalization and denormalization".  This module supplies the classical
+FD-driven design substrate (Bernstein's 3NF synthesis [2], BCNF
+decomposition per Beeri–Bernstein [3]); the OD-specific design advice
+(ordering redundancy in index keys) lives in
+:mod:`repro.design.index_advisor`.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Set, Tuple
+
+from ..core.dependency import FunctionalDependency
+from ..fd.closure import attribute_closure, candidate_keys, is_superkey
+from ..fd.cover import minimal_cover
+
+__all__ = [
+    "violating_fds",
+    "is_bcnf",
+    "bcnf_decompose",
+    "synthesize_3nf",
+    "is_lossless_binary",
+]
+
+
+def _project_fds(
+    attributes: FrozenSet[str], fds: Sequence[FunctionalDependency]
+) -> List[FunctionalDependency]:
+    """The FDs implied on a sub-schema (closure-based projection).
+
+    Exponential in the sub-schema size (inherent); fine at design scale.
+    """
+    import itertools
+
+    names = sorted(attributes)
+    out: List[FunctionalDependency] = []
+    for size in range(0, len(names)):
+        for lhs in itertools.combinations(names, size):
+            closed = attribute_closure(lhs, fds) & attributes
+            rhs = tuple(sorted(closed - set(lhs)))
+            if rhs:
+                out.append(FunctionalDependency(lhs, rhs))
+    return out
+
+
+def violating_fds(
+    schema: Sequence[str], fds: Sequence[FunctionalDependency]
+) -> List[FunctionalDependency]:
+    """Non-trivial FDs whose determinant is not a superkey (BCNF offenders)."""
+    out: List[FunctionalDependency] = []
+    universe = set(schema)
+    for dependency in fds:
+        rhs_new = set(dependency.rhs) - set(dependency.lhs)
+        if not rhs_new or not set(dependency.lhs) <= universe:
+            continue
+        if not rhs_new <= universe:
+            continue
+        if not is_superkey(dependency.lhs, schema, fds):
+            out.append(dependency)
+    return out
+
+
+def is_bcnf(schema: Sequence[str], fds: Sequence[FunctionalDependency]) -> bool:
+    """Is the schema in Boyce–Codd normal form under the (projected) FDs?"""
+    projected = _project_fds(frozenset(schema), fds)
+    return not violating_fds(schema, projected)
+
+
+def bcnf_decompose(
+    schema: Sequence[str], fds: Sequence[FunctionalDependency]
+) -> List[FrozenSet[str]]:
+    """Standard BCNF decomposition (lossless-join; not necessarily
+    dependency preserving).
+
+    Deterministic: offenders are picked in sorted order.
+    """
+    result: List[FrozenSet[str]] = []
+    worklist: List[FrozenSet[str]] = [frozenset(schema)]
+    while worklist:
+        current = worklist.pop()
+        projected = _project_fds(current, fds)
+        offenders = sorted(
+            violating_fds(sorted(current), projected),
+            key=lambda dependency: (dependency.lhs, dependency.rhs),
+        )
+        if not offenders:
+            result.append(current)
+            continue
+        offender = offenders[0]
+        closure = attribute_closure(offender.lhs, projected) & current
+        left = frozenset(closure)
+        right = frozenset(set(offender.lhs) | (current - closure))
+        worklist.append(left)
+        worklist.append(right)
+    # drop fragments subsumed by others
+    final = [
+        fragment
+        for fragment in result
+        if not any(fragment < other for other in result)
+    ]
+    return sorted(set(final), key=lambda fragment: sorted(fragment))
+
+
+@dataclass(frozen=True)
+class Relation3NF:
+    """One synthesized relation: its attributes and the FDs it embeds."""
+
+    attributes: FrozenSet[str]
+    fds: Tuple[FunctionalDependency, ...]
+
+
+def synthesize_3nf(
+    schema: Sequence[str], fds: Sequence[FunctionalDependency]
+) -> List[Relation3NF]:
+    """Bernstein's 3NF synthesis: lossless *and* dependency preserving.
+
+    Groups a minimal cover by determinant, emits one relation per group,
+    and adds a key relation if no fragment contains a candidate key.
+    """
+    cover = minimal_cover(fds)
+    groups: dict = {}
+    for dependency in cover:
+        groups.setdefault(dependency.lhs, []).append(dependency)
+    relations: List[Relation3NF] = []
+    for lhs, members in sorted(groups.items()):
+        attributes = frozenset(lhs) | {
+            attribute for member in members for attribute in member.rhs
+        }
+        relations.append(Relation3NF(attributes, tuple(members)))
+    # ensure some fragment contains a key of the universal schema
+    keys = candidate_keys(list(schema), list(fds))
+    if keys and not any(
+        any(key <= relation.attributes for relation in relations) for key in keys
+    ):
+        relations.append(Relation3NF(frozenset(keys[0]), ()))
+    # absorb fragments contained in others
+    final: List[Relation3NF] = []
+    for relation in relations:
+        if any(
+            relation.attributes < other.attributes
+            for other in relations
+            if other is not relation
+        ):
+            continue
+        final.append(relation)
+    return final
+
+
+def is_lossless_binary(
+    schema: Sequence[str],
+    first: FrozenSet[str],
+    second: FrozenSet[str],
+    fds: Sequence[FunctionalDependency],
+) -> bool:
+    """Lossless-join test for a binary split: the shared attributes must
+    determine one side entirely."""
+    if (first | second) != set(schema):
+        return False
+    shared = first & second
+    closure = attribute_closure(shared, fds)
+    return first <= closure or second <= closure

@@ -1,0 +1,17 @@
+"""Dependency discovery from data: FDs, ODs, order compatibilities."""
+from .fd_discovery import discover_constants, discover_fds
+from .od_discovery import (
+    DiscoveryResult,
+    compose_rhs,
+    discover_compatibilities,
+    discover_ods,
+)
+
+__all__ = [
+    "discover_fds",
+    "discover_constants",
+    "discover_ods",
+    "discover_compatibilities",
+    "compose_rhs",
+    "DiscoveryResult",
+]

@@ -1,0 +1,76 @@
+"""FD discovery from data: a level-wise (TANE-style) lattice search.
+
+Finds all *minimal* functional dependencies ``X → A`` with ``|X| ≤
+max_lhs`` holding in a relation instance.  Partitions are represented as
+hash maps from LHS projections to the set of RHS values — O(n) per
+candidate check, plenty for laptop-scale instances.
+"""
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..core.dependency import FunctionalDependency
+from ..core.relation import Relation
+
+__all__ = ["discover_fds", "discover_constants"]
+
+
+def discover_constants(relation: Relation) -> FrozenSet[str]:
+    """Attributes holding a single value throughout the instance."""
+    out: Set[str] = set()
+    for attribute in relation.attributes:
+        position = relation.column_position(attribute)
+        values = {row[position] for row in relation.rows}
+        if len(values) <= 1:
+            out.add(attribute)
+    return frozenset(out)
+
+
+def _fd_holds(relation: Relation, lhs: Tuple[str, ...], rhs: str) -> bool:
+    lhs_positions = tuple(relation.column_position(a) for a in lhs)
+    rhs_position = relation.column_position(rhs)
+    seen: Dict[tuple, object] = {}
+    for row in relation.rows:
+        key = tuple(row[i] for i in lhs_positions)
+        value = row[rhs_position]
+        if key in seen:
+            if seen[key] != value:
+                return False
+        else:
+            seen[key] = value
+    return True
+
+
+def discover_fds(
+    relation: Relation, max_lhs: int = 2
+) -> List[FunctionalDependency]:
+    """All minimal FDs ``X → A`` with ``|X| ≤ max_lhs`` valid in the data.
+
+    Minimality: no proper subset of ``X`` determines ``A``.  Constants are
+    reported with an empty left-hand side.  Results are deterministic
+    (attributes in schema order, LHS sets level by level).
+    """
+    names = list(relation.attributes)
+    constants = discover_constants(relation)
+    found: List[FunctionalDependency] = [
+        FunctionalDependency((), (attribute,)) for attribute in names
+        if attribute in constants
+    ]
+    # determinant sets already known to determine a given rhs (for pruning)
+    minimal_lhs: Dict[str, List[FrozenSet[str]]] = {
+        attribute: ([frozenset()] if attribute in constants else [])
+        for attribute in names
+    }
+    for level in range(1, max_lhs + 1):
+        for lhs in itertools.combinations(names, level):
+            lhs_set = frozenset(lhs)
+            for rhs in names:
+                if rhs in lhs_set or rhs in constants:
+                    continue
+                if any(smaller <= lhs_set for smaller in minimal_lhs[rhs]):
+                    continue  # a subset already determines rhs
+                if _fd_holds(relation, lhs, rhs):
+                    minimal_lhs[rhs].append(lhs_set)
+                    found.append(FunctionalDependency(lhs, (rhs,)))
+    return found

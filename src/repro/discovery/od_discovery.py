@@ -1,0 +1,138 @@
+"""OD discovery from data.
+
+The paper's third future-work line ("the determination of ODs might be an
+important part of designing databases") — and the seed of the follow-on
+discovery literature (ORDER, FASTOD, ...).  This module implements a
+lattice search for the ODs valid in an instance, exploiting Theorem 15's
+factorization: ``X ↦ Y`` holds iff the FD facet ``X ↦ XY`` holds *and*
+``X ~ Y`` (no swaps) — so discovery composes FD discovery with
+order-compatibility discovery.
+
+Search space control:
+
+* left-hand sides are *lists* up to ``max_lhs`` attributes (permutations
+  matter — the lattice is over lists, which is why OD discovery is
+  factorially harder than FD discovery);
+* minimality pruning by Augmentation: if ``X ↦ [A]`` holds, any list with
+  ``X`` as a prefix also orders ``[A]`` and is skipped;
+* results are single-attribute right-hand sides; :func:`compose_rhs`
+  assembles maximal list RHSs for a given LHS via Union + Path.
+"""
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..core.attrs import AttrList
+from ..core.dependency import (
+    FunctionalDependency,
+    OrderCompatibility,
+    OrderDependency,
+)
+from ..core.relation import Relation
+from ..core.satisfaction import find_swap, find_witness, satisfies
+from .fd_discovery import discover_constants, discover_fds
+
+__all__ = ["DiscoveryResult", "discover_ods", "discover_compatibilities", "compose_rhs"]
+
+
+@dataclass
+class DiscoveryResult:
+    """Everything found in one instance."""
+
+    constants: FrozenSet[str]
+    fds: List[FunctionalDependency]
+    ods: List[OrderDependency]
+    compatibilities: List[OrderCompatibility]
+    equivalences: List[tuple] = field(default_factory=list)
+
+    def statements(self) -> list:
+        """All discovered statements flattened (usable as an ODTheory)."""
+        return list(self.fds) + list(self.ods) + list(self.compatibilities)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.constants)} constants, {len(self.fds)} minimal FDs, "
+            f"{len(self.ods)} minimal ODs, "
+            f"{len(self.compatibilities)} pairwise compatibilities"
+        )
+
+
+def discover_compatibilities(relation: Relation) -> List[OrderCompatibility]:
+    """All pairwise single-attribute compatibilities ``[A] ~ [B]`` valid in
+    the data (no swap between A and B in the empty context)."""
+    out: List[OrderCompatibility] = []
+    names = list(relation.attributes)
+    for a, b in itertools.combinations(names, 2):
+        dependency = OrderCompatibility(AttrList([a]), AttrList([b]))
+        if satisfies(relation, dependency):
+            out.append(dependency)
+    return out
+
+
+def discover_ods(
+    relation: Relation,
+    max_lhs: int = 2,
+    max_fd_lhs: int = 2,
+) -> DiscoveryResult:
+    """Discover minimal ODs ``X ↦ [A]`` (|X| ≤ max_lhs) plus FDs and OCs.
+
+    Validity is checked directly against the instance (split *or* swap
+    falsifies, Theorem 15); minimality prunes both prefix-extensions of a
+    valid LHS (Augmentation) and trivial ODs (``A ∈ X``, Reflexivity).
+    """
+    names = list(relation.attributes)
+    constants = discover_constants(relation)
+    fds = discover_fds(relation, max_lhs=max_fd_lhs)
+    compatibilities = discover_compatibilities(relation)
+
+    ods: List[OrderDependency] = []
+    # Empty-LHS ODs: [] |-> [A] iff A is constant.
+    for attribute in names:
+        if attribute in constants:
+            ods.append(OrderDependency(AttrList(), AttrList([attribute])))
+
+    # minimal valid LHS lists per target, for prefix pruning
+    minimal: Dict[str, List[Tuple[str, ...]]] = {name: [] for name in names}
+    non_constants = [name for name in names if name not in constants]
+    for level in range(1, max_lhs + 1):
+        for lhs in itertools.permutations(non_constants, level):
+            for target in names:
+                if target in lhs or target in constants:
+                    continue
+                if any(
+                    lhs[: len(prefix)] == prefix for prefix in minimal[target]
+                ):
+                    continue  # a valid prefix already orders the target
+                dependency = OrderDependency(AttrList(lhs), AttrList([target]))
+                if find_witness(relation, dependency) is None:
+                    minimal[target].append(lhs)
+                    ods.append(dependency)
+
+    equivalences = [
+        (od_.lhs, od_.rhs)
+        for od_ in ods
+        if len(od_.lhs) == 1
+        and satisfies(relation, OrderDependency(od_.rhs, od_.lhs))
+    ]
+    return DiscoveryResult(constants, fds, ods, compatibilities, equivalences)
+
+
+def compose_rhs(
+    relation: Relation, lhs: AttrList, candidates: Sequence[str]
+) -> AttrList:
+    """Greedily grow the longest list RHS the LHS orders.
+
+    Appends each candidate attribute in turn, keeping it if
+    ``lhs ↦ current ++ [candidate]`` still holds — a data-driven analogue
+    of composing Union/Path conclusions.
+    """
+    current = AttrList()
+    for candidate in candidates:
+        if candidate in current:
+            continue
+        attempt = current + [candidate]
+        if satisfies(relation, OrderDependency(lhs, attempt)):
+            current = attempt
+    return current

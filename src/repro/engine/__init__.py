@@ -1,0 +1,24 @@
+"""Mini relational engine: storage, indexes, operators, SQL, catalog.
+
+The substrate standing in for the paper's IBM DB2 prototype: real executable
+plans whose work metrics make "this rewrite removed a sort / a join"
+measurable.  See ``DESIGN.md`` §2 (S9–S10) for the substitution rationale.
+"""
+from .database import Database, QueryResult
+from .index import SortedIndex
+from .schema import Column, Schema
+from .stats import collect_stats
+from .table import ConstraintViolation, Table
+from .types import DataType
+
+__all__ = [
+    "Database",
+    "QueryResult",
+    "Table",
+    "ConstraintViolation",
+    "Schema",
+    "Column",
+    "DataType",
+    "SortedIndex",
+    "collect_stats",
+]

@@ -1,0 +1,128 @@
+"""The Database: catalog, constraint registry, and query entry points.
+
+Ties the engine together: tables, sorted indexes, declared dependency
+constraints (the paper's OD check constraints), statistics, and
+``execute``/``explain`` entry points that delegate planning to
+:mod:`repro.optimizer.planner` with optimization on or off — the switch the
+benchmark harness flips to reproduce every "with vs without OD reasoning"
+comparison.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.dependency import Statement
+from .index import SortedIndex
+from .operators.base import Metrics, Operator
+from .schema import Schema
+from .stats import TableStats, collect_stats
+from .table import Table
+
+__all__ = ["Database", "QueryResult"]
+
+
+@dataclass
+class QueryResult:
+    """Rows plus everything needed to compare plans."""
+
+    columns: Tuple[str, ...]
+    rows: List[tuple]
+    metrics: Metrics
+    plan: Operator
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def as_dicts(self) -> List[dict]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def pretty(self, limit: int = 20) -> str:  # pragma: no cover - cosmetic
+        header = " | ".join(self.columns)
+        lines = [header, "-" * len(header)]
+        for row in self.rows[:limit]:
+            lines.append(" | ".join(str(value) for value in row))
+        if len(self.rows) > limit:
+            lines.append(f"... ({len(self.rows)} rows total)")
+        return "\n".join(lines)
+
+
+class Database:
+    """An in-memory database instance."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self.tables: Dict[str, Table] = {}
+        self.indexes: Dict[str, SortedIndex] = {}
+        self._stats: Dict[str, TableStats] = {}
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, schema: Schema) -> Table:
+        if name in self.tables:
+            raise ValueError(f"table {name!r} already exists")
+        table = Table(name, schema)
+        self.tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(f"no table {name!r}") from None
+
+    def create_index(
+        self,
+        name: str,
+        table_name: str,
+        key_columns: Sequence[str],
+        clustered: bool = False,
+    ) -> SortedIndex:
+        if name in self.indexes:
+            raise ValueError(f"index {name!r} already exists")
+        index = SortedIndex(name, self.table(table_name), key_columns, clustered)
+        self.indexes[name] = index
+        return index
+
+    def indexes_on(self, table_name: str) -> List[SortedIndex]:
+        return [
+            index for index in self.indexes.values()
+            if index.table.name == table_name
+        ]
+
+    def declare(self, table_name: str, statement: Statement) -> None:
+        """Register a dependency constraint on a table (checked on data)."""
+        self.table(table_name).declare(statement)
+
+    def constraints_on(self, table_name: str) -> List[Statement]:
+        return list(self.table(table_name).constraints)
+
+    def stats(self, table_name: str, refresh: bool = False) -> TableStats:
+        """Cached table statistics (one pass on first request)."""
+        if refresh or table_name not in self._stats:
+            self._stats[table_name] = collect_stats(self.table(table_name))
+        return self._stats[table_name]
+
+    # ------------------------------------------------------------------
+    # Query entry points
+    # ------------------------------------------------------------------
+    def plan(self, sql: str, optimize: bool = True) -> Operator:
+        """Parse, bind, optimize (optionally) and return the physical plan."""
+        from ..optimizer.planner import Planner  # lazy: avoids import cycle
+
+        from .logical import bind
+        from .sql.parser import parse
+
+        logical = bind(parse(sql))
+        return Planner(self, optimize=optimize).plan(logical)
+
+    def execute(self, sql: str, optimize: bool = True) -> QueryResult:
+        """Run a query to completion."""
+        plan = self.plan(sql, optimize=optimize)
+        rows, metrics = plan.run()
+        return QueryResult(plan.schema.names, rows, metrics, plan)
+
+    def explain(self, sql: str, optimize: bool = True) -> str:
+        """The physical plan as text."""
+        return self.plan(sql, optimize=optimize).explain()

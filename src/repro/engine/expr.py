@@ -1,0 +1,294 @@
+"""Expression trees: scalar expressions evaluated against rows.
+
+Supports the SQL subset the paper's examples need: column references,
+literals, arithmetic, comparisons, boolean connectives, ``BETWEEN``/``IN``,
+and the date extraction functions (``YEAR``/``QUARTER``/``MONTH``/``DAY``/
+``WEEK``/``DAY_OF_YEAR``) central to Section 2.2's monotonic derived columns.
+
+Each expression compiles itself against a :class:`~repro.engine.schema.Schema`
+into a plain Python closure (``compile_against``), so per-row evaluation in
+operator inner loops costs one function call.
+"""
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Any, Callable, FrozenSet, Sequence, Tuple
+
+from .schema import Schema
+
+__all__ = [
+    "Expr",
+    "Col",
+    "Lit",
+    "Arith",
+    "Cmp",
+    "BoolOp",
+    "Not",
+    "Between",
+    "InList",
+    "Func",
+    "FUNCTIONS",
+]
+
+
+def _quarter(value: datetime.date) -> int:
+    return (value.month - 1) // 3 + 1
+
+
+def _week(value: datetime.date) -> int:
+    return value.isocalendar()[1]
+
+
+#: Built-in scalar functions.  All the date extractors are monotonic in
+#: their argument at the granularity the Figure 2 hierarchy describes.
+FUNCTIONS: dict = {
+    "YEAR": lambda d: d.year,
+    "QUARTER": _quarter,
+    "MONTH": lambda d: d.month,
+    "DAY": lambda d: d.day,
+    "DAY_OF_YEAR": lambda d: d.timetuple().tm_yday,
+    "WEEK": _week,
+    "ABS": abs,
+    "LOWER": lambda s: s.lower(),
+    "UPPER": lambda s: s.upper(),
+    "LENGTH": len,
+}
+
+_CMP_OPS: dict = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_ARITH_OPS: dict = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+}
+
+
+class Expr:
+    """Base expression node."""
+
+    def columns(self) -> FrozenSet[str]:
+        """All column references (as written, possibly unqualified)."""
+        raise NotImplementedError
+
+    def compile_against(self, schema: Schema) -> Callable[[tuple], Any]:
+        """A closure evaluating this expression on rows of ``schema``."""
+        raise NotImplementedError
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+@dataclass(frozen=True)
+class Col(Expr):
+    """A column reference (possibly qualified, e.g. ``d.year``)."""
+
+    name: str
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset([self.name])
+
+    def compile_against(self, schema: Schema) -> Callable[[tuple], Any]:
+        position = schema.position(schema.resolve(self.name))
+        return lambda row: row[position]
+
+    def render(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    """A literal constant."""
+
+    value: Any
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def compile_against(self, schema: Schema) -> Callable[[tuple], Any]:
+        value = self.value
+        return lambda row: value
+
+    def render(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        if isinstance(self.value, datetime.date):
+            return f"DATE '{self.value.isoformat()}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Arith(Expr):
+    """Binary arithmetic."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def compile_against(self, schema: Schema) -> Callable[[tuple], Any]:
+        operation = _ARITH_OPS[self.op]
+        left = self.left.compile_against(schema)
+        right = self.right.compile_against(schema)
+        return lambda row: operation(left(row), right(row))
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+
+@dataclass(frozen=True)
+class Cmp(Expr):
+    """Binary comparison."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def compile_against(self, schema: Schema) -> Callable[[tuple], Any]:
+        operation = _CMP_OPS[self.op]
+        left = self.left.compile_against(schema)
+        right = self.right.compile_against(schema)
+        return lambda row: operation(left(row), right(row))
+
+    def render(self) -> str:
+        return f"{self.left.render()} {self.op} {self.right.render()}"
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    """``AND`` / ``OR`` over two or more operands."""
+
+    op: str  # "AND" | "OR"
+    operands: Tuple[Expr, ...]
+
+    def __init__(self, op: str, operands: Sequence[Expr]) -> None:
+        object.__setattr__(self, "op", op.upper())
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def columns(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for operand in self.operands:
+            out |= operand.columns()
+        return out
+
+    def compile_against(self, schema: Schema) -> Callable[[tuple], Any]:
+        compiled = [operand.compile_against(schema) for operand in self.operands]
+        if self.op == "AND":
+            return lambda row: all(fn(row) for fn in compiled)
+        return lambda row: any(fn(row) for fn in compiled)
+
+    def render(self) -> str:
+        joiner = f" {self.op} "
+        return "(" + joiner.join(o.render() for o in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Logical negation."""
+
+    operand: Expr
+
+    def columns(self) -> FrozenSet[str]:
+        return self.operand.columns()
+
+    def compile_against(self, schema: Schema) -> Callable[[tuple], Any]:
+        inner = self.operand.compile_against(schema)
+        return lambda row: not inner(row)
+
+    def render(self) -> str:
+        return f"NOT ({self.operand.render()})"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr BETWEEN lo AND hi`` (inclusive both ends, as in SQL)."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+
+    def columns(self) -> FrozenSet[str]:
+        return self.operand.columns() | self.low.columns() | self.high.columns()
+
+    def compile_against(self, schema: Schema) -> Callable[[tuple], Any]:
+        operand = self.operand.compile_against(schema)
+        low = self.low.compile_against(schema)
+        high = self.high.compile_against(schema)
+        return lambda row: low(row) <= operand(row) <= high(row)
+
+    def render(self) -> str:
+        return (
+            f"{self.operand.render()} BETWEEN {self.low.render()} "
+            f"AND {self.high.render()}"
+        )
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr IN (v1, v2, ...)`` over literal values."""
+
+    operand: Expr
+    values: Tuple[Any, ...]
+
+    def __init__(self, operand: Expr, values: Sequence[Any]) -> None:
+        object.__setattr__(self, "operand", operand)
+        object.__setattr__(self, "values", tuple(values))
+
+    def columns(self) -> FrozenSet[str]:
+        return self.operand.columns()
+
+    def compile_against(self, schema: Schema) -> Callable[[tuple], Any]:
+        operand = self.operand.compile_against(schema)
+        values = set(self.values)
+        return lambda row: operand(row) in values
+
+    def render(self) -> str:
+        rendered = ", ".join(Lit(value).render() for value in self.values)
+        return f"{self.operand.render()} IN ({rendered})"
+
+
+@dataclass(frozen=True)
+class Func(Expr):
+    """A built-in scalar function call."""
+
+    name: str
+    args: Tuple[Expr, ...]
+
+    def __init__(self, name: str, args: Sequence[Expr]) -> None:
+        name = name.upper()
+        if name not in FUNCTIONS:
+            raise ValueError(f"unknown function {name!r}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "args", tuple(args))
+
+    def columns(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for argument in self.args:
+            out |= argument.columns()
+        return out
+
+    def compile_against(self, schema: Schema) -> Callable[[tuple], Any]:
+        function = FUNCTIONS[self.name]
+        compiled = [argument.compile_against(schema) for argument in self.args]
+        return lambda row: function(*(fn(row) for fn in compiled))
+
+    def render(self) -> str:
+        return f"{self.name}({', '.join(a.render() for a in self.args)})"

@@ -1,0 +1,146 @@
+"""Aggregation: hash-based and stream (sort-based) group-by.
+
+The paper's Example 1 turns on exactly this choice: a group-by over a
+stream already ordered compatibly with the grouping columns runs *on the
+fly* (:class:`StreamAggregate` — group boundaries are found in the stream),
+while an unordered input needs a partitioning operation
+(:class:`HashAggregate`) or an explicit sort.
+"""
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..schema import Column, Schema
+from ..types import DataType
+from .base import AggSpec, Metrics, Operator
+from .basic import _infer_dtype
+
+__all__ = ["HashAggregate", "StreamAggregate"]
+
+
+def _output_schema(
+    child: Operator, group_columns: Tuple[str, ...], aggregates: Tuple[AggSpec, ...]
+) -> Schema:
+    columns: List[Column] = []
+    for name in group_columns:
+        resolved = child.schema.resolve(name)
+        columns.append(Column(resolved, child.schema.dtype_of(resolved)))
+    for spec in aggregates:
+        if spec.func == "COUNT":
+            dtype = DataType.INT
+        elif spec.expr is not None and spec.func in ("MIN", "MAX", "SUM"):
+            dtype = _infer_dtype(spec.expr, child.schema)
+        else:
+            dtype = DataType.FLOAT
+        columns.append(Column(spec.name, dtype))
+    return Schema(columns)
+
+
+class _AggregateBase(Operator):
+    def __init__(
+        self,
+        child: Operator,
+        group_columns: Sequence[str],
+        aggregates: Sequence[AggSpec],
+    ) -> None:
+        self.child = child
+        self.group_columns: Tuple[str, ...] = tuple(
+            child.schema.resolve(column) for column in group_columns
+        )
+        self.aggregates: Tuple[AggSpec, ...] = tuple(aggregates)
+        self.schema = _output_schema(child, self.group_columns, self.aggregates)
+        self._group_positions = tuple(
+            child.schema.position(column) for column in self.group_columns
+        )
+        self._agg_fns = [
+            spec.expr.compile_against(child.schema) if spec.expr is not None else None
+            for spec in self.aggregates
+        ]
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+    def _key(self, row: tuple) -> tuple:
+        return tuple(row[i] for i in self._group_positions)
+
+    def _fresh_states(self):
+        return [spec.make_state() for spec in self.aggregates]
+
+    def _update(self, states, row) -> None:
+        for state, fn in zip(states, self._agg_fns):
+            state.update(fn(row) if fn is not None else 1)
+
+    def _emit(self, key: tuple, states) -> tuple:
+        return key + tuple(state.result() for state in states)
+
+    def label(self) -> str:
+        parts = list(self.group_columns) + [
+            f"{spec.render()} AS {spec.name}" for spec in self.aggregates
+        ]
+        return f"{type(self).__name__}({', '.join(parts)})"
+
+
+class HashAggregate(_AggregateBase):
+    """Group-by via a hash partition; output order is unspecified.
+
+    (We emit groups in first-seen order, but the operator *advertises* no
+    ordering — downstream consumers must not rely on it.)
+    """
+
+    ordering: Tuple[str, ...] = ()
+
+    def execute(self, metrics: Metrics) -> Iterator[tuple]:
+        groups: Dict[tuple, list] = {}
+        for row in self.child.execute(metrics):
+            metrics.add("hash_build_rows")
+            key = self._key(row)
+            states = groups.get(key)
+            if states is None:
+                states = self._fresh_states()
+                groups[key] = states
+            self._update(states, row)
+        if not groups and not self.group_columns:
+            # SQL semantics: a global aggregate over zero rows yields one row
+            # (COUNT 0, SUM/MIN/MAX of nothing).
+            yield self._emit((), self._fresh_states())
+            return
+        for key, states in groups.items():
+            yield self._emit(key, states)
+
+
+class StreamAggregate(_AggregateBase):
+    """Group-by over a stream ordered compatibly with the grouping columns.
+
+    Emits a group whenever the grouping key changes — no hash table, no
+    sort, O(1) memory.  **Precondition** (the optimizer's obligation, via
+    order properties + ODs): equal grouping keys arrive contiguously.
+    Output ordering: the input ordering survives to the prefix made of
+    grouping columns.
+    """
+
+    def __init__(self, child, group_columns, aggregates) -> None:
+        super().__init__(child, group_columns, aggregates)
+        out: List[str] = []
+        for column in child.ordering:
+            if column in self.group_columns:
+                out.append(column)
+            else:
+                break
+        self.ordering = tuple(out)
+
+    def execute(self, metrics: Metrics) -> Iterator[tuple]:
+        current_key = None
+        states = None
+        for row in self.child.execute(metrics):
+            key = self._key(row)
+            if states is None:
+                current_key, states = key, self._fresh_states()
+            elif key != current_key:
+                yield self._emit(current_key, states)
+                current_key, states = key, self._fresh_states()
+            self._update(states, row)
+        if states is not None:
+            yield self._emit(current_key, states)
+        elif not self.group_columns:
+            # SQL semantics for a global aggregate over zero rows.
+            yield self._emit((), self._fresh_states())

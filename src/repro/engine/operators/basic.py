@@ -1,0 +1,201 @@
+"""Row-at-a-time operators: Filter, Project, Limit, Distinct.
+
+Each documents how it transforms the *order property* of its input — the
+bookkeeping that lets the optimizer know when a downstream sort is
+unnecessary.
+"""
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..expr import Col, Expr
+from ..schema import Column, Schema
+from ..types import DataType
+from .base import Metrics, Operator
+
+__all__ = ["Filter", "Project", "Limit", "HashDistinct", "SortedDistinct"]
+
+
+class Filter(Operator):
+    """Predicate filter; preserves input ordering."""
+
+    def __init__(self, child: Operator, predicate: Expr) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+        self.ordering = child.ordering
+        self._compiled = predicate.compile_against(child.schema)
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+    def execute(self, metrics: Metrics) -> Iterator[tuple]:
+        compiled = self._compiled
+        for row in self.child.execute(metrics):
+            metrics.add("rows_filtered")
+            if compiled(row):
+                yield row
+
+    def label(self) -> str:
+        return f"Filter({self.predicate.render()})"
+
+
+class Project(Operator):
+    """Compute output expressions (projection / renaming).
+
+    Ordering propagation: the output is ordered by the longest prefix of the
+    input ordering whose columns survive as pass-through ``Col`` outputs
+    (renamed accordingly).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        exprs: Sequence[Expr],
+        names: Sequence[str],
+    ) -> None:
+        if len(exprs) != len(names):
+            raise ValueError("Project: exprs/names length mismatch")
+        self.child = child
+        self.exprs = tuple(exprs)
+        self.names = tuple(names)
+        self.schema = Schema(
+            Column(name, _infer_dtype(expr, child.schema))
+            for name, expr in zip(self.names, self.exprs)
+        )
+        self._compiled = [expr.compile_against(child.schema) for expr in self.exprs]
+        self.ordering = self._propagate_ordering()
+
+    def _propagate_ordering(self) -> Tuple[str, ...]:
+        rename: dict = {}
+        for expr, name in zip(self.exprs, self.names):
+            if isinstance(expr, Col):
+                resolved = self.child.schema.resolve(expr.name)
+                rename.setdefault(resolved, name)
+        out: List[str] = []
+        for column in self.child.ordering:
+            if column in rename:
+                out.append(rename[column])
+            else:
+                break  # ordering beyond a dropped column is lost
+        return tuple(out)
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+    def execute(self, metrics: Metrics) -> Iterator[tuple]:
+        compiled = self._compiled
+        for row in self.child.execute(metrics):
+            yield tuple(fn(row) for fn in compiled)
+
+    def label(self) -> str:
+        parts = ", ".join(
+            f"{expr.render()} AS {name}" if expr.render() != name else name
+            for expr, name in zip(self.exprs, self.names)
+        )
+        return f"Project({parts})"
+
+
+def _infer_dtype(expr: Expr, schema: Schema) -> DataType:
+    """Best-effort output typing; falls back to FLOAT for computed values."""
+    if isinstance(expr, Col):
+        return schema.dtype_of(expr.name)
+    from ..expr import Func, Lit
+
+    if isinstance(expr, Lit):
+        import datetime
+
+        if isinstance(expr.value, bool):
+            return DataType.BOOL
+        if isinstance(expr.value, int):
+            return DataType.INT
+        if isinstance(expr.value, float):
+            return DataType.FLOAT
+        if isinstance(expr.value, datetime.date):
+            return DataType.DATE
+        return DataType.STR
+    if isinstance(expr, Func) and expr.name in (
+        "YEAR",
+        "QUARTER",
+        "MONTH",
+        "DAY",
+        "DAY_OF_YEAR",
+        "WEEK",
+        "LENGTH",
+    ):
+        return DataType.INT
+    return DataType.FLOAT
+
+
+class Limit(Operator):
+    """First ``n`` rows; preserves ordering."""
+
+    def __init__(self, child: Operator, count: int) -> None:
+        self.child = child
+        self.count = count
+        self.schema = child.schema
+        self.ordering = child.ordering
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+    def execute(self, metrics: Metrics) -> Iterator[tuple]:
+        emitted = 0
+        for row in self.child.execute(metrics):
+            if emitted >= self.count:
+                break
+            emitted += 1
+            yield row
+
+    def label(self) -> str:
+        return f"Limit({self.count})"
+
+
+class HashDistinct(Operator):
+    """Duplicate elimination via hashing; destroys ordering."""
+
+    def __init__(self, child: Operator) -> None:
+        self.child = child
+        self.schema = child.schema
+        self.ordering = ()
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+    def execute(self, metrics: Metrics) -> Iterator[tuple]:
+        seen: set = set()
+        for row in self.child.execute(metrics):
+            metrics.add("hash_probe_rows")
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def label(self) -> str:
+        return "HashDistinct"
+
+
+class SortedDistinct(Operator):
+    """Duplicate elimination over a sorted stream — no hash table needed.
+
+    Requires the input ordered by (at least) all output columns; valid when
+    the optimizer can prove it via order properties, exactly the "distinct
+    is exchangeable with group-by" observation of Section 2.3.
+    """
+
+    def __init__(self, child: Operator) -> None:
+        self.child = child
+        self.schema = child.schema
+        self.ordering = child.ordering
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+    def execute(self, metrics: Metrics) -> Iterator[tuple]:
+        previous: Optional[tuple] = None
+        for row in self.child.execute(metrics):
+            if row != previous:
+                yield row
+                previous = row
+
+    def label(self) -> str:
+        return "SortedDistinct"

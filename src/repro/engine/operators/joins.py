@@ -1,0 +1,132 @@
+"""Join operators: hash join, sort-merge join, nested loops.
+
+The Section 2.3 date rewrite's payoff is a :class:`HashJoin` (fact ⋈
+date_dim) that disappears entirely; the sort-merge join is where "a sort on
+input can be removed" when ODs prove an existing stream order equivalent to
+the required one ([17]'s motivation).
+"""
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..schema import Schema
+from .base import Metrics, Operator
+
+__all__ = ["HashJoin", "MergeJoin", "NestedLoopJoin"]
+
+
+class _JoinBase(Operator):
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+    ) -> None:
+        if len(left_keys) != len(right_keys):
+            raise ValueError("join key lists must have equal length")
+        self.left = left
+        self.right = right
+        self.left_keys = tuple(left.schema.resolve(k) for k in left_keys)
+        self.right_keys = tuple(right.schema.resolve(k) for k in right_keys)
+        self.schema = left.schema.concat(right.schema)
+        self._left_positions = tuple(
+            left.schema.position(k) for k in self.left_keys
+        )
+        self._right_positions = tuple(
+            right.schema.position(k) for k in self.right_keys
+        )
+
+    def children(self) -> Sequence[Operator]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        condition = " AND ".join(
+            f"{l} = {r}" for l, r in zip(self.left_keys, self.right_keys)
+        )
+        return f"{type(self).__name__}({condition})"
+
+
+class HashJoin(_JoinBase):
+    """Equi-join: build a hash table on the right input, probe with the left.
+
+    Preserves the probe (left) side's ordering — each probe row's matches
+    are emitted contiguously in probe order.
+    """
+
+    def __init__(self, left, right, left_keys, right_keys) -> None:
+        super().__init__(left, right, left_keys, right_keys)
+        self.ordering = left.ordering
+
+    def execute(self, metrics: Metrics) -> Iterator[tuple]:
+        table: Dict[tuple, List[tuple]] = {}
+        for row in self.right.execute(metrics):
+            metrics.add("hash_build_rows")
+            key = tuple(row[i] for i in self._right_positions)
+            table.setdefault(key, []).append(row)
+        for row in self.left.execute(metrics):
+            metrics.add("hash_probe_rows")
+            key = tuple(row[i] for i in self._left_positions)
+            for match in table.get(key, ()):
+                metrics.add("join_rows")
+                yield row + match
+
+
+class MergeJoin(_JoinBase):
+    """Sort-merge join.  **Precondition**: both inputs ordered by their join
+    keys (the optimizer inserts Sorts, or — with ODs — proves them away).
+
+    Output ordering: the left input's ordering.
+    """
+
+    def __init__(self, left, right, left_keys, right_keys) -> None:
+        super().__init__(left, right, left_keys, right_keys)
+        self.ordering = left.ordering
+
+    def execute(self, metrics: Metrics) -> Iterator[tuple]:
+        left_rows = list(self.left.execute(metrics))
+        right_rows = list(self.right.execute(metrics))
+        i = j = 0
+        while i < len(left_rows) and j < len(right_rows):
+            metrics.add("merge_steps")
+            left_key = tuple(left_rows[i][p] for p in self._left_positions)
+            right_key = tuple(right_rows[j][p] for p in self._right_positions)
+            if left_key < right_key:
+                i += 1
+            elif left_key > right_key:
+                j += 1
+            else:
+                # gather the right-side run for this key
+                j_end = j
+                while j_end < len(right_rows) and tuple(
+                    right_rows[j_end][p] for p in self._right_positions
+                ) == right_key:
+                    j_end += 1
+                while i < len(left_rows) and tuple(
+                    left_rows[i][p] for p in self._left_positions
+                ) == left_key:
+                    for k in range(j, j_end):
+                        metrics.add("join_rows")
+                        yield left_rows[i] + right_rows[k]
+                    i += 1
+                j = j_end
+
+
+class NestedLoopJoin(_JoinBase):
+    """Tuple-at-a-time nested loops (any predicate via key equality here);
+    kept as the baseline everything else beats.  Preserves outer ordering."""
+
+    def __init__(self, left, right, left_keys, right_keys) -> None:
+        super().__init__(left, right, left_keys, right_keys)
+        self.ordering = left.ordering
+
+    def execute(self, metrics: Metrics) -> Iterator[tuple]:
+        right_rows = list(self.right.execute(metrics))
+        for row in self.left.execute(metrics):
+            for other in right_rows:
+                metrics.add("nl_comparisons")
+                if tuple(row[i] for i in self._left_positions) == tuple(
+                    other[i] for i in self._right_positions
+                ):
+                    metrics.add("join_rows")
+                    yield row + other

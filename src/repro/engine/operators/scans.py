@@ -1,0 +1,82 @@
+"""Scan operators: sequential scans and index range scans.
+
+Scans introduce table rows into a plan under an *alias*: output columns are
+named ``alias.column`` so joins never collide and the binder can resolve
+unqualified references by suffix.
+"""
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..index import SortedIndex
+from ..schema import Column, Schema
+from ..table import Table
+from .base import Metrics, Operator
+
+__all__ = ["SeqScan", "IndexScan", "qualified_schema"]
+
+
+def qualified_schema(table: Table, alias: str) -> Schema:
+    """The table's schema with every column qualified by the alias."""
+    return Schema(
+        Column(f"{alias}.{column.name}", column.dtype) for column in table.schema
+    )
+
+
+class SeqScan(Operator):
+    """Full sequential scan.  No ordering guarantee."""
+
+    def __init__(self, table: Table, alias: Optional[str] = None) -> None:
+        self.table = table
+        self.alias = alias or table.name
+        self.schema = qualified_schema(table, self.alias)
+        self.ordering = ()
+
+    def execute(self, metrics: Metrics) -> Iterator[tuple]:
+        for row in self.table.rows:
+            metrics.add("rows_scanned")
+            yield row
+
+    def label(self) -> str:
+        return f"SeqScan({self.table.name} AS {self.alias})"
+
+
+class IndexScan(Operator):
+    """Sorted range scan over a :class:`~repro.engine.index.SortedIndex`.
+
+    Output is guaranteed ordered by the (qualified) index key columns — the
+    order property every OD rewrite trades on.  ``low``/``high`` are
+    inclusive key-prefix bounds.
+    """
+
+    def __init__(
+        self,
+        index: SortedIndex,
+        alias: Optional[str] = None,
+        low: Optional[tuple] = None,
+        high: Optional[tuple] = None,
+    ) -> None:
+        self.index = index
+        self.table = index.table
+        self.alias = alias or index.table.name
+        self.low = low
+        self.high = high
+        self.schema = qualified_schema(index.table, self.alias)
+        self.ordering = tuple(
+            f"{self.alias}.{column}" for column in index.key_columns
+        )
+
+    def execute(self, metrics: Metrics) -> Iterator[tuple]:
+        metrics.add("index_probes")
+        for row in self.index.range_scan(self.low, self.high):
+            metrics.add("rows_scanned")
+            yield row
+
+    def label(self) -> str:
+        bounds = ""
+        if self.low is not None or self.high is not None:
+            bounds = f" [{self.low} .. {self.high}]"
+        return (
+            f"IndexScan({self.index.name} ON {self.table.name} AS "
+            f"{self.alias}{bounds})"
+        )

@@ -1,0 +1,46 @@
+"""The Sort operator — the operator the paper's rewrites exist to remove.
+
+Sorting is "at the heart of many database operations" (Section 5) and is
+the expensive step OD reasoning eliminates: every benchmark in this
+reproduction ultimately compares plans with and without a Sort node.
+"""
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from .base import Metrics, Operator
+
+__all__ = ["Sort"]
+
+
+class Sort(Operator):
+    """Full materializing sort on the given (qualified) columns, ascending.
+
+    Charges ``sort_rows`` (and one ``sorts`` event) to the metrics; the
+    shared :class:`~repro.engine.operators.base.Metrics.work` summary
+    weights these at ``n·log2(n)``.
+    """
+
+    def __init__(self, child: Operator, keys: Sequence[str]) -> None:
+        self.child = child
+        self.keys: Tuple[str, ...] = tuple(
+            child.schema.resolve(key) for key in keys
+        )
+        self.schema = child.schema
+        self.ordering = self.keys
+        self._positions = tuple(self.schema.position(key) for key in self.keys)
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+    def execute(self, metrics: Metrics) -> Iterator[tuple]:
+        rows = list(self.child.execute(metrics))
+        metrics.add("sorts")
+        metrics.add("sort_rows", len(rows))
+        positions = self._positions
+        rows.sort(key=lambda row: tuple(row[i] for i in positions))
+        for row in rows:
+            yield row
+
+    def label(self) -> str:
+        return f"Sort({', '.join(self.keys)})"

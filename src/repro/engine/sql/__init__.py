@@ -1,0 +1,24 @@
+"""SQL front-end: lexer, parser, and parse-tree types."""
+from .ast import (
+    AggCall,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from .lexer import SqlSyntaxError, Token, tokenize
+from .parser import parse
+
+__all__ = [
+    "parse",
+    "tokenize",
+    "Token",
+    "SqlSyntaxError",
+    "SelectStatement",
+    "SelectItem",
+    "TableRef",
+    "JoinClause",
+    "OrderItem",
+    "AggCall",
+]

@@ -1,0 +1,82 @@
+"""Parse-tree dataclasses for the SQL subset."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..expr import Expr
+
+__all__ = [
+    "SelectItem",
+    "TableRef",
+    "JoinClause",
+    "OrderItem",
+    "SelectStatement",
+    "AggCall",
+]
+
+
+@dataclass(frozen=True)
+class AggCall(Expr):
+    """An aggregate call appearing in a select list (not a scalar Expr —
+    it is recognized and stripped out by the binder before compilation)."""
+
+    func: str
+    arg: Optional[Expr]  # None == COUNT(*)
+
+    def columns(self):
+        return self.arg.columns() if self.arg is not None else frozenset()
+
+    def compile_against(self, schema):  # pragma: no cover - binder strips these
+        raise TypeError("aggregate calls cannot be evaluated per-row")
+
+    def render(self) -> str:
+        inner = "*" if self.arg is None else self.arg.render()
+        return f"{self.func}({inner})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """``expr [AS alias]`` or ``*`` (expr None)."""
+
+    expr: Optional[Expr]
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """``table [AS alias]``."""
+
+    table: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """``JOIN table ON left = right [AND ...]`` (equi-join conjuncts)."""
+
+    table: TableRef
+    left_columns: Tuple[str, ...]
+    right_columns: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ``ORDER BY`` column (ascending; the paper's scope)."""
+
+    column: str
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A full parsed SELECT."""
+
+    items: Tuple[SelectItem, ...]
+    table: TableRef
+    joins: Tuple[JoinClause, ...] = ()
+    where: Optional[Expr] = None
+    group_by: Tuple[str, ...] = ()
+    having: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    distinct: bool = False
+    limit: Optional[int] = None

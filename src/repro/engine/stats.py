@@ -1,0 +1,71 @@
+"""Table statistics for cardinality estimation.
+
+Per-column min/max/distinct counts plus row counts — the minimum a
+cost-based optimizer needs to rank plan alternatives for the paper's
+experiments (selectivity of date ranges, group counts for aggregates).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from .table import Table
+
+__all__ = ["ColumnStats", "TableStats", "collect_stats"]
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary of one column."""
+
+    distinct: int
+    minimum: Any
+    maximum: Any
+
+    def range_selectivity(self, low: Any, high: Any) -> float:
+        """Fraction of rows with values in ``[low, high]`` assuming a
+        uniform distribution over the observed value range."""
+        if self.minimum is None or self.maximum is None:
+            return 1.0
+        lo = max(low, self.minimum) if low is not None else self.minimum
+        hi = min(high, self.maximum) if high is not None else self.maximum
+        try:
+            span = self.maximum - self.minimum
+            window = hi - lo
+        except TypeError:  # non-numeric domain: fall back to a constant
+            return 0.3
+        if hasattr(span, "days"):  # date arithmetic yields timedeltas
+            span = span.days
+            window = window.days
+        if span <= 0:
+            return 1.0
+        return max(0.0, min(1.0, window / span))
+
+    def equality_selectivity(self) -> float:
+        """Fraction of rows matching one value (1 / distinct)."""
+        return 1.0 / max(1, self.distinct)
+
+
+@dataclass
+class TableStats:
+    """Row count and per-column statistics."""
+
+    row_count: int
+    columns: Dict[str, ColumnStats]
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name)
+
+
+def collect_stats(table: Table) -> TableStats:
+    """One full pass over the table."""
+    columns: Dict[str, ColumnStats] = {}
+    for position, column in enumerate(table.schema):
+        values = [row[position] for row in table.rows]
+        if values:
+            columns[column.name] = ColumnStats(
+                distinct=len(set(values)), minimum=min(values), maximum=max(values)
+            )
+        else:
+            columns[column.name] = ColumnStats(0, None, None)
+    return TableStats(row_count=len(table.rows), columns=columns)

@@ -1,0 +1,29 @@
+"""Functional-dependency substrate: closure, covers, and the OD bridge.
+
+Classical set-based FD reasoning (Armstrong closure, minimal covers, keys)
+plus the Theorem 13 correspondence that embeds it all into the OD world.
+"""
+from .bridge import (
+    armstrong_rules_via_ods,
+    fd_to_od,
+    fds_of,
+    od_to_fd,
+    theory_fd_implies,
+)
+from .closure import attribute_closure, candidate_keys, fd_implies, is_superkey
+from .cover import equivalent_covers, minimal_cover, singleton_rhs
+
+__all__ = [
+    "attribute_closure",
+    "fd_implies",
+    "is_superkey",
+    "candidate_keys",
+    "minimal_cover",
+    "singleton_rhs",
+    "equivalent_covers",
+    "fd_to_od",
+    "od_to_fd",
+    "fds_of",
+    "theory_fd_implies",
+    "armstrong_rules_via_ods",
+]

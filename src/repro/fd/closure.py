@@ -1,0 +1,84 @@
+"""Classical FD reasoning: attribute-set closure and implication.
+
+The linear-ish closure algorithm (Beeri–Bernstein style) over a set of
+:class:`~repro.core.dependency.FunctionalDependency` objects.  This is the
+substrate the split(M) construction and the FD-based optimizer rewrites
+(the [17] ``ReduceOrder`` baseline) stand on, and the reference point for
+the "ODs subsume FDs" results (Theorems 13 and 16).
+"""
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..core.dependency import FunctionalDependency
+
+__all__ = ["attribute_closure", "fd_implies", "is_superkey", "candidate_keys"]
+
+
+def attribute_closure(
+    attributes: Iterable[str], fds: Sequence[FunctionalDependency]
+) -> FrozenSet[str]:
+    """The closure ``W⁺``: every attribute determined by ``W`` under ``fds``.
+
+    Iterates to a fixpoint; each pass applies every FD whose left side is
+    already contained in the working set.
+    """
+    closed: Set[str] = set(attributes)
+    remaining: List[FunctionalDependency] = list(fds)
+    changed = True
+    while changed:
+        changed = False
+        still: List[FunctionalDependency] = []
+        for dependency in remaining:
+            if set(dependency.lhs) <= closed:
+                before = len(closed)
+                closed.update(dependency.rhs)
+                if len(closed) != before:
+                    changed = True
+            else:
+                still.append(dependency)
+        remaining = still
+    return frozenset(closed)
+
+
+def fd_implies(
+    fds: Sequence[FunctionalDependency], candidate: FunctionalDependency
+) -> bool:
+    """Armstrong-complete implication test: ``fds ⊨ candidate``.
+
+    Sound and complete by the classical closure theorem:
+    ``X → Y`` is implied iff ``Y ⊆ X⁺``.
+    """
+    return set(candidate.rhs) <= attribute_closure(candidate.lhs, fds)
+
+
+def is_superkey(
+    attributes: Iterable[str],
+    schema: Iterable[str],
+    fds: Sequence[FunctionalDependency],
+) -> bool:
+    """Does the attribute set determine the whole schema?"""
+    return set(schema) <= attribute_closure(attributes, fds)
+
+
+def candidate_keys(
+    schema: Sequence[str], fds: Sequence[FunctionalDependency]
+) -> List[FrozenSet[str]]:
+    """All minimal superkeys, found by breadth-first subset search.
+
+    Exponential in the worst case (as the problem demands); fine at schema
+    scale.  Results are sorted by size then lexicographically for
+    determinism.
+    """
+    import itertools
+
+    schema = list(schema)
+    keys: List[FrozenSet[str]] = []
+    for size in range(0, len(schema) + 1):
+        for combo in itertools.combinations(schema, size):
+            subset = frozenset(combo)
+            if any(key <= subset for key in keys):
+                continue
+            if is_superkey(subset, schema, fds):
+                keys.append(subset)
+    return sorted(keys, key=lambda key: (len(key), sorted(key)))

@@ -1,0 +1,73 @@
+"""Minimal covers and equivalence of FD sets.
+
+Standard canonical-cover machinery: singleton right-hand sides, removal of
+extraneous left-hand attributes, removal of redundant dependencies.  Used by
+the discovery module to present discovered FD sets compactly and by tests as
+an independent consistency check on the OD oracle's FD facets.
+"""
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.dependency import FunctionalDependency
+from .closure import attribute_closure, fd_implies
+
+__all__ = ["singleton_rhs", "minimal_cover", "equivalent_covers"]
+
+
+def singleton_rhs(fds: Sequence[FunctionalDependency]) -> List[FunctionalDependency]:
+    """Split every FD into one FD per right-hand attribute (Armstrong's
+    Decomposition), dropping trivial ``X → A`` with ``A ∈ X``."""
+    out: List[FunctionalDependency] = []
+    for dependency in fds:
+        for attribute in dependency.rhs:
+            if attribute in dependency.lhs:
+                continue
+            out.append(FunctionalDependency(dependency.lhs, (attribute,)))
+    return out
+
+
+def _without(items: Sequence, index: int) -> list:
+    return [item for i, item in enumerate(items) if i != index]
+
+
+def minimal_cover(fds: Sequence[FunctionalDependency]) -> List[FunctionalDependency]:
+    """A canonical cover: singleton RHS, no extraneous LHS attribute, no
+    redundant FD.  Deterministic given input order."""
+    working = singleton_rhs(fds)
+
+    # Remove extraneous left-hand attributes.
+    reduced: List[FunctionalDependency] = []
+    for dependency in working:
+        lhs = list(dependency.lhs)
+        changed = True
+        while changed and len(lhs) > 1:
+            changed = False
+            for attribute in list(lhs):
+                trimmed = [x for x in lhs if x != attribute]
+                if set(dependency.rhs) <= attribute_closure(trimmed, working):
+                    lhs = trimmed
+                    changed = True
+                    break
+        reduced.append(FunctionalDependency(lhs, dependency.rhs))
+
+    # Remove redundant dependencies.
+    result = list(dict.fromkeys(reduced))  # dedupe, keep order
+    index = 0
+    while index < len(result):
+        candidate = result[index]
+        rest = _without(result, index)
+        if fd_implies(rest, candidate):
+            result = rest
+        else:
+            index += 1
+    return result
+
+
+def equivalent_covers(
+    first: Sequence[FunctionalDependency], second: Sequence[FunctionalDependency]
+) -> bool:
+    """Do the two FD sets imply each other?"""
+    return all(fd_implies(first, dependency) for dependency in second) and all(
+        fd_implies(second, dependency) for dependency in first
+    )

@@ -1,0 +1,45 @@
+"""OD-aware query optimization: rewrites, order reduction, planning.
+
+The application layer of the reproduction — the techniques Sections 1–2 of
+the paper motivate, built on the theory core:
+
+* :mod:`repro.optimizer.reduce_order` — ReduceOrder ([17]) vs ReduceOrder++;
+* :mod:`repro.optimizer.rewrites` — predicate pushdown + the date-dimension
+  surrogate-key join elimination ([18] / Section 2.3);
+* :mod:`repro.optimizer.planner` — physical planning in ``naive`` / ``fd`` /
+  ``od`` modes;
+* :mod:`repro.optimizer.context` — query-scoped dependency theories.
+"""
+from .context import build_theory, qualify_statement
+from .costing import PlanEstimate, estimate_plan
+from .planner import Desired, Planner, PlanInfo
+from .reduce_order import (
+    minimal_groupby,
+    ordering_satisfies,
+    ordering_satisfies_fd,
+    reduce_order_exact,
+    reduce_order_fd,
+    reduce_order_od,
+    stream_groupable,
+)
+from .rewrites import DateRewrite, apply_date_rewrite, push_filters
+
+__all__ = [
+    "Planner",
+    "PlanInfo",
+    "Desired",
+    "reduce_order_fd",
+    "reduce_order_od",
+    "reduce_order_exact",
+    "ordering_satisfies",
+    "ordering_satisfies_fd",
+    "stream_groupable",
+    "minimal_groupby",
+    "apply_date_rewrite",
+    "push_filters",
+    "DateRewrite",
+    "build_theory",
+    "qualify_statement",
+    "estimate_plan",
+    "PlanEstimate",
+]

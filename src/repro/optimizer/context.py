@@ -1,0 +1,89 @@
+"""Query-scoped dependency theories.
+
+Rewrite decisions are implication questions against an
+:class:`~repro.core.inference.ODTheory` assembled from everything the
+optimizer knows about the tuple stream at a plan node:
+
+* each table's **declared constraints** (ODs / FDs / equivalences), with
+  attribute names qualified by the scan alias (``month`` → ``d.month``);
+* **join equalities** — after an equi-join on ``f.sk = d.sk`` the two
+  columns are order-equivalent (and functionally interchangeable) in the
+  output stream;
+* **constant bindings** — a conjunct ``d.year = 2000`` makes ``d.year`` a
+  constant downstream (``[] ↦ [d.year]``), which both reductions exploit.
+
+All three statement families are *pairwise* properties, so they keep holding
+for the multiset of output tuples of filters and joins — the soundness
+argument for using the oracle on derived streams.
+"""
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..core.attrs import EMPTY, AttrList
+from ..core.dependency import (
+    FunctionalDependency,
+    OrderCompatibility,
+    OrderDependency,
+    OrderEquivalence,
+    Statement,
+)
+from ..core.inference import ODTheory
+
+__all__ = [
+    "qualify_statement",
+    "alias_constraints",
+    "join_equivalence",
+    "constant_statement",
+    "build_theory",
+]
+
+
+def _qualify_list(attrs: AttrList, alias: str) -> AttrList:
+    return AttrList(f"{alias}.{name}" for name in attrs)
+
+
+def qualify_statement(statement: Statement, alias: str) -> Statement:
+    """Rename a table-level statement into a scan's qualified namespace."""
+    if isinstance(statement, OrderDependency):
+        return OrderDependency(
+            _qualify_list(statement.lhs, alias), _qualify_list(statement.rhs, alias)
+        )
+    if isinstance(statement, OrderEquivalence):
+        return OrderEquivalence(
+            _qualify_list(statement.lhs, alias), _qualify_list(statement.rhs, alias)
+        )
+    if isinstance(statement, OrderCompatibility):
+        return OrderCompatibility(
+            _qualify_list(statement.lhs, alias), _qualify_list(statement.rhs, alias)
+        )
+    if isinstance(statement, FunctionalDependency):
+        return FunctionalDependency(
+            tuple(f"{alias}.{name}" for name in statement.lhs),
+            tuple(f"{alias}.{name}" for name in statement.rhs),
+        )
+    raise TypeError(f"cannot qualify {statement!r}")
+
+
+def alias_constraints(database, alias: str, table_name: str) -> List[Statement]:
+    """Every declared constraint of the table, qualified by the alias."""
+    return [
+        qualify_statement(statement, alias)
+        for statement in database.constraints_on(table_name)
+    ]
+
+
+def join_equivalence(left_column: str, right_column: str) -> Statement:
+    """``[l] ↔ [r]``: equi-joined columns are equal row-by-row, hence
+    order-equivalent in the join output."""
+    return OrderEquivalence(AttrList([left_column]), AttrList([right_column]))
+
+
+def constant_statement(column: str) -> Statement:
+    """``[] ↦ [col]``: the column is pinned to a single value downstream."""
+    return OrderDependency(EMPTY, AttrList([column]))
+
+
+def build_theory(statements: Iterable[Statement]) -> ODTheory:
+    """Assemble the query-scoped theory (bounded for big schemas)."""
+    return ODTheory(tuple(statements), max_attributes=20)

@@ -1,0 +1,569 @@
+"""Physical planning with three reasoning modes.
+
+* ``"naive"`` — no indexes, hash everything, always sort: the floor.
+* ``"fd"`` — the [17] (Simmen et al.) state of the art the paper improves
+  on: predicate pushdown, index selection, FD-based ``ReduceOrder``,
+  FD-based stream grouping — but **no OD reasoning**.
+* ``"od"`` — everything in ``"fd"`` plus the paper's contributions:
+  OD-based order satisfaction (the oracle decides ``provided ↦ required``),
+  ``ReduceOrder++`` (Eliminate / Left Eliminate drops), and the Section 2.3
+  date-dimension join elimination.
+
+``Database.execute(sql, optimize=True)`` maps ``True → "od"`` and
+``False → "fd"``; benchmarks flip this switch to regenerate each of the
+paper's comparisons.
+
+Order properties travel as a *provided order* of qualified column names plus
+a statement set; projections contribute renaming equivalences (``[d.month]
+↔ [month]``) and monotone-derived-column ODs (``[d.date] ↦ [yr]`` for
+``YEAR(d.date) AS yr`` — the [12] technique), so satisfaction checks reduce
+uniformly to oracle implications.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..core.attrs import AttrList
+from ..core.dependency import OrderDependency, OrderEquivalence, Statement
+from ..engine.expr import Arith, Between, Cmp, Col, Expr, Func, Lit
+from ..engine.logical import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+from ..engine.operators import (
+    Filter,
+    TopN,
+    HashAggregate,
+    HashDistinct,
+    HashJoin,
+    IndexScan,
+    Limit,
+    MergeJoin,
+    Operator,
+    Project,
+    SeqScan,
+    Sort,
+    SortedDistinct,
+    StreamAggregate,
+)
+from .context import (
+    alias_constraints,
+    build_theory,
+    constant_statement,
+    join_equivalence,
+)
+from .reduce_order import (
+    ordering_satisfies,
+    ordering_satisfies_fd,
+    reduce_order_fd,
+    reduce_order_od,
+    stream_groupable,
+)
+from .rewrites import (
+    NameResolver,
+    apply_date_rewrite,
+    collect_aliases,
+    push_filters,
+    split_conjuncts,
+)
+
+__all__ = ["Planner", "Desired", "PlanInfo"]
+
+#: Functions monotone (non-decreasing) in their single column argument.
+_MONOTONE_FUNCS = {"YEAR"}
+
+
+@dataclass(frozen=True)
+class Desired:
+    """Interesting-order hints pushed toward the leaves.
+
+    ``order``: the stream should arrive sorted by these qualified columns.
+    ``partition``: equal values of these should arrive contiguously.
+    """
+
+    order: Tuple[str, ...] = ()
+    partition: Tuple[str, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not self.order and not self.partition
+
+
+@dataclass
+class _Planned:
+    """A physical subtree plus its reasoning context."""
+
+    op: Operator
+    statements: List[Statement]
+    provided_order: Tuple[str, ...]
+
+
+@dataclass
+class PlanInfo:
+    """Planner decision log, attached to the returned root operator."""
+
+    mode: str
+    date_rewrites: list = field(default_factory=list)
+    avoided_sorts: int = 0
+    stream_aggregates: int = 0
+    notes: List[str] = field(default_factory=list)
+
+
+class Planner:
+    """Translate a logical tree into an executable operator tree."""
+
+    def __init__(self, database, optimize: bool = True, mode: Optional[str] = None):
+        self.database = database
+        if mode is None:
+            mode = "od" if optimize else "fd"
+        if mode not in ("naive", "fd", "od"):
+            raise ValueError(f"unknown planning mode {mode!r}")
+        self.mode = mode
+        self.info = PlanInfo(mode=mode)
+        self.resolver: Optional[NameResolver] = None
+
+    # ------------------------------------------------------------------
+    def plan(self, logical: LogicalNode) -> Operator:
+        aliases = collect_aliases(logical)
+        self.resolver = NameResolver(self.database, aliases)
+        if self.mode != "naive":
+            logical = push_filters(logical, self.resolver)
+        if self.mode == "od":
+            logical, applied = apply_date_rewrite(
+                self.database, logical, self.resolver
+            )
+            self.info.date_rewrites = applied
+            if applied:
+                logical = push_filters(logical, self.resolver)
+        planned = self._plan(logical, Desired())
+        planned.op.plan_info = self.info  # type: ignore[attr-defined]
+        return planned.op
+
+    # ------------------------------------------------------------------
+    # Satisfaction tests per mode
+    # ------------------------------------------------------------------
+    def _order_ok(self, statements, provided, required) -> bool:
+        if not required:
+            return True
+        if self.mode == "naive":
+            return tuple(provided[: len(required)]) == tuple(required)
+        theory = build_theory(statements)
+        if self.mode == "fd":
+            return ordering_satisfies_fd(theory, provided, required)
+        return ordering_satisfies(theory, provided, required)
+
+    def _partition_ok(self, statements, provided, group_columns) -> bool:
+        if not group_columns:
+            return True
+        if self.mode == "naive":
+            return False
+        theory = build_theory(statements)
+        return stream_groupable(
+            theory, provided, group_columns, od_reasoning=(self.mode == "od")
+        )
+
+    def _reduce(self, statements, keys) -> Tuple[str, ...]:
+        theory = build_theory(statements)
+        if self.mode == "od":
+            return reduce_order_od(theory, keys)
+        if self.mode == "fd":
+            return reduce_order_fd(theory, keys)
+        return tuple(dict.fromkeys(keys))
+
+    # ------------------------------------------------------------------
+    # Node dispatch
+    # ------------------------------------------------------------------
+    def _plan(self, node: LogicalNode, desired: Desired) -> _Planned:
+        if isinstance(node, LogicalScan):
+            return self._plan_scan(node, None, desired)
+        if isinstance(node, LogicalFilter):
+            return self._plan_filter(node, desired)
+        if isinstance(node, LogicalJoin):
+            return self._plan_join(node, desired)
+        if isinstance(node, LogicalAggregate):
+            return self._plan_aggregate(node, desired)
+        if isinstance(node, LogicalProject):
+            return self._plan_project(node, desired)
+        if isinstance(node, LogicalDistinct):
+            return self._plan_distinct(node, desired)
+        if isinstance(node, LogicalSort):
+            return self._plan_sort(node, desired)
+        if isinstance(node, LogicalLimit):
+            if isinstance(node.child, LogicalSort) and self.mode != "naive":
+                return self._plan_topn(node.child, node.count, desired)
+            child = self._plan(node.child, desired)
+            return _Planned(
+                Limit(child.op, node.count), child.statements, child.provided_order
+            )
+        raise TypeError(f"cannot plan {node!r}")
+
+    def _plan_topn(self, sort_node: LogicalSort, count: int, desired: Desired) -> _Planned:
+        """ORDER BY + LIMIT: prefer no sort at all (OD satisfaction), else a
+        bounded-heap TopN instead of a full Sort."""
+        planned = self._plan_sort(sort_node, desired)
+        top = planned.op
+        if isinstance(top, Sort):
+            fused = TopN(top.child, top.keys, count)
+            return _Planned(fused, planned.statements, fused.ordering)
+        return _Planned(Limit(top, count), planned.statements, planned.provided_order)
+
+    # ------------------------------------------------------------------
+    # Scans (with optional local predicate for sargable ranges)
+    # ------------------------------------------------------------------
+    def _plan_scan(
+        self,
+        node: LogicalScan,
+        predicate: Optional[Expr],
+        desired: Desired,
+    ) -> _Planned:
+        table = self.database.table(node.table)
+        statements = alias_constraints(self.database, node.alias, node.table)
+        conjuncts = split_conjuncts(predicate) if predicate is not None else []
+        statements += self._constant_statements(node.alias, conjuncts)
+
+        chosen = None
+        if self.mode != "naive":
+            chosen = self._choose_index(node, table, conjuncts, desired, statements)
+        if chosen is None:
+            op: Operator = SeqScan(table, node.alias)
+            provided: Tuple[str, ...] = ()
+        else:
+            index, low, high = chosen
+            op = IndexScan(index, node.alias, low, high)
+            provided = op.ordering
+        if predicate is not None:
+            op = Filter(op, predicate)
+        return _Planned(op, statements, provided)
+
+    def _constant_statements(self, alias: str, conjuncts) -> List[Statement]:
+        out: List[Statement] = []
+        for conjunct in conjuncts:
+            column, value = _equality_of(conjunct)
+            if column is not None:
+                try:
+                    out.append(constant_statement(self.resolver.qualify(column)))
+                except (KeyError, ValueError):
+                    pass
+        return out
+
+    def _choose_index(self, node, table, conjuncts, desired, statements):
+        """Pick (index, low, high) maximizing (order benefit, sargability)."""
+        best = None
+        best_score = (False, False, 0)
+        for index in self.database.indexes_on(node.table):
+            qualified = tuple(f"{node.alias}.{c}" for c in index.key_columns)
+            gives_order = bool(desired.order) and self._order_ok(
+                statements, qualified, self._try_qualify(desired.order)
+            )
+            gives_partition = bool(desired.partition) and self._partition_ok(
+                statements, qualified, self._try_qualify(desired.partition)
+            )
+            low, high, bound_width = _sargable_bounds(
+                index.key_columns, node.alias, conjuncts, self.resolver
+            )
+            score = (gives_order or gives_partition, bound_width > 0, bound_width)
+            if score > best_score and (score[0] or score[1]):
+                best_score = score
+                best = (index, low, high)
+        return best
+
+    def _try_qualify(self, names: Sequence[str]) -> Tuple[str, ...]:
+        out = []
+        for name in names:
+            try:
+                out.append(self.resolver.qualify(name))
+            except (KeyError, ValueError):
+                out.append(name)
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    def _plan_filter(self, node: LogicalFilter, desired: Desired) -> _Planned:
+        if isinstance(node.child, LogicalScan) and self.mode != "naive":
+            return self._plan_scan(node.child, node.predicate, desired)
+        child = self._plan(node.child, desired)
+        statements = child.statements + self._constant_statements(
+            "", split_conjuncts(node.predicate)
+        )
+        return _Planned(
+            Filter(child.op, node.predicate), statements, child.provided_order
+        )
+
+    # ------------------------------------------------------------------
+    def _plan_join(self, node: LogicalJoin, desired: Desired) -> _Planned:
+        # The probe (left) side preserves its order through a hash join, so
+        # interesting orders flow to the left child.
+        left = self._plan(node.left, desired)
+        right = self._plan(node.right, Desired())
+        left_keys = [left.op.schema.resolve(c) for c in node.left_columns]
+        right_keys = [right.op.schema.resolve(c) for c in node.right_columns]
+        statements = left.statements + right.statements
+        for l, r in zip(left_keys, right_keys):
+            statements.append(join_equivalence(l, r))
+
+        both_sorted = self.mode != "naive" and (
+            self._order_ok(left.statements, left.provided_order, left_keys)
+            and self._order_ok(right.statements, right.provided_order, right_keys)
+        )
+        if both_sorted:
+            op: Operator = MergeJoin(left.op, right.op, left_keys, right_keys)
+        else:
+            op = HashJoin(left.op, right.op, left_keys, right_keys)
+        return _Planned(op, statements, left.provided_order)
+
+    # ------------------------------------------------------------------
+    def _plan_aggregate(self, node: LogicalAggregate, desired: Desired) -> _Planned:
+        group_qualified = self._try_qualify(node.group_columns)
+        child_desired_order: Tuple[str, ...] = ()
+        if desired.order and set(desired.order) <= set(node.group_columns):
+            remaining = [
+                c for c in node.group_columns if c not in set(desired.order)
+            ]
+            child_desired_order = tuple(desired.order) + tuple(remaining)
+        elif not desired.order:
+            child_desired_order = ()
+        child = self._plan(
+            node.child,
+            Desired(
+                order=self._try_qualify(child_desired_order),
+                partition=group_qualified,
+            ),
+        )
+        resolved_group = tuple(
+            child.op.schema.resolve(c) for c in node.group_columns
+        )
+        if self._partition_ok(child.statements, child.provided_order, resolved_group):
+            op: Operator = StreamAggregate(child.op, resolved_group, node.aggregates)
+            self.info.stream_aggregates += 1
+            provided = child.provided_order
+        else:
+            op = HashAggregate(child.op, resolved_group, node.aggregates)
+            provided = ()
+        return _Planned(op, child.statements, provided)
+
+    # ------------------------------------------------------------------
+    def _plan_project(self, node: LogicalProject, desired: Desired) -> _Planned:
+        if node.exprs is None:  # SELECT *
+            return self._plan(node.child, desired)
+        # Translate desired output names to input columns where possible.
+        rename = {
+            name: expr.name
+            for expr, name in zip(node.exprs, node.names)
+            if isinstance(expr, Col)
+        }
+        translated_order = tuple(rename.get(c, c) for c in desired.order)
+        translated_partition = tuple(rename.get(c, c) for c in desired.partition)
+        child = self._plan(
+            node.child, Desired(translated_order, translated_partition)
+        )
+        op = Project(child.op, node.exprs, node.names)
+        statements = list(child.statements)
+        for expr, name in zip(node.exprs, node.names):
+            statements.extend(
+                _projection_statements(expr, name, child.op.schema)
+            )
+        # The stream is still physically ordered by the (possibly hidden)
+        # child order; renaming equivalences connect it to output names.
+        return _Planned(op, statements, child.provided_order)
+
+    # ------------------------------------------------------------------
+    def _plan_distinct(self, node: LogicalDistinct, desired: Desired) -> _Planned:
+        child = self._plan(node.child, desired)
+        columns = child.op.schema.names
+        if self.mode != "naive" and self._partition_ok(
+            child.statements, child.provided_order, columns
+        ):
+            op: Operator = SortedDistinct(child.op)
+        else:
+            op = HashDistinct(child.op)
+        return _Planned(op, child.statements, child.provided_order if isinstance(op, SortedDistinct) else ())
+
+    # ------------------------------------------------------------------
+    def _plan_sort(self, node: LogicalSort, desired: Desired) -> _Planned:
+        child = self._plan(node.child, Desired(order=node.keys))
+        try:
+            required = tuple(child.op.schema.resolve(k) for k in node.keys)
+        except (KeyError, ValueError):
+            # SQL permits ordering by columns the select list drops; push
+            # the sort below the projection, where they are still visible.
+            if isinstance(node.child, LogicalProject) and node.child.exprs is not None:
+                import dataclasses
+
+                lowered = dataclasses.replace(
+                    node.child, child=LogicalSort(node.child.child, node.keys)
+                )
+                return self._plan(lowered, desired)
+            raise
+        if self._order_ok(child.statements, child.provided_order, required):
+            self.info.avoided_sorts += 1
+            self.info.notes.append(
+                f"sort on [{', '.join(required)}] satisfied by existing order "
+                f"[{', '.join(child.provided_order)}]"
+            )
+            return child
+        keys = self._reduce(child.statements, required)
+        if keys != required:
+            self.info.notes.append(
+                f"order-by reduced: [{', '.join(required)}] -> "
+                f"[{', '.join(keys)}]"
+            )
+        if not keys:  # everything constant: any order is correct
+            self.info.avoided_sorts += 1
+            return child
+        op = Sort(child.op, keys)
+        return _Planned(op, child.statements, op.ordering)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _equality_of(conjunct: Expr):
+    """(column, value) for ``col = literal`` conjuncts, else (None, None)."""
+    if isinstance(conjunct, Cmp) and conjunct.op == "=":
+        if isinstance(conjunct.left, Col) and isinstance(conjunct.right, Lit):
+            return conjunct.left.name, conjunct.right.value
+        if isinstance(conjunct.right, Col) and isinstance(conjunct.left, Lit):
+            return conjunct.right.name, conjunct.left.value
+    if isinstance(conjunct, Between) and isinstance(conjunct.operand, Col):
+        if (
+            isinstance(conjunct.low, Lit)
+            and isinstance(conjunct.high, Lit)
+            and conjunct.low.value == conjunct.high.value
+        ):
+            return conjunct.operand.name, conjunct.low.value
+    return None, None
+
+
+def _sargable_bounds(key_columns, alias, conjuncts, resolver):
+    """Bounds (low, high, width) over a prefix of the index key.
+
+    Consumes equality conjuncts along the key prefix, then at most one range
+    conjunct on the next key column.
+    """
+    eq_values: List = []
+    for column in key_columns:
+        found = None
+        for conjunct in conjuncts:
+            c, v = _equality_of(conjunct)
+            if c is not None:
+                try:
+                    if resolver.qualify(c) == f"{alias}.{column}":
+                        found = v
+                        break
+                except (KeyError, ValueError):
+                    continue
+        if found is None:
+            break
+        eq_values.append(found)
+    position = len(eq_values)
+    low = list(eq_values)
+    high = list(eq_values)
+    if position < len(key_columns):
+        target = f"{alias}.{key_columns[position]}"
+        range_low = range_high = None
+        for conjunct in conjuncts:
+            extracted = _range_bounds(conjunct, target, resolver)
+            if extracted is not None:
+                lo, hi = extracted
+                if lo is not None:
+                    range_low = lo if range_low is None else max(range_low, lo)
+                if hi is not None:
+                    range_high = hi if range_high is None else min(range_high, hi)
+        if range_low is not None:
+            low.append(range_low)
+        if range_high is not None:
+            high.append(range_high)
+    width = max(len(low), len(high))
+    if width == 0:
+        return None, None, 0
+    return (
+        tuple(low) if low else None,
+        tuple(high) if len(high) > len(eq_values) or high else None,
+        width,
+    )
+
+
+def _range_bounds(conjunct: Expr, target: str, resolver):
+    """(low, high) contribution of one conjunct to the target column."""
+    def is_target(name: str) -> bool:
+        try:
+            return resolver.qualify(name) == target
+        except (KeyError, ValueError):
+            return False
+
+    if isinstance(conjunct, Between) and isinstance(conjunct.operand, Col):
+        if is_target(conjunct.operand.name) and isinstance(conjunct.low, Lit) \
+                and isinstance(conjunct.high, Lit):
+            return conjunct.low.value, conjunct.high.value
+    if isinstance(conjunct, Cmp):
+        op = conjunct.op
+        if isinstance(conjunct.left, Col) and isinstance(conjunct.right, Lit):
+            column, value = conjunct.left.name, conjunct.right.value
+        elif isinstance(conjunct.right, Col) and isinstance(conjunct.left, Lit):
+            column, value = conjunct.right.name, conjunct.left.value
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        else:
+            return None
+        if not is_target(column):
+            return None
+        if op == ">=":
+            return value, None
+        if op == "<=":
+            return None, value
+        if op == "=":
+            return value, value
+    return None
+
+
+def _projection_statements(expr: Expr, name: str, child_schema) -> List[Statement]:
+    """Statements connecting a projected output column to its sources.
+
+    * pass-through ``Col``: full equivalence (a pure rename);
+    * monotone function / arithmetic of one column: a one-way OD — the
+      [12]-style derived monotonicity of Section 2.2.
+    """
+    if isinstance(expr, Col):
+        try:
+            source = child_schema.resolve(expr.name)
+        except (KeyError, ValueError):
+            return []
+        if source == name:
+            return []
+        return [OrderEquivalence(AttrList([source]), AttrList([name]))]
+    source_column = _monotone_source(expr)
+    if source_column is not None:
+        try:
+            source = child_schema.resolve(source_column)
+        except (KeyError, ValueError):
+            return []
+        return [OrderDependency(AttrList([source]), AttrList([name]))]
+    return []
+
+
+def _monotone_source(expr: Expr) -> Optional[str]:
+    """The single column an expression is monotone non-decreasing in."""
+    if isinstance(expr, Col):
+        return expr.name
+    if isinstance(expr, Func) and expr.name in _MONOTONE_FUNCS and len(expr.args) == 1:
+        return _monotone_source(expr.args[0])
+    if isinstance(expr, Arith):
+        if expr.op in ("+", "-") and isinstance(expr.right, Lit):
+            return _monotone_source(expr.left)
+        if expr.op == "+" and isinstance(expr.left, Lit):
+            return _monotone_source(expr.right)
+        if expr.op in ("*", "/") and isinstance(expr.right, Lit):
+            value = expr.right.value
+            if isinstance(value, (int, float)) and value > 0:
+                return _monotone_source(expr.left)
+        if expr.op == "*" and isinstance(expr.left, Lit):
+            value = expr.left.value
+            if isinstance(value, (int, float)) and value > 0:
+                return _monotone_source(expr.right)
+    return None

@@ -1,0 +1,233 @@
+"""Order-specification reduction: ReduceOrder and ReduceOrder++.
+
+Section 2.3 describes the rewrite algorithm of Simmen et al. [17] —
+**ReduceOrder** — which sweeps an ``ORDER BY`` list right to left and drops
+an attribute when the *prefix set* to its left functionally determines it
+(plus constants).  The paper's augmentation — **ReduceOrder++** — adds the
+OD-powered drops:
+
+* **Eliminate** (Theorem 7): drop ``A`` when some contiguous sublist ``X``
+  *anywhere earlier* in the spec orders it (``X ↦ [A]``);
+* **Left Eliminate** (Theorem 8): drop ``A`` when the list ``X`` *directly
+  following* it orders it — this is the ``[year, quarter, month]`` →
+  ``[year, month]`` rewrite that FDs cannot justify.
+
+The adjacency subtlety the paper stresses is preserved: given ``D ↦ B``,
+``[A, B, D]`` reduces to ``[A, D]`` but ``[A, B, C, D]`` does **not** —
+the interceding ``C`` breaks Left Eliminate, and no Eliminate applies.
+
+:func:`reduce_order_exact` is the semantic optimum (drop ``A`` whenever the
+spec with and without it are order-equivalent per the oracle); the test
+suite verifies ``fd ⊆ od ⊆ exact`` and that every variant preserves order
+equivalence.
+"""
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.attrs import AttrList
+from ..core.dependency import FunctionalDependency, OrderDependency, OrderEquivalence
+from ..core.inference import ODTheory
+
+__all__ = [
+    "reduce_order_fd",
+    "reduce_order_od",
+    "reduce_order_exact",
+    "ordering_satisfies",
+    "ordering_satisfies_fd",
+    "stream_groupable",
+    "minimal_groupby",
+]
+
+
+def _dedupe(keys: Sequence[str]) -> List[str]:
+    """Normalization axiom at the spec level: later duplicates drop."""
+    seen: set = set()
+    out: List[str] = []
+    for key in keys:
+        if key not in seen:
+            seen.add(key)
+            out.append(key)
+    return out
+
+
+def reduce_order_fd(theory: ODTheory, keys: Sequence[str]) -> Tuple[str, ...]:
+    """ReduceOrder ([17]): right-to-left sweep with prefix-FD and constant
+    drops only."""
+    out = _dedupe(keys)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(out) - 1, -1, -1):
+            attribute = out[i]
+            prefix = out[:i]
+            if theory.is_constant(attribute) or (
+                theory.implies(FunctionalDependency(tuple(prefix), (attribute,)))
+            ):
+                del out[i]
+                changed = True
+    return tuple(out)
+
+
+def _segment_droppable(
+    theory: ODTheory, out: List[str], start: int, stop: int
+) -> bool:
+    """Can the contiguous segment ``out[start:stop]`` drop?
+
+    * Eliminate (Thm 7): some contiguous sublist entirely *before* the
+      segment orders it;
+    * Left Eliminate (Thm 8): the segment *directly precedes* a contiguous
+      sublist that orders it.  (The paper's multi-attribute case: given
+      ``D ↦ BC``, the segment ``[B, C]`` before ``D`` drops at once.)
+    """
+    target = AttrList(out[start:stop])
+    for s in range(0, start):
+        for e in range(s + 1, start + 1):
+            if theory.implies(OrderDependency(AttrList(out[s:e]), target)):
+                return True
+    for e in range(stop + 1, len(out) + 1):
+        if theory.implies(OrderDependency(AttrList(out[stop:e]), target)):
+            return True
+    return False
+
+
+def reduce_order_od(theory: ODTheory, keys: Sequence[str]) -> Tuple[str, ...]:
+    """ReduceOrder++: the FD sweep plus the OD-powered segment drops."""
+    out = _dedupe(keys)
+    changed = True
+    while changed:
+        changed = False
+        # single-attribute drops (constants and whole-prefix FDs)
+        for i in range(len(out) - 1, -1, -1):
+            attribute = out[i]
+            prefix = out[:i]
+            if theory.is_constant(attribute) or theory.implies(
+                FunctionalDependency(tuple(prefix), (attribute,))
+            ):
+                del out[i]
+                changed = True
+        if changed:
+            continue
+        # contiguous-segment drops via Eliminate / Left Eliminate
+        for start in range(len(out) - 1, -1, -1):
+            for stop in range(len(out), start, -1):
+                if _segment_droppable(theory, out, start, stop):
+                    del out[start:stop]
+                    changed = True
+                    break
+            if changed:
+                break
+    return tuple(out)
+
+
+def reduce_order_exact(theory: ODTheory, keys: Sequence[str]) -> Tuple[str, ...]:
+    """Semantic fixpoint: drop any attribute whose removal leaves an
+    order-equivalent spec (single-attribute-removal closure)."""
+    out = _dedupe(keys)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(out) - 1, -1, -1):
+            candidate = out[:i] + out[i + 1:]
+            if theory.implies(OrderEquivalence(AttrList(out), AttrList(candidate))):
+                out = candidate
+                changed = True
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# Order-property tests used by the physical planner
+# ----------------------------------------------------------------------
+def ordering_satisfies(
+    theory: ODTheory, provided: Sequence[str], required: Sequence[str]
+) -> bool:
+    """OD-mode test: a stream sorted by ``provided`` is sorted by
+    ``required`` iff ``provided ↦ required`` — Definition 4, verbatim."""
+    return theory.implies(
+        OrderDependency(AttrList(provided), AttrList(required))
+    )
+
+
+def ordering_satisfies_fd(
+    theory: ODTheory, provided: Sequence[str], required: Sequence[str]
+) -> bool:
+    """FD-mode ([17]) test: FD-reduce the requirement, then demand it be a
+    position-wise prefix of the provided order.  "Position-wise" admits pure
+    column renames (``[d.d_year] ↔ [d_year]`` from a projection) — plumbing
+    any real optimizer has — but no OD reasoning."""
+    reduced = reduce_order_fd(theory, required)
+    provided = tuple(provided)
+    if len(reduced) > len(provided):
+        return False
+    for given, needed in zip(provided, reduced):
+        if given == needed:
+            continue
+        rename = OrderEquivalence(AttrList([given]), AttrList([needed]))
+        if not theory.implies(rename):
+            return False
+    return True
+
+
+def stream_groupable(
+    theory: ODTheory,
+    ordering: Sequence[str],
+    group_columns: Sequence[str],
+    od_reasoning: bool = True,
+) -> bool:
+    """May a stream ordered by ``ordering`` feed a StreamAggregate grouping
+    by ``group_columns``?
+
+    Condition: the stream order lexicographically orders *some* arrangement
+    ``L`` of the grouping columns (``ordering ↦ L``).  Rows equal on the
+    grouping set are equal on ``L``, and equal-``L`` rows are contiguous in
+    any ``L``-ordered stream — Example 1's "group divisions can be found on
+    the fly in the stream".
+
+    The classical FD form — a prefix ``P`` of the ordering lies inside the
+    grouping set and functionally determines it — is the special case
+    ``L = P ++ rest`` (Path/Union make ``ordering ↦ L`` derivable), and is
+    checked first as a fast path.
+    """
+    import itertools
+
+    group_columns = tuple(dict.fromkeys(group_columns))
+    if not group_columns:
+        return True
+    group_set = set(group_columns)
+    for end in range(0, len(ordering) + 1):
+        prefix = tuple(ordering[:end])
+        if not set(prefix) <= group_set:
+            break
+        if theory.implies(FunctionalDependency(prefix, tuple(group_set))):
+            return True
+    if not od_reasoning:
+        return False  # [17] FD-mode stops at the prefix-FD condition
+    provided = AttrList(ordering)
+    if len(group_columns) <= 4:
+        arrangements = itertools.permutations(group_columns)
+    else:  # factorial blowup guard: try only the written arrangement
+        arrangements = (group_columns,)
+    for arrangement in arrangements:
+        if theory.implies(OrderDependency(provided, AttrList(arrangement))):
+            return True
+    return False
+
+
+def minimal_groupby(
+    theory: ODTheory, group_columns: Sequence[str]
+) -> Tuple[str, ...]:
+    """Drop grouping columns functionally determined by the rest.
+
+    Group-by is set-based, so (unlike order-by) the plain FD criterion is
+    both necessary and sufficient for an *equivalent* partition.
+    """
+    out = _dedupe(group_columns)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(out) - 1, -1, -1):
+            rest = out[:i] + out[i + 1:]
+            if theory.implies(FunctionalDependency(tuple(rest), (out[i],))):
+                out = rest
+                changed = True
+    return tuple(out)

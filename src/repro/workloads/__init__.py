@@ -1,0 +1,45 @@
+"""Workload generators: the paper's motivating datasets, laptop-scale.
+
+* :mod:`repro.workloads.datedim` — the Figure 2 calendar hierarchy;
+* :mod:`repro.workloads.taxes` — Example 5's progressive tax table;
+* :mod:`repro.workloads.tpcds_lite` — the Section 2.3 star schema and the
+  thirteen rewrite-eligible date queries;
+* :mod:`repro.workloads.random_instances` — reproducible fuzzing inputs.
+"""
+from .datedim import (
+    FIGURE2_PATHS,
+    build_date_dim,
+    date_dim_ods,
+    date_dim_schema,
+    generate_date_dim,
+)
+from .random_instances import (
+    random_attrlist,
+    random_od,
+    random_od_set,
+    random_relation,
+    relation_satisfying,
+)
+from .taxes import DEFAULT_BRACKETS, build_taxes, generate_taxes, tax_of, taxes_ods
+from .tpcds_lite import DATE_QUERIES, TpcdsLite, build_tpcds_lite
+
+__all__ = [
+    "generate_date_dim",
+    "date_dim_schema",
+    "date_dim_ods",
+    "build_date_dim",
+    "FIGURE2_PATHS",
+    "generate_taxes",
+    "taxes_ods",
+    "build_taxes",
+    "tax_of",
+    "DEFAULT_BRACKETS",
+    "build_tpcds_lite",
+    "TpcdsLite",
+    "DATE_QUERIES",
+    "random_attrlist",
+    "random_od",
+    "random_od_set",
+    "random_relation",
+    "relation_satisfying",
+]

@@ -1,0 +1,150 @@
+"""The date dimension: the paper's Figure 2 hierarchy as data + ODs.
+
+Generates a Kimball-style date dimension table — one row per calendar day,
+with a surrogate key and the derived calendar columns — and the order
+dependencies that hold among them by construction:
+
+* ``[d_date_sk] ↔ [d_date]`` — the surrogate assignment preserves date
+  order (the Section 2.3 guarantee the join-elimination rewrite needs);
+* ``[d_date] ↦ [d_year, d_moy, d_dom]``, ``[d_date] ↦ [d_year, d_qoy,
+  d_moy, d_dom]``, ``[d_date] ↦ [d_year, d_doy]``, … — the Figure 2 paths;
+* ``[d_moy] ↦ [d_qoy]`` — month determines-and-orders quarter, the Example 1
+  dependency;
+* FDs like ``{d_date} → everything`` and ``{d_moy} → {d_qoy}``.
+
+Column names follow TPC-DS (``d_date_sk``, ``d_year``, ``d_qoy``, ``d_moy``,
+``d_dom``, ``d_doy``, ``d_week_seq``) so the tpcds_lite workload can share
+this module.
+"""
+from __future__ import annotations
+
+import datetime
+from typing import List, Tuple
+
+from ..core.dependency import Statement, equiv, fd, od
+from ..engine.schema import Column, Schema
+from ..engine.table import Table
+from ..engine.types import DataType
+
+__all__ = [
+    "date_dim_schema",
+    "generate_date_dim",
+    "date_dim_ods",
+    "FIGURE2_PATHS",
+]
+
+
+def date_dim_schema() -> Schema:
+    """The date-dimension schema (TPC-DS column naming)."""
+    return Schema.of(
+        ("d_date_sk", DataType.INT),
+        ("d_date", DataType.DATE),
+        ("d_year", DataType.INT),
+        ("d_qoy", DataType.INT),
+        ("d_moy", DataType.INT),
+        ("d_dom", DataType.INT),
+        ("d_doy", DataType.INT),
+        ("d_week_seq", DataType.INT),
+        ("d_dow", DataType.INT),
+        ("d_month_name", DataType.STR),
+    )
+
+_MONTH_NAMES = (
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+)
+
+
+def generate_date_dim(
+    start: datetime.date = datetime.date(1998, 1, 1),
+    days: int = 365 * 5,
+    sk_base: int = 2450815,
+    name: str = "date_dim",
+) -> Table:
+    """Generate ``days`` consecutive calendar rows starting at ``start``.
+
+    Surrogate keys ascend with the date (``sk_base + i``), exactly the
+    property the paper's TPC-DS experiments rely on.  The month-name column
+    exists to demonstrate Example 1's trap: strings sort ``April < … <
+    September``, so ``d_month_name`` is functionally determined by ``d_moy``
+    but NOT ordered by it.
+    """
+    table = Table(name, date_dim_schema())
+    epoch_week = start - datetime.timedelta(days=start.weekday())
+    rows: List[tuple] = []
+    for i in range(days):
+        day = start + datetime.timedelta(days=i)
+        week_seq = (day - epoch_week).days // 7
+        rows.append(
+            (
+                sk_base + i,
+                day,
+                day.year,
+                (day.month - 1) // 3 + 1,
+                day.month,
+                day.day,
+                day.timetuple().tm_yday,
+                week_seq,
+                day.weekday(),
+                _MONTH_NAMES[day.month - 1],
+            )
+        )
+    table.load(rows, check=False)
+    return table
+
+
+#: The Figure 2 diagram: each entry is a list-valued OD right-hand side that
+#: ``[d_date]`` orders — one per path through the hierarchy.
+FIGURE2_PATHS: Tuple[tuple, ...] = (
+    ("d_year", "d_doy"),
+    ("d_year", "d_moy", "d_dom"),
+    ("d_year", "d_qoy", "d_moy", "d_dom"),
+    ("d_year", "d_week_seq", "d_dow"),
+)
+
+
+def date_dim_ods() -> List[Statement]:
+    """Every dependency that holds in the generated date dimension.
+
+    Declared as check constraints; the test suite verifies each against the
+    generated data, and the optimizer reasons from them.
+    """
+    statements: List[Statement] = [
+        # The Section 2.3 guarantee: surrogate ordered like the natural date.
+        equiv("d_date_sk", "d_date"),
+        # Figure 2 paths.
+        *(od("d_date", list(path)) for path in FIGURE2_PATHS),
+        # Example 1's dependency: month of year orders quarter of year.
+        od("d_moy", "d_qoy"),
+        # week_seq is a running week number; the date orders it.
+        od("d_date", "d_week_seq"),
+        # Note: [d_doy] does NOT order (or determine) [d_qoy]/[d_moy] across
+        # leap years — day-of-year 91 is April 1 in common years but March 31
+        # in leap years.  The constraint checker rejects it; see tests.
+        # Functional (set) facts with no order content.
+        fd("d_date", "d_date_sk,d_year,d_qoy,d_moy,d_dom,d_doy,d_week_seq,d_dow,d_month_name"),
+        fd("d_moy", "d_qoy,d_month_name"),
+        fd("d_year,d_doy", "d_date"),
+    ]
+    return statements
+
+
+def build_date_dim(database, days: int = 365 * 5, start=None, **kwargs):
+    """Create, load, constrain and index the date dimension in a database.
+
+    Returns the table.  Indexes: clustered on the surrogate key, secondary
+    on ``d_date`` (the probe target) and on ``(d_year, d_moy, d_dom)`` (the
+    Example 1 index).
+    """
+    if start is None:
+        start = datetime.date(1998, 1, 1)
+    table = generate_date_dim(start=start, days=days, **kwargs)
+    database.tables[table.name] = table
+    for statement in date_dim_ods():
+        table.declare(statement)
+    database.create_index("date_dim_sk", table.name, ["d_date_sk"], clustered=True)
+    database.create_index("date_dim_date", table.name, ["d_date"])
+    database.create_index(
+        "date_dim_ymd", table.name, ["d_year", "d_moy", "d_dom"]
+    )
+    return table

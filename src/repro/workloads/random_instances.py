@@ -1,0 +1,95 @@
+"""Random generators for property tests and scaling benchmarks.
+
+Everything takes an explicit ``random.Random`` (or seed) so tests and
+benchmarks are reproducible.
+"""
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.attrs import AttrList
+from ..core.dependency import OrderDependency, Statement, od
+from ..core.relation import Relation
+
+__all__ = [
+    "random_attrlist",
+    "random_od",
+    "random_od_set",
+    "random_relation",
+    "relation_satisfying",
+]
+
+
+def _rng(seed_or_rng) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def random_attrlist(
+    names: Sequence[str], max_len: int = 3, rng=0, allow_empty: bool = True
+) -> AttrList:
+    """A duplicate-free random list over the given attribute names."""
+    rng = _rng(rng)
+    low = 0 if allow_empty else 1
+    k = rng.randint(low, min(max_len, len(names)))
+    return AttrList(rng.sample(list(names), k))
+
+
+def random_od(names: Sequence[str], max_len: int = 3, rng=0) -> OrderDependency:
+    """A random OD over the given attribute names."""
+    rng = _rng(rng)
+    return OrderDependency(
+        random_attrlist(names, max_len, rng), random_attrlist(names, max_len, rng)
+    )
+
+
+def random_od_set(
+    names: Sequence[str], count: int, max_len: int = 2, rng=0
+) -> List[OrderDependency]:
+    """A random set of prescribed ODs (a random ℳ)."""
+    rng = _rng(rng)
+    return [random_od(names, max_len, rng) for _ in range(count)]
+
+
+def random_relation(
+    names: Sequence[str], rows: int, domain: int = 4, rng=0
+) -> Relation:
+    """A random integer relation — the fuzzing substrate for soundness
+    tests (any relation is a legal OD-semantics model)."""
+    rng = _rng(rng)
+    attributes = AttrList(names)
+    data = [
+        tuple(rng.randint(0, domain - 1) for _ in names) for _ in range(rows)
+    ]
+    return Relation(attributes, data, name="random")
+
+
+def relation_satisfying(
+    statements: Sequence[Statement],
+    names: Sequence[str],
+    rows: int = 20,
+    domain: int = 4,
+    rng=0,
+    max_tries: int = 200,
+) -> Optional[Relation]:
+    """Rejection-sample rows to build a relation satisfying all statements.
+
+    Grows the relation row by row, keeping a candidate row only if every
+    statement still holds — cheap and effective for small statement sets.
+    Returns ``None`` if sampling stalls.
+    """
+    from ..core.satisfaction import satisfies
+
+    rng = _rng(rng)
+    attributes = AttrList(names)
+    relation = Relation(attributes, [], name="sampled")
+    tries = 0
+    while len(relation.rows) < rows and tries < max_tries:
+        tries += 1
+        candidate = tuple(rng.randint(0, domain - 1) for _ in names)
+        relation.rows.append(candidate)
+        if not all(satisfies(relation, statement) for statement in statements):
+            relation.rows.pop()
+    return relation if relation.rows else None

@@ -1,0 +1,94 @@
+"""Example 5: the Taxes table — monotone brackets and payable amounts.
+
+A progressive tax schedule: brackets rise with income, the payable amount
+rises with income.  Hence ``[income] ↦ [bracket]`` and
+``[income] ↦ [payable]``, and by Union (Theorem 2)
+``[income] ↦ [bracket, payable]`` — so an ``ORDER BY bracket, payable``
+can be answered by a tree index on ``income`` with no sort, the paper's
+Example 5 plan.
+"""
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from ..core.dependency import Statement, fd, od
+from ..engine.schema import Schema
+from ..engine.types import DataType
+
+__all__ = ["DEFAULT_BRACKETS", "taxes_schema", "generate_taxes", "taxes_ods", "build_taxes"]
+
+#: (threshold, marginal rate) — a simplified progressive schedule.
+DEFAULT_BRACKETS: Tuple[Tuple[int, float], ...] = (
+    (0, 0.10),
+    (11_000, 0.12),
+    (44_725, 0.22),
+    (95_375, 0.24),
+    (182_100, 0.32),
+    (231_250, 0.35),
+    (578_125, 0.37),
+)
+
+
+def taxes_schema() -> Schema:
+    return Schema.of(
+        ("taxpayer_id", DataType.INT),
+        ("income", DataType.INT),
+        ("bracket", DataType.INT),
+        ("rate", DataType.FLOAT),
+        ("payable", DataType.FLOAT),
+    )
+
+
+def tax_of(income: int, brackets: Sequence[Tuple[int, float]] = DEFAULT_BRACKETS):
+    """(bracket number, marginal rate, total payable) for an income."""
+    payable = 0.0
+    bracket = 0
+    rate = brackets[0][1]
+    for number, (threshold, marginal) in enumerate(brackets):
+        upper = (
+            brackets[number + 1][0] if number + 1 < len(brackets) else None
+        )
+        if income > threshold:
+            taxed_to = income if upper is None else min(income, upper)
+            payable += (taxed_to - threshold) * marginal
+            bracket, rate = number + 1, marginal
+        elif income == threshold and number == 0:
+            bracket, rate = 1, marginal
+    return bracket, rate, round(payable, 2)
+
+
+def generate_taxes(rows: int = 10_000, seed: int = 7):
+    """Random taxpayers with schedule-consistent brackets and payables."""
+    rng = random.Random(seed)
+    out: List[tuple] = []
+    for taxpayer in range(1, rows + 1):
+        income = int(rng.lognormvariate(11, 0.8))
+        bracket, rate, payable = tax_of(income)
+        out.append((taxpayer, income, bracket, rate, payable))
+    return out
+
+
+def taxes_ods() -> List[Statement]:
+    """The Example 5 dependencies (with the Union composition)."""
+    return [
+        od("income", "bracket"),
+        od("income", "payable"),
+        od("income", "rate"),
+        # by Union; declared explicitly so FD-mode sees it too
+        od("income", "bracket,payable"),
+        fd("income", "bracket,rate,payable"),
+    ]
+
+
+def build_taxes(database, rows: int = 10_000, seed: int = 7):
+    """Create, load, constrain and index the Taxes table in a database."""
+    from ..engine.table import Table
+
+    table = Table("taxes", taxes_schema())
+    table.load(generate_taxes(rows, seed), check=False)
+    database.tables[table.name] = table
+    for statement in taxes_ods():
+        table.declare(statement)
+    database.create_index("taxes_income", "taxes", ["income"], clustered=True)
+    return table

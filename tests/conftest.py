@@ -1,0 +1,29 @@
+"""Shared fixtures and helpers for the test suite."""
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.attrs import AttrList
+from repro.core.relation import Relation
+
+
+@pytest.fixture
+def figure1() -> Relation:
+    """The paper's Figure 1 instance (two rows over A..F)."""
+    return Relation(
+        AttrList.parse("A,B,C,D,E,F"),
+        [(3, 2, 0, 4, 7, 9), (3, 2, 1, 3, 8, 9)],
+        name="figure1",
+    )
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+def make_relation(spec: str, rows) -> Relation:
+    """Shorthand: ``make_relation("A,B", [(1,2), (3,4)])``."""
+    return Relation(AttrList.parse(spec), list(rows))

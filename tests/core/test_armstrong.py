@@ -1,0 +1,182 @@
+"""The completeness construction: append, split(M), swap(M) (Section 4)."""
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.armstrong import (
+    append_tables,
+    canonical_armstrong,
+    paper_armstrong,
+    split_table,
+    swap_table,
+)
+from repro.core.attrs import AttrList, attrlist
+from repro.core.dependency import compat, equiv, fd, od
+from repro.core.inference import ODTheory
+from repro.core.relation import Relation
+from repro.core.satisfaction import find_split, find_swap, satisfies
+
+NAMES = ("A", "B", "C", "D")
+side = st.lists(st.sampled_from(NAMES), max_size=2, unique=True).map(AttrList)
+ods = st.builds(od, side, side)
+
+
+class TestAppend:
+    """Definition 17 and the Figures 4–6 walkthrough."""
+
+    def test_paper_figures_4_to_6(self):
+        t1 = Relation(attrlist("A,B,C,D"), [(0, 0, 0, 0), (0, 0, 1, 1)])
+        t2 = Relation(attrlist("A,B,C,D"), [(0, 1, 0, 0), (1, 0, 0, 0)])
+        appended = append_tables(t1, t2)
+        assert appended.rows == [
+            (0, 0, 0, 0),
+            (0, 0, 1, 1),
+            (2, 3, 2, 2),
+            (3, 2, 2, 2),
+        ]
+
+    def test_second_block_strictly_above_first(self):
+        t1 = Relation(attrlist("A,B"), [(5, 7)])
+        t2 = Relation(attrlist("A,B"), [(1, 3)])
+        appended = append_tables(t1, t2)
+        first, second = appended.rows
+        assert max(first) < min(second)
+
+    def test_lemma9_no_new_swaps(self):
+        """Cross-block pairs ascend everywhere, so any OD over non-empty
+        lists that held in both blocks still holds after append."""
+        t1 = Relation(attrlist("A,B"), [(0, 0), (1, 1)])
+        t2 = Relation(attrlist("A,B"), [(0, 0), (2, 2)])
+        appended = append_tables(t1, t2)
+        assert satisfies(appended, od("A", "B"))
+        assert satisfies(appended, equiv("A", "B"))
+
+    def test_constants_pinned(self):
+        t1 = Relation(attrlist("A,B"), [(0, 5)])
+        t2 = Relation(attrlist("A,B"), [(1, 5)])
+        appended = append_tables(t1, t2, constant_attrs=frozenset({"B"}))
+        assert [row[1] for row in appended.rows] == [5, 5]
+        assert satisfies(appended, od("", "B"))
+
+    def test_schema_mismatch_rejected(self):
+        t1 = Relation(attrlist("A"), [])
+        t2 = Relation(attrlist("B"), [])
+        with pytest.raises(ValueError):
+            append_tables(t1, t2)
+
+    def test_empty_sides(self):
+        t1 = Relation(attrlist("A"), [])
+        t2 = Relation(attrlist("A"), [(1,), (2,)])
+        assert append_tables(t1, t2).rows == [(1,), (2,)]
+        assert append_tables(t2, t1).rows == [(1,), (2,)]
+
+
+class TestSplitTable:
+    def test_satisfies_theory(self):
+        theory = ODTheory([fd("A", "B")])
+        table = split_table(theory, attrlist("A,B,C"))
+        assert satisfies(table, fd("A", "B"))
+
+    def test_falsifies_non_implied_fd(self):
+        theory = ODTheory([fd("A", "B")])
+        table = split_table(theory, attrlist("A,B,C"))
+        assert not satisfies(table, fd("B", "A"))
+        assert not satisfies(table, fd("A", "C"))
+
+    def test_no_swaps_introduced(self):
+        """split(M) is all-ascending: no OD can fail by swap (Lemma 10)."""
+        theory = ODTheory([fd("A", "B")])
+        table = split_table(theory, attrlist("A,B,C"))
+        for x, y in (("A", "B"), ("B", "C"), ("A", "C")):
+            assert find_swap(table, od(x, y)) is None
+
+    def test_respects_constants(self):
+        theory = ODTheory([od("", "C"), fd("A", "B")])
+        table = split_table(theory, attrlist("A,B,C"))
+        assert satisfies(table, od("", "C"))
+
+
+class TestSwapTable:
+    def test_empty_context_swap(self):
+        theory = ODTheory([od("A", "B")])
+        table = swap_table(theory, attrlist("A,B,C"))
+        # B ~ C is not implied: a swap between B and C must appear
+        assert not satisfies(table, compat("B", "C"))
+        # but the declared OD must survive
+        assert satisfies(table, od("A", "B"))
+
+    def test_contextual_swap(self):
+        """[C,A] ~ [C,B] fails only within equal-C context when C |-> ...
+        constructions recurse (Hypothesis 1)."""
+        theory = ODTheory([compat("A", "B")])
+        table = swap_table(theory, attrlist("A,B,C"))
+        assert satisfies(table, compat("A", "B"))
+        # C swaps against A in some context
+        assert not satisfies(table, compat("C", "A"))
+
+    def test_chain_groups_move_together(self):
+        """With A~B and B~C and the chain-context premises, A's group in the
+        Figure 9 construction carries its compatible partners."""
+        theory = ODTheory(
+            [compat("A", "B"), compat("B", "C"), compat("B,A", "B,C")]
+        )
+        table = swap_table(theory, attrlist("A,B,C"))
+        for statement in theory.statements:
+            assert satisfies(table, statement)
+
+
+class TestPaperConstruction:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(ods, min_size=1, max_size=3))
+    def test_satisfies_theory(self, premises):
+        theory = ODTheory(premises)
+        table = paper_armstrong(theory, AttrList(NAMES))
+        for premise in premises:
+            assert satisfies(table, premise)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(ods, min_size=1, max_size=3), st.lists(ods, min_size=1, max_size=8))
+    def test_complete_on_samples(self, premises, goals):
+        """The Section 4 theorem, empirically: the constructed table
+        satisfies exactly the implied ODs."""
+        theory = ODTheory(premises)
+        table = paper_armstrong(theory, AttrList(NAMES))
+        for goal in goals:
+            assert satisfies(table, goal) == theory.implies(goal)
+
+
+class TestCanonicalConstruction:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(ods, min_size=0, max_size=3), st.lists(ods, min_size=1, max_size=8))
+    def test_exact(self, premises, goals):
+        theory = ODTheory(premises)
+        table = canonical_armstrong(theory, AttrList(NAMES))
+        for premise in premises:
+            assert satisfies(table, premise)
+        for goal in goals:
+            assert satisfies(table, goal) == theory.implies(goal)
+
+    def test_constant_columns_pinned(self):
+        theory = ODTheory([od("", "A")])
+        table = canonical_armstrong(theory, attrlist("A,B"))
+        position = table.column_position("A")
+        assert len({row[position] for row in table.rows}) == 1
+
+    def test_empty_theory_over_no_attrs(self):
+        table = canonical_armstrong(ODTheory([]), AttrList())
+        assert len(table.rows) >= 1
+
+
+class TestAgreement:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(ods, min_size=1, max_size=2), st.lists(ods, min_size=1, max_size=6))
+    def test_both_constructions_agree(self, premises, goals):
+        """paper_armstrong and canonical_armstrong satisfy exactly the same
+        statements — both are Armstrong relations for M."""
+        theory = ODTheory(premises)
+        paper = paper_armstrong(theory, AttrList(NAMES))
+        canonical = canonical_armstrong(theory, AttrList(NAMES))
+        for goal in goals:
+            assert satisfies(paper, goal) == satisfies(canonical, goal)

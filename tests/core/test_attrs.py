@@ -1,0 +1,160 @@
+"""Attribute-list machinery (Section 2.1 notation)."""
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.attrs import EMPTY, AttrList, attrlist
+
+names = st.sampled_from(["A", "B", "C", "D", "E"])
+lists = st.lists(names, max_size=6).map(AttrList)
+
+
+class TestConstruction:
+    def test_parse_plain(self):
+        assert attrlist("A, B, C") == AttrList(["A", "B", "C"])
+
+    def test_parse_bracketed(self):
+        assert AttrList.parse("[A,B]") == AttrList(["A", "B"])
+
+    def test_parse_empty(self):
+        assert AttrList.parse("[]") is EMPTY
+        assert attrlist("  ") == EMPTY
+
+    def test_parse_single(self):
+        assert attrlist("year") == AttrList(["year"])
+
+    def test_parse_rejects_bad_names(self):
+        with pytest.raises(ValueError):
+            AttrList.parse("A, 1bad")
+
+    def test_rejects_non_strings(self):
+        with pytest.raises(TypeError):
+            AttrList([1, 2])
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(TypeError):
+            AttrList([""])
+
+    def test_from_iterable_passthrough(self):
+        original = AttrList(["A"])
+        assert attrlist(original) is original
+
+
+class TestAlgebra:
+    def test_concat(self):
+        assert attrlist("A,B") + attrlist("C") == attrlist("A,B,C")
+
+    def test_concat_with_plain_list(self):
+        assert attrlist("A") + ["B"] == attrlist("A,B")
+        assert ["Z"] + attrlist("A") == attrlist("Z,A")
+
+    def test_concat_returns_attrlist(self):
+        assert isinstance(attrlist("A") + attrlist("B"), AttrList)
+
+    def test_slice_returns_attrlist(self):
+        assert isinstance(attrlist("A,B,C")[1:], AttrList)
+        assert attrlist("A,B,C")[1:] == attrlist("B,C")
+
+    def test_head_tail(self):
+        x = attrlist("A,B,C")
+        assert x.head() == "A"
+        assert x.tail() == attrlist("B,C")
+
+    def test_head_of_empty_raises(self):
+        with pytest.raises(IndexError):
+            EMPTY.head()
+        with pytest.raises(IndexError):
+            EMPTY.tail()
+
+    def test_attrs_is_set(self):
+        assert attrlist("A,B,A").attrs == frozenset({"A", "B"})
+
+    def test_without(self):
+        assert attrlist("A,B,C,B").without(["B"]) == attrlist("A,C")
+
+    def test_common_prefix(self):
+        assert attrlist("A,B,C").common_prefix(attrlist("A,B,D")) == attrlist("A,B")
+        assert attrlist("A").common_prefix(attrlist("B")) == EMPTY
+
+
+class TestNormalization:
+    def test_normalized_removes_later_duplicates(self):
+        assert attrlist("A,B,A,C,B").normalized() == attrlist("A,B,C")
+
+    def test_normalized_idempotent(self):
+        x = attrlist("A,B,A")
+        assert x.normalized().normalized() == x.normalized()
+
+    def test_is_normalized(self):
+        assert attrlist("A,B").is_normalized()
+        assert not attrlist("A,A").is_normalized()
+
+    @given(lists)
+    def test_normalized_preserves_first_occurrence_order(self, x):
+        normalized = x.normalized()
+        assert normalized.is_normalized()
+        assert list(normalized) == sorted(
+            set(x), key=lambda name: x.index(name)
+        )
+
+
+class TestStructure:
+    def test_prefixes(self):
+        assert list(attrlist("A,B").prefixes()) == [
+            EMPTY, attrlist("A"), attrlist("A,B")
+        ]
+
+    def test_suffixes(self):
+        assert list(attrlist("A,B").suffixes()) == [
+            attrlist("A,B"), attrlist("B"), EMPTY
+        ]
+
+    def test_is_prefix_of(self):
+        assert attrlist("A,B").is_prefix_of(attrlist("A,B,C"))
+        assert EMPTY.is_prefix_of(attrlist("A"))
+        assert not attrlist("B").is_prefix_of(attrlist("A,B"))
+
+    def test_is_suffix_of(self):
+        assert attrlist("B,C").is_suffix_of(attrlist("A,B,C"))
+        assert EMPTY.is_suffix_of(attrlist("A"))
+        assert not attrlist("A").is_suffix_of(attrlist("A,B"))
+
+    def test_contiguous_sublists(self):
+        subs = list(attrlist("A,B,C").contiguous_sublists())
+        assert attrlist("B,C") in subs
+        assert attrlist("A,B,C") in subs
+        assert len(subs) == 6  # 3 + 2 + 1
+
+    def test_contiguous_sublists_max_len(self):
+        subs = list(attrlist("A,B,C").contiguous_sublists(max_len=1))
+        assert subs == [attrlist("A"), attrlist("B"), attrlist("C")]
+
+    def test_permutations(self):
+        perms = set(attrlist("A,B").permutations())
+        assert perms == {attrlist("A,B"), attrlist("B,A")}
+
+    @given(lists)
+    def test_every_prefix_is_prefix(self, x):
+        for prefix in x.prefixes():
+            assert prefix.is_prefix_of(x)
+
+    @given(lists)
+    def test_every_suffix_is_suffix(self, x):
+        for suffix in x.suffixes():
+            assert suffix.is_suffix_of(x)
+
+    @given(lists, lists)
+    def test_concat_prefix_suffix(self, x, y):
+        assert x.is_prefix_of(x + y)
+        assert y.is_suffix_of(x + y)
+
+
+class TestHashing:
+    def test_usable_as_dict_key(self):
+        d = {attrlist("A,B"): 1}
+        assert d[AttrList(["A", "B"])] == 1
+
+    def test_equality_with_tuple(self):
+        assert attrlist("A,B") == ("A", "B")

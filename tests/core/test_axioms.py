@@ -1,0 +1,184 @@
+"""Soundness of OD1–OD6 (Theorem 1), verified two independent ways:
+
+1. against the exact sign-vector oracle at random instantiations;
+2. against random concrete relations (the definitional semantics).
+"""
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import axioms
+from repro.core.attrs import AttrList
+from repro.core.axioms import (
+    InvalidRuleApplication,
+    canon,
+    chain,
+    compat_elim,
+    compat_intro,
+    equiv_intro,
+    equiv_left,
+    equiv_right,
+    equiv_trans,
+    normalization,
+    prefix,
+    reflexivity,
+    suffix,
+    transitivity,
+)
+from repro.core.dependency import OrderDependency, compat, equiv, od, to_ods
+from repro.core.inference import ODTheory
+from repro.core.satisfaction import satisfies
+from repro.workloads.random_instances import random_relation
+
+NAMES = ("A", "B", "C", "D")
+side = st.lists(st.sampled_from(NAMES), max_size=2, unique=True).map(AttrList)
+
+
+def oracle_sound(premises, conclusion) -> bool:
+    return ODTheory(tuple(premises)).implies(conclusion)
+
+
+def relation_sound(premises, conclusion, seed: int) -> bool:
+    """On a random relation: premises hold ⇒ conclusion holds."""
+    relation = random_relation(NAMES, rows=8, domain=3, rng=seed)
+    if all(satisfies(relation, p) for p in premises):
+        return satisfies(relation, conclusion)
+    return True
+
+
+class TestReflexivity:
+    @given(side, side)
+    def test_sound(self, x, y):
+        assert oracle_sound([], reflexivity(x, y))
+
+    def test_shape(self):
+        assert reflexivity(AttrList(["A"]), AttrList(["B"])) == od("A,B", "A")
+
+
+class TestPrefix:
+    @given(side, side, side)
+    def test_sound(self, x, y, z):
+        premise = od(x, y)
+        assert oracle_sound([premise], prefix(premise, z))
+
+    def test_shape(self):
+        assert prefix(od("A", "B"), AttrList(["Z"])) == od("Z,A", "Z,B")
+
+    def test_rejects_non_od(self):
+        with pytest.raises(InvalidRuleApplication):
+            prefix(equiv("A", "B"), AttrList(["Z"]))
+
+
+class TestNormalization:
+    @given(side, side, side, side)
+    def test_sound(self, w, x, y, v):
+        assert oracle_sound([], normalization(w, x, y, v))
+
+    def test_shape(self):
+        conclusion = normalization(
+            AttrList(["W"]), AttrList(["X"]), AttrList(["Y"]), AttrList(["V"])
+        )
+        assert conclusion == equiv("W,X,Y,X,V", "W,X,Y,V")
+
+
+class TestTransitivity:
+    @given(side, side, side)
+    def test_sound(self, x, y, z):
+        first, second = od(x, y), od(y, z)
+        assert oracle_sound([first, second], transitivity(first, second))
+
+    def test_middle_mismatch_rejected(self):
+        with pytest.raises(InvalidRuleApplication):
+            transitivity(od("A", "B"), od("C", "D"))
+
+
+class TestSuffix:
+    @given(side, side)
+    def test_sound(self, x, y):
+        premise = od(x, y)
+        assert oracle_sound([premise], suffix(premise))
+
+    def test_shape(self):
+        assert suffix(od("A", "B")) == equiv("A", "B,A")
+
+    @given(side, side, st.integers(0, 10_000))
+    def test_relation_level(self, x, y, seed):
+        premise = od(x, y)
+        assert relation_sound([premise], suffix(premise), seed)
+
+
+class TestChain:
+    def test_single_link(self):
+        premises = [compat("A", "B"), compat("B", "C"), compat("B,A", "B,C")]
+        conclusion = chain(premises, AttrList(["A"]), [AttrList(["B"])], AttrList(["C"]))
+        assert conclusion == compat("A", "C")
+        assert oracle_sound(premises, conclusion)
+
+    def test_two_links(self):
+        x, z = AttrList(["A"]), AttrList(["D"])
+        links = [AttrList(["B"]), AttrList(["C"])]
+        premises = [
+            compat("A", "B"), compat("B", "C"), compat("C", "D"),
+            compat("B,A", "B,D"), compat("C,A", "C,D"),
+        ]
+        conclusion = chain(premises, x, links, z)
+        assert conclusion == compat("A", "D")
+        assert oracle_sound(premises, conclusion)
+
+    def test_missing_premise_rejected(self):
+        premises = [compat("A", "B"), compat("B", "C")]
+        with pytest.raises(InvalidRuleApplication):
+            chain(premises, AttrList(["A"]), [AttrList(["B"])], AttrList(["C"]))
+
+    def test_empty_links_rejected(self):
+        with pytest.raises(InvalidRuleApplication):
+            chain([], AttrList(["A"]), [], AttrList(["C"]))
+
+    def test_figure3_pattern_is_contradictory(self):
+        """Figure 3: a swap between A and C alongside the chain premises is
+        unsatisfiable — the soundness intuition of Lemma 7."""
+        premises = [compat("A", "B"), compat("B", "C"), compat("B,A", "B,C")]
+        theory = ODTheory(premises)
+        # the 2-row pattern of Figure 3: A ascends, C descends, B must both
+        # follow A and not swap with C in B's context — impossible.
+        assert theory.counterexample(compat("A", "C")) is None
+
+
+class TestStructuralRules:
+    def test_equiv_roundtrip(self):
+        e = equiv_intro(od("A", "B"), od("B", "A"))
+        assert e == equiv("A", "B")
+        assert equiv_left(e) == od("A", "B")
+        assert equiv_right(e) == od("B", "A")
+
+    def test_equiv_intro_rejects_non_converse(self):
+        with pytest.raises(InvalidRuleApplication):
+            equiv_intro(od("A", "B"), od("A", "C"))
+
+    def test_equiv_trans_shared_sides(self):
+        assert equiv_trans(equiv("A", "B"), equiv("B", "C")) == equiv("A", "C")
+        assert equiv_trans(equiv("A", "B"), equiv("C", "B")) == equiv("A", "C")
+        with pytest.raises(InvalidRuleApplication):
+            equiv_trans(equiv("A", "B"), equiv("C", "D"))
+
+    def test_compat_roundtrip(self):
+        c = compat("A", "B")
+        assert compat_elim(c) == equiv("A,B", "B,A")
+        assert compat_intro(compat_elim(c), AttrList(["A"]), AttrList(["B"])) == c
+
+    def test_compat_intro_validates(self):
+        with pytest.raises(InvalidRuleApplication):
+            compat_intro(equiv("A", "B"), AttrList(["A"]), AttrList(["B"]))
+
+
+class TestCanon:
+    def test_equivalence_symmetric(self):
+        assert canon(equiv("A", "B")) == canon(equiv("B", "A"))
+
+    def test_compat_equals_defining_equiv(self):
+        assert canon(compat("A", "B")) == canon(equiv("A,B", "B,A"))
+
+    def test_distinct_ods_differ(self):
+        assert canon(od("A", "B")) != canon(od("B", "A"))

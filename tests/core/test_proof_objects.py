@@ -1,0 +1,164 @@
+"""The proof kernel: replay of the library derivations, stratification,
+and rejection of bogus proofs."""
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attrs import AttrList
+from repro.core.dependency import od, equiv
+from repro.core.inference import ODTheory
+from repro.core.proofs import Proof, ProofError, ProofLine, check_proof
+from repro.core.proofs_library import (
+    DERIVATION_ORDER,
+    PROOF_BUILDERS,
+    build_proof,
+)
+
+NAMES = ("A", "B", "C", "D", "E", "F")
+side = st.lists(st.sampled_from(NAMES), max_size=2, unique=True).map(AttrList)
+
+#: proofs that must check with axioms + structural rules alone
+KERNEL_ONLY = {"Union", "Augmentation", "Decomposition", "FrontReplace", "Compose"}
+
+
+class TestLibraryProofs:
+    @pytest.mark.parametrize("name", sorted(PROOF_BUILDERS))
+    def test_fixed_instantiation_checks(self, name):
+        _, params = PROOF_BUILDERS[name]
+        fixed = dict(x="A,B", y="C", z="D", w="E", v="F", u="D", t="E")
+        proof = build_proof(name, **{p: fixed[p] for p in params})
+        assert check_proof(proof)
+
+    @pytest.mark.parametrize("name", sorted(KERNEL_ONLY))
+    def test_kernel_only(self, name):
+        _, params = PROOF_BUILDERS[name]
+        fixed = dict(x="A", y="B,C", z="D", w="E", v="F", u="D", t="E")
+        proof = build_proof(name, **{p: fixed[p] for p in params})
+        assert check_proof(proof, allow_theorems=False)
+
+    @settings(max_examples=30)
+    @given(side, side, side)
+    def test_union_random_instantiations(self, x, y, z):
+        proof = build_proof("Union", x=x, y=y, z=z)
+        assert check_proof(proof, allow_theorems=False)
+        assert ODTheory(proof.assumptions).implies(proof.conclusion)
+
+    @settings(max_examples=30)
+    @given(side, side, side)
+    def test_front_replace_random_instantiations(self, x, y, w):
+        proof = build_proof("FrontReplace", x=x, y=y, w=w)
+        assert check_proof(proof, allow_theorems=False)
+        assert ODTheory(proof.assumptions).implies(proof.conclusion)
+
+    @settings(max_examples=20)
+    @given(side, side, side, side, side)
+    def test_eliminate_random_instantiations(self, x, y, w, v, u):
+        proof = build_proof("Eliminate", x=x, y=y, w=w, v=v, u=u)
+        assert check_proof(proof)
+        assert ODTheory(proof.assumptions).implies(proof.conclusion)
+
+    @pytest.mark.parametrize("name", sorted(PROOF_BUILDERS))
+    def test_conclusions_semantically_sound(self, name):
+        _, params = PROOF_BUILDERS[name]
+        fixed = dict(x="A,B", y="C", z="D", w="E", v="F", u="D", t="E")
+        proof = build_proof(name, **{p: fixed[p] for p in params})
+        assert ODTheory(proof.assumptions).implies(proof.conclusion)
+
+
+class TestStratification:
+    def test_every_cited_theorem_is_earlier(self):
+        """A proof may only cite theorems strictly before it in the
+        derivation order — no circular justifications."""
+        from repro.core.theorems import THEOREMS
+
+        position = {name: i for i, name in enumerate(DERIVATION_ORDER)}
+        fixed = dict(x="A", y="B", z="C", w="D", v="E", u="F", t="C")
+        for name, (builder, params) in PROOF_BUILDERS.items():
+            proof = builder(*(fixed[p] for p in params))
+            for line in proof.lines:
+                if line.rule in THEOREMS and line.rule in position:
+                    assert position[line.rule] < position[name], (
+                        f"{name} cites {line.rule} which is not earlier"
+                    )
+
+    def test_order_covers_all_builders(self):
+        assert set(DERIVATION_ORDER) == set(PROOF_BUILDERS)
+
+
+class TestCheckerRejections:
+    def test_wrong_conclusion(self):
+        proof = Proof(
+            "bad",
+            (od("A", "B"),),
+            (
+                ProofLine(od("A", "B"), "Given"),
+                ProofLine(od("B", "A"), "Suffix", (0,)),  # Suffix gives A <-> B,A
+            ),
+        )
+        with pytest.raises(ProofError):
+            check_proof(proof)
+
+    def test_unknown_rule(self):
+        proof = Proof(
+            "bad", (), (ProofLine(od("A", "B"), "Magic"),)
+        )
+        with pytest.raises(ProofError):
+            check_proof(proof)
+
+    def test_non_assumption_given(self):
+        proof = Proof(
+            "bad", (od("A", "B"),), (ProofLine(od("B", "C"), "Given"),)
+        )
+        with pytest.raises(ProofError):
+            check_proof(proof)
+
+    def test_forward_reference(self):
+        proof = Proof(
+            "bad",
+            (od("A", "B"), od("B", "C")),
+            (
+                ProofLine(od("A", "C"), "Transitivity", (1, 2)),
+                ProofLine(od("A", "B"), "Given"),
+                ProofLine(od("B", "C"), "Given"),
+            ),
+        )
+        with pytest.raises(ProofError):
+            check_proof(proof)
+
+    def test_theorem_in_kernel_mode(self):
+        proof = Proof(
+            "bad",
+            (od("A", "B"), od("A", "C")),
+            (
+                ProofLine(od("A", "B"), "Given"),
+                ProofLine(od("A", "C"), "Given"),
+                ProofLine(od("A", "B,C"), "Union", (0, 1)),
+            ),
+        )
+        assert check_proof(proof)  # fine with theorems allowed
+        with pytest.raises(ProofError):
+            check_proof(proof, allow_theorems=False)
+
+    def test_bad_arity(self):
+        proof = Proof(
+            "bad",
+            (od("A", "B"),),
+            (
+                ProofLine(od("A", "B"), "Given"),
+                ProofLine(od("A", "B"), "Transitivity", (0,)),
+            ),
+        )
+        with pytest.raises(ProofError):
+            check_proof(proof)
+
+
+class TestProofPresentation:
+    def test_str_contains_rules(self):
+        proof = build_proof("Union", x="A", y="B", z="C")
+        text = str(proof)
+        assert "Suffix" in text and "Prefix" in text and "Transitivity" in text
+
+    def test_len(self):
+        assert len(build_proof("Augmentation", x="A", y="B", z="C")) == 3

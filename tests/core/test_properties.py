@@ -1,0 +1,162 @@
+"""Deep semantic invariants of the OD framework, property-tested.
+
+These are the meta-level facts the whole reproduction leans on: the
+small-model property's ingredients (closure under subrelations, sign
+symmetry), the logical-consequence structure of the oracle (preorder,
+monotonicity, closure under the rules), and append-stability.
+"""
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.armstrong import append_tables
+from repro.core.attrs import AttrList
+from repro.core.dependency import OrderDependency, od
+from repro.core.inference import ODTheory, implies
+from repro.core.relation import Relation
+from repro.core.satisfaction import satisfies, satisfies_naive
+from repro.core.signs import od_holds
+
+NAMES = ("A", "B", "C")
+side = st.lists(st.sampled_from(NAMES), max_size=2, unique=True).map(AttrList)
+ods = st.builds(od, side, side)
+od_sets = st.lists(ods, max_size=3)
+rows = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)), max_size=7
+)
+sign_vectors = st.fixed_dictionaries(
+    {n: st.sampled_from([-1, 0, 1]) for n in NAMES}
+)
+
+
+class TestConsequenceStructure:
+    @settings(max_examples=60, deadline=None)
+    @given(od_sets)
+    def test_reflexive(self, premises):
+        theory = ODTheory(premises)
+        for premise in premises:
+            assert theory.implies(premise)
+
+    @settings(max_examples=40, deadline=None)
+    @given(od_sets, ods, ods)
+    def test_cut(self, premises, middle, goal):
+        """If M ⊨ φ and M ∪ {φ} ⊨ ψ then M ⊨ ψ (consequence is closed
+        under cut)."""
+        theory = ODTheory(premises)
+        if theory.implies(middle):
+            extended = theory.extended([middle])
+            if extended.implies(goal):
+                assert theory.implies(goal)
+
+    @settings(max_examples=40, deadline=None)
+    @given(od_sets, ods, ods)
+    def test_monotone(self, premises, extra, goal):
+        """Adding premises never loses implications."""
+        theory = ODTheory(premises)
+        if theory.implies(goal):
+            assert theory.extended([extra]).implies(goal)
+
+    @settings(max_examples=40, deadline=None)
+    @given(od_sets, ods, ods)
+    def test_closed_under_transitivity(self, premises, first, second):
+        theory = ODTheory(premises)
+        if tuple(first.rhs) == tuple(second.lhs):
+            if theory.implies(first) and theory.implies(second):
+                assert theory.implies(OrderDependency(first.lhs, second.rhs))
+
+    @settings(max_examples=40, deadline=None)
+    @given(od_sets, ods)
+    def test_closed_under_suffix(self, premises, dependency):
+        theory = ODTheory(premises)
+        if theory.implies(dependency):
+            suffixed = OrderDependency(
+                dependency.lhs, dependency.rhs + dependency.lhs
+            )
+            assert theory.implies(suffixed)
+            assert theory.implies(suffixed.reversed())
+
+    @settings(max_examples=40, deadline=None)
+    @given(od_sets, ods, side)
+    def test_closed_under_prefix(self, premises, dependency, z):
+        theory = ODTheory(premises)
+        if theory.implies(dependency):
+            assert theory.implies(
+                OrderDependency(z + dependency.lhs, z + dependency.rhs)
+            )
+
+
+class TestSmallModelIngredients:
+    @settings(max_examples=100)
+    @given(rows, ods)
+    def test_closed_under_subrelations(self, data, dependency):
+        """The lemma behind the two-row oracle: satisfaction survives
+        dropping rows."""
+        relation = Relation(AttrList(NAMES), data)
+        if satisfies(relation, dependency):
+            for skip in range(len(data)):
+                sub = relation.subrelation(
+                    [row for i, row in enumerate(relation.rows) if i != skip]
+                )
+                assert satisfies(sub, dependency)
+
+    @settings(max_examples=100)
+    @given(sign_vectors, ods)
+    def test_sign_negation_symmetry(self, sigma, dependency):
+        """A two-row instance is unordered: σ and -σ agree on every OD."""
+        negated = {k: -v for k, v in sigma.items()}
+        assert od_holds(sigma, dependency) == od_holds(negated, dependency)
+
+    @settings(max_examples=60, deadline=None)
+    @given(od_sets, ods)
+    def test_two_row_refutation_exists(self, premises, goal):
+        """Non-implication always has a two-row witness — the small-model
+        property, verified constructively."""
+        theory = ODTheory(premises)
+        if not theory.implies(goal):
+            witness = theory.counterexample(goal)
+            assert witness is not None and len(witness.rows) == 2
+            assert not satisfies_naive(witness, goal)
+
+
+class TestAppendStability:
+    @settings(max_examples=60, deadline=None)
+    @given(rows, rows, ods)
+    def test_append_preserves_joint_satisfaction(self, first_rows, second_rows, dependency):
+        """Lemma 9: if both halves satisfy an OD over non-empty lists, the
+        append does too."""
+        if not dependency.lhs:
+            return  # [] |-> Y is the documented exception
+        first = Relation(AttrList(NAMES), first_rows)
+        second = Relation(AttrList(NAMES), second_rows)
+        if satisfies(first, dependency) and satisfies(second, dependency):
+            assert satisfies(append_tables(first, second), dependency)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows, rows)
+    def test_append_rows_ascend(self, first_rows, second_rows):
+        first = Relation(AttrList(NAMES), first_rows)
+        second = Relation(AttrList(NAMES), second_rows)
+        appended = append_tables(first, second)
+        if first_rows and second_rows:
+            top_of_first = max(v for row in appended.rows[: len(first_rows)] for v in row)
+            bottom_of_second = min(
+                v for row in appended.rows[len(first_rows):] for v in row
+            )
+            assert top_of_first < bottom_of_second
+
+
+class TestNormalizationInvariance:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(st.sampled_from(NAMES), max_size=5).map(AttrList),
+        st.lists(st.sampled_from(NAMES), max_size=5).map(AttrList),
+        rows,
+    )
+    def test_duplicates_never_matter(self, lhs, rhs, data):
+        """An OD and its normalized form agree on every instance — the
+        Normalization axiom at the data level."""
+        relation = Relation(AttrList(NAMES), data)
+        raw = OrderDependency(lhs, rhs)
+        assert satisfies(relation, raw) == satisfies(relation, raw.normalized())

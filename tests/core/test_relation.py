@@ -1,0 +1,124 @@
+"""The lexicographic operators (Definitions 1–3) and Relation basics."""
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.attrs import AttrList, attrlist
+from repro.core.relation import Relation
+
+rows3 = st.tuples(
+    st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)
+)
+
+
+def rel(rows):
+    return Relation(attrlist("A,B,C"), list(rows))
+
+
+class TestBasics:
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            Relation(attrlist("A,B"), [(1,)])
+
+    def test_duplicate_schema_rejected(self):
+        with pytest.raises(ValueError):
+            Relation(attrlist("A,A"), [])
+
+    def test_projection(self):
+        r = rel([(1, 2, 3)])
+        assert r.project((1, 2, 3), attrlist("C,A")) == (3, 1)
+
+    def test_value(self):
+        r = rel([(1, 2, 3)])
+        assert r.value((1, 2, 3), "B") == 2
+
+    def test_unknown_attribute(self):
+        r = rel([])
+        with pytest.raises(KeyError):
+            r.column_position("Z")
+
+    def test_from_dicts(self):
+        r = Relation.from_dicts("A,B", [{"A": 1, "B": 2}, {"B": 4, "A": 3}])
+        assert r.rows == [(1, 2), (3, 4)]
+
+    def test_add_validates_width(self):
+        r = rel([])
+        with pytest.raises(ValueError):
+            r.add((1, 2))
+
+
+class TestOperators:
+    """Definitions 1-3 on concrete tuples."""
+
+    def test_empty_list_compares_equal(self):
+        r = rel([(0, 0, 0), (9, 9, 9)])
+        s, t = r.rows
+        assert r.cmp(s, t, AttrList()) == 0
+        assert r.leq(s, t, AttrList()) and r.leq(t, s, AttrList())
+
+    def test_first_attribute_decides(self):
+        r = rel([(1, 9, 9), (2, 0, 0)])
+        s, t = r.rows
+        assert r.less(s, t, attrlist("A,B,C"))
+        assert r.less(s, t, attrlist("A"))
+
+    def test_tie_falls_through(self):
+        r = rel([(1, 2, 3), (1, 2, 4)])
+        s, t = r.rows
+        assert r.cmp(s, t, attrlist("A,B")) == 0
+        assert r.cmp(s, t, attrlist("A,B,C")) == -1
+
+    def test_strict_vs_weak(self):
+        r = rel([(1, 0, 0), (1, 0, 0)])
+        s, t = r.rows
+        assert r.leq(s, t, attrlist("A,B,C"))
+        assert not r.less(s, t, attrlist("A,B,C"))
+        assert r.equal_on(s, t, attrlist("A,B,C"))
+
+    @given(st.lists(rows3, min_size=2, max_size=6))
+    def test_cmp_matches_tuple_comparison(self, rows):
+        """Lexicographic cmp on a list == Python tuple comparison of the
+        projections (the definitional identity the engine relies on)."""
+        r = rel(rows)
+        x = attrlist("B,A")
+        for s in r.rows:
+            for t in r.rows:
+                expected = (r.project(s, x) > r.project(t, x)) - (
+                    r.project(s, x) < r.project(t, x)
+                )
+                assert r.cmp(s, t, x) == expected
+
+    @given(st.lists(rows3, min_size=1, max_size=8))
+    def test_sorted_by_is_sorted(self, rows):
+        r = rel(rows)
+        ordered = Relation(r.attributes, r.sorted_by(attrlist("C,B")))
+        assert ordered.is_sorted_by(attrlist("C,B"))
+
+    @given(st.lists(rows3, min_size=2, max_size=6))
+    def test_total_preorder(self, rows):
+        """≼ is total and transitive on any instance."""
+        r = rel(rows)
+        x = attrlist("A,C")
+        for s in r.rows:
+            for t in r.rows:
+                assert r.leq(s, t, x) or r.leq(t, s, x)
+                for u in r.rows:
+                    if r.leq(s, t, x) and r.leq(t, u, x):
+                        assert r.leq(s, u, x)
+
+
+class TestRecursiveDefinition:
+    """Definition 1 is recursive on [A | T]; check the unrolling."""
+
+    def test_head_less_implies_less(self):
+        r = rel([(1, 9, 9), (2, 0, 0)])
+        s, t = r.rows
+        assert r.leq(s, t, attrlist("A,B,C"))
+
+    def test_head_equal_recurses_on_tail(self):
+        r = rel([(1, 1, 5), (1, 2, 0)])
+        s, t = r.rows
+        x = attrlist("A,B,C")
+        assert r.leq(s, t, x) == r.leq(s, t, attrlist("B,C"))

@@ -1,0 +1,134 @@
+"""OD satisfaction and split/swap witnesses (Definitions 4, 13, 14)."""
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attrs import AttrList, attrlist
+from repro.core.dependency import compat, equiv, fd, od
+from repro.core.relation import Relation
+from repro.core.satisfaction import (
+    explain_violation,
+    find_split,
+    find_swap,
+    find_witness,
+    satisfies,
+    satisfies_naive,
+)
+
+NAMES = ["A", "B", "C"]
+
+relations = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)),
+    max_size=8,
+).map(lambda rows: Relation(AttrList(NAMES), rows))
+
+side = st.lists(st.sampled_from(NAMES), max_size=3, unique=True).map(AttrList)
+ods = st.builds(od, side, side)
+
+
+class TestWitnesses:
+    def test_split_found(self):
+        r = Relation(attrlist("A,B"), [(1, 1), (1, 2)])
+        witness = find_split(r, od("A", "B"))
+        assert witness is not None and witness.kind == "split"
+
+    def test_swap_found(self):
+        r = Relation(attrlist("A,B"), [(1, 2), (2, 1)])
+        witness = find_swap(r, od("A", "B"))
+        assert witness is not None and witness.kind == "swap"
+        s, t = witness.rows()
+        assert r.less(s, t, attrlist("A")) and r.less(t, s, attrlist("B"))
+
+    def test_no_witness_on_satisfying_instance(self):
+        r = Relation(attrlist("A,B"), [(1, 1), (2, 2), (3, 3)])
+        assert find_witness(r, od("A", "B")) is None
+
+    def test_swap_requires_distinct_x_groups(self):
+        # same A, differing B: a split, not a swap
+        r = Relation(attrlist("A,B"), [(1, 2), (1, 1)])
+        assert find_swap(r, od("A", "B")) is None
+        assert find_split(r, od("A", "B")) is not None
+
+    def test_swap_across_nonadjacent_groups(self):
+        # the swap partner is two X-groups back
+        r = Relation(attrlist("A,B"), [(1, 5), (2, 7), (3, 6)])
+        witness = find_swap(r, od("A", "B"))
+        assert witness is not None
+        s, t = witness.rows()
+        assert {s, t} == {(2, 7), (3, 6)}
+
+    def test_empty_lhs_split(self):
+        # [] |-> [B] demands B constant
+        r = Relation(attrlist("A,B"), [(1, 1), (2, 2)])
+        assert find_split(r, od("", "B")) is not None
+        assert satisfies(r, od("", "A")) is False
+        constant = Relation(attrlist("A,B"), [(1, 7), (2, 7)])
+        assert satisfies(constant, od("", "B"))
+
+    def test_empty_rhs_always_satisfied(self):
+        r = Relation(attrlist("A,B"), [(1, 1), (2, 0)])
+        assert satisfies(r, od("A", ""))
+
+    def test_explain_violation_mentions_kind(self):
+        r = Relation(attrlist("A,B"), [(1, 2), (2, 1)])
+        message = explain_violation(r, od("A", "B"))
+        assert "swap" in message
+        r2 = Relation(attrlist("A,B"), [(1, 1), (1, 2)])
+        assert "split" in explain_violation(r2, od("A", "B"))
+        assert explain_violation(r2, od("A,B", "A")) is None
+
+
+class TestStatementKinds:
+    def test_equivalence_needs_both_directions(self):
+        r = Relation(attrlist("A,B"), [(1, 1), (2, 1)])
+        assert satisfies(r, od("A", "B"))
+        assert not satisfies(r, od("B", "A"))
+        assert not satisfies(r, equiv("A", "B"))
+
+    def test_compatibility(self):
+        r = Relation(attrlist("A,B"), [(1, 1), (2, 2)])
+        assert satisfies(r, compat("A", "B"))
+        swap = Relation(attrlist("A,B"), [(1, 2), (2, 1)])
+        assert not satisfies(swap, compat("A", "B"))
+
+    def test_fd_via_split_only(self):
+        # a swap does not violate an FD
+        r = Relation(attrlist("A,B"), [(1, 2), (2, 1)])
+        assert satisfies(r, fd("A", "B"))
+        r2 = Relation(attrlist("A,B"), [(1, 1), (1, 2)])
+        assert not satisfies(r2, fd("A", "B"))
+
+    def test_duplicate_rows_never_falsify(self):
+        r = Relation(attrlist("A,B"), [(1, 2), (1, 2)])
+        assert satisfies(r, od("A", "B"))
+
+
+class TestTheorem15OnData:
+    """X |-> Y holds iff X |-> XY (no split) and X ~ Y (no swap)."""
+
+    @settings(max_examples=150)
+    @given(relations, ods)
+    def test_characterization(self, r, dependency):
+        holds = satisfies(r, dependency)
+        fd_facet = satisfies(r, dependency.fd_facet())
+        compatible = satisfies(
+            r, compat(dependency.lhs, dependency.rhs)
+        )
+        assert holds == (fd_facet and compatible)
+
+
+class TestFastVsNaive:
+    @settings(max_examples=200)
+    @given(relations, ods)
+    def test_agreement(self, r, dependency):
+        assert satisfies(r, dependency) == satisfies_naive(r, dependency)
+
+    @settings(max_examples=100)
+    @given(relations, ods)
+    def test_witness_iff_falsified(self, r, dependency):
+        witness = find_witness(r, dependency)
+        assert (witness is None) == satisfies_naive(r, dependency)
+        if witness is not None:
+            s, t = witness.rows()
+            assert s in r.rows and t in r.rows

@@ -1,0 +1,259 @@
+"""Soundness of the derived theorems (2–15) at random instantiations.
+
+Every rule constructor's conclusion must be oracle-implied by its premises
+— the executable counterpart of the paper's derivations.
+"""
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attrs import AttrList, attrlist
+from repro.core.axioms import InvalidRuleApplication
+from repro.core.dependency import OrderDependency, compat, equiv, od
+from repro.core.inference import ODTheory, implies
+from repro.core.theorems import (
+    augmentation,
+    compat_facet,
+    compose,
+    decomposition,
+    downward_closure,
+    drop,
+    eliminate,
+    fd_facet,
+    front_replace,
+    left_eliminate,
+    normalize_statement,
+    partition,
+    path,
+    permutation,
+    replace,
+    shift,
+    union,
+)
+
+NAMES = ("A", "B", "C", "D", "E")
+side = st.lists(st.sampled_from(NAMES), max_size=2, unique=True).map(AttrList)
+
+
+def sound(premises, conclusion):
+    assert ODTheory(tuple(premises)).implies(conclusion), (
+        f"{premises} do not imply {conclusion}"
+    )
+
+
+class TestUnion:
+    @given(side, side, side)
+    def test_sound(self, x, y, z):
+        p1, p2 = od(x, y), od(x, z)
+        sound([p1, p2], union(p1, p2))
+
+    def test_shape(self):
+        assert union(od("A", "B"), od("A", "C")) == od("A", "B,C")
+
+    def test_lhs_mismatch(self):
+        with pytest.raises(InvalidRuleApplication):
+            union(od("A", "B"), od("B", "C"))
+
+
+class TestAugmentation:
+    @given(side, side, side)
+    def test_sound(self, x, y, z):
+        p = od(x, y)
+        sound([p], augmentation(p, z))
+
+    def test_shape(self):
+        assert augmentation(od("A", "B"), attrlist("C")) == od("A,C", "B")
+
+
+class TestFrontReplaceAndShift:
+    @given(side, side, side)
+    def test_front_replace_sound(self, x, y, w):
+        p = equiv(x, y)
+        sound([p], front_replace(p, w))
+
+    @given(side, side, side, side)
+    def test_shift_sound(self, x, y, v, w):
+        p1, p2 = equiv(x, y), od(v, w)
+        sound([p1, p2], shift(p1, p2))
+
+    def test_shift_shape(self):
+        assert shift(equiv("A", "B"), od("C", "D")) == od("A,C", "B,D")
+
+
+class TestDecomposition:
+    @given(side, side, side)
+    def test_sound(self, x, y, z):
+        p = od(x, y + z)
+        sound([p], decomposition(p, y))
+
+    def test_requires_prefix(self):
+        with pytest.raises(InvalidRuleApplication):
+            decomposition(od("A", "B,C"), attrlist("C"))
+
+
+class TestReplace:
+    @given(side, side, side, side)
+    def test_sound(self, x, y, z, w):
+        p = equiv(x, y)
+        sound([p], replace(p, z, w))
+
+    def test_shape(self):
+        assert replace(equiv("A", "B"), attrlist("Z"), attrlist("W")) == equiv(
+            "Z,A,W", "Z,B,W"
+        )
+
+
+class TestEliminate:
+    @given(side, side, side, side, side)
+    @settings(max_examples=60)
+    def test_sound(self, x, y, w, v, u):
+        p = od(x, y)
+        sound([p], eliminate(p, w, v, u))
+
+    def test_example1_groupby(self):
+        # month |-> quarter: [year, month, quarter] <-> [year, month]
+        conclusion = eliminate(
+            od("d_moy", "d_qoy"), attrlist("d_year"), attrlist(""), attrlist("")
+        )
+        assert conclusion == equiv("d_year,d_moy,d_qoy", "d_year,d_moy")
+
+
+class TestLeftEliminate:
+    @given(side, side, side, side)
+    def test_sound(self, x, y, z, w):
+        p = od(x, y)
+        sound([p], left_eliminate(p, z, w))
+
+    def test_example1_orderby(self):
+        # the paper's headline: [year, quarter, month] <-> [year, month]
+        conclusion = left_eliminate(
+            od("d_moy", "d_qoy"), attrlist("d_year"), attrlist("")
+        )
+        assert conclusion == equiv("d_year,d_qoy,d_moy", "d_year,d_moy")
+
+    def test_adjacency_requirement(self):
+        """The paper's ABD/ABCD example: given D |-> B, [A,B,D] reduces to
+        [A,D] but [A,B,C,D] does NOT reduce to [A,C,D] or [A,D]."""
+        premises = [od("D", "B")]
+        assert implies(premises, equiv("A,B,D", "A,D"))
+        assert not implies(premises, equiv("A,B,C,D", "A,C,D"))
+        assert not implies(premises, equiv("A,B,C,D", "A,D"))
+
+
+class TestDropAndPath:
+    @given(side, side, side, side)
+    @settings(max_examples=60)
+    def test_drop_sound(self, x, v, u, t):
+        p1, p2 = od(x, v + u + t), od(v, u)
+        sound([p1, p2], drop(p1, p2))
+
+    def test_drop_shape(self):
+        assert drop(od("X", "V,U,T"), od("V", "U")) == od("X", "V,T")
+
+    def test_drop_requires_factorization(self):
+        with pytest.raises(InvalidRuleApplication):
+            drop(od("X", "A,B"), od("C", "D"))
+
+    @given(side, side, side, side)
+    @settings(max_examples=60)
+    def test_path_sound(self, x, u, v, t):
+        p1, p2 = od(x, u + t), od(u, v)
+        sound([p1, p2], path(p1, p2))
+
+    def test_path_example4(self):
+        """Example 4 / Figure 2: insert an implied refinement mid-list."""
+        p1 = od("d_date", "d_year,d_doy")
+        p2 = od("d_year", "century")
+        assert path(p1, p2) == od("d_date", "d_year,century,d_doy")
+        sound([p1, p2], path(p1, p2))
+
+
+class TestPartition:
+    def test_sound_and_shape(self):
+        p1, p2 = od("Z", "A,B"), od("Z", "B,A")
+        conclusion = partition(p1, p2)
+        assert conclusion == equiv("A,B", "B,A")
+        sound([p1, p2], conclusion)
+
+    @given(side, side)
+    def test_sound_random(self, z, x):
+        import random
+
+        y = AttrList(random.Random(42).sample(list(x), len(x)))
+        p1, p2 = od(z, x), od(z, y)
+        sound([p1, p2], partition(p1, p2))
+
+    def test_set_mismatch(self):
+        with pytest.raises(InvalidRuleApplication):
+            partition(od("Z", "A"), od("Z", "B"))
+
+
+class TestDownwardClosure:
+    @given(side, side, side)
+    def test_sound(self, x, y, z):
+        p = compat(x, y + z)
+        sound([p], downward_closure(p, y))
+
+    def test_shape(self):
+        assert downward_closure(compat("A", "B,C"), attrlist("B")) == compat("A", "B")
+
+
+class TestPermutation:
+    def test_fd_facets_permute(self):
+        p = od("A,B", "A,B,C")
+        conclusion = permutation(p, attrlist("B,A"), attrlist("C"))
+        assert conclusion == od("B,A", "B,A,C")
+        sound([p], conclusion)
+
+    def test_rejects_non_facet(self):
+        with pytest.raises(InvalidRuleApplication):
+            permutation(od("A", "C"), attrlist("A"), attrlist("C"))
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(InvalidRuleApplication):
+            permutation(od("A", "A,B"), attrlist("A"), attrlist("C"))
+
+
+class TestTheorem15:
+    @given(side, side)
+    def test_facets_sound(self, x, y):
+        p = od(x, y)
+        sound([p], fd_facet(p))
+        sound([p], compat_facet(p))
+
+    @given(side, side)
+    def test_compose_sound(self, x, y):
+        p1 = od(x, x + y)
+        p2 = compat(x, y)
+        sound([p1, p2], compose(p1, p2))
+
+    def test_compose_validates_facet(self):
+        with pytest.raises(InvalidRuleApplication):
+            compose(od("A", "B"), compat("A", "B"))
+
+    @given(side, side)
+    def test_iff_at_oracle_level(self, x, y):
+        """X |-> Y is implied iff both facets are — Theorem 15 as an
+        oracle-level identity with no premises."""
+        goal = od(x, y)
+        facets = [goal.fd_facet(), compat(x, y)]
+        assert implies(facets, goal)
+        assert implies([goal], facets[0]) and implies([goal], facets[1])
+
+
+class TestNormalizeMacro:
+    def test_od(self):
+        assert normalize_statement(od("A,B,A", "C,C")) == od("A,B", "C")
+
+    def test_equiv_and_compat(self):
+        assert normalize_statement(equiv("A,A", "B")) == equiv("A", "B")
+        assert normalize_statement(compat("A,A", "B")) == compat("A", "B")
+
+    @given(st.lists(st.sampled_from(NAMES), max_size=4).map(AttrList),
+           st.lists(st.sampled_from(NAMES), max_size=4).map(AttrList))
+    def test_sound(self, x, y):
+        p = od(x, y)
+        sound([p], normalize_statement(p))
+        sound([normalize_statement(p)], p)

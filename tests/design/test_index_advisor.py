@@ -1,0 +1,98 @@
+"""OD-aware index advice: key minimization, subsumption, recommendation."""
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dependency import equiv, fd, od
+from repro.core.inference import ODTheory
+from repro.design.index_advisor import (
+    minimize_index_key,
+    order_subsumes,
+    recommend_key,
+    subsumed_indexes,
+)
+
+#: the date-warehouse knowledge base
+THEORY = ODTheory(
+    [
+        equiv("sk", "dt"),
+        od("dt", "year,moy,dom"),
+        od("moy", "qoy"),
+        fd("moy", "qoy"),
+    ]
+)
+
+
+class TestMinimize:
+    def test_drops_order_redundant_column(self):
+        assert minimize_index_key(THEORY, ["year", "qoy", "moy", "dom"]) == (
+            "year", "moy", "dom",
+        )
+
+    def test_keeps_necessary_columns(self):
+        assert minimize_index_key(THEORY, ["year", "moy"]) == ("year", "moy")
+
+    def test_surrogate_collapses_hierarchy(self):
+        # sk orders the whole hierarchy: everything after it drops
+        assert minimize_index_key(THEORY, ["sk", "year", "moy", "dom"]) == ("sk",)
+
+    def test_preserves_order_equivalence(self):
+        key = ["year", "qoy", "moy", "dom"]
+        minimized = minimize_index_key(THEORY, key)
+        assert THEORY.implies(equiv(list(key), list(minimized)))
+
+
+class TestSubsumption:
+    def test_sk_subsumes_hierarchy_index(self):
+        assert order_subsumes(THEORY, ["sk"], ["year", "qoy", "moy"])
+
+    def test_not_conversely(self):
+        assert not order_subsumes(THEORY, ["year", "moy"], ["sk"])
+
+    def test_advice_flags_droppable(self):
+        advice = subsumed_indexes(
+            THEORY,
+            {
+                "idx_sk": ["sk"],
+                "idx_ymd": ["year", "moy", "dom"],
+                "idx_yqm": ["year", "qoy", "moy"],
+            },
+        )
+        by_name = {a.name: a for a in advice}
+        # dt <-> sk orders the full hierarchy, so both derived indexes drop
+        assert by_name["idx_ymd"].droppable
+        assert by_name["idx_yqm"].droppable
+        assert not by_name["idx_sk"].droppable
+
+    def test_mutual_subsumption_keeps_one(self):
+        theory = ODTheory([equiv("a", "b")])
+        advice = subsumed_indexes(theory, {"i1": ["a"], "i2": ["b"]})
+        droppable = [a.name for a in advice if a.droppable]
+        assert len(droppable) == 1
+
+    def test_describe(self):
+        advice = subsumed_indexes(THEORY, {"only": ["year", "qoy", "moy"]})
+        assert "narrow" in advice[0].describe()
+
+
+class TestRecommend:
+    def test_single_order(self):
+        assert recommend_key(THEORY, [["year", "qoy", "moy"]]) == ("year", "moy")
+
+    def test_prefix_merged(self):
+        key = recommend_key(THEORY, [["year"], ["year", "moy"], ["year", "moy", "dom"]])
+        assert key == ("year", "moy", "dom")
+
+    def test_equivalent_requests_merge(self):
+        key = recommend_key(THEORY, [["year", "qoy", "moy"], ["year", "moy"]])
+        assert key == ("year", "moy")
+
+    def test_empty(self):
+        assert recommend_key(THEORY, []) == ()
+        assert recommend_key(ODTheory([od("", "k")]), [["k"]]) == ()
+
+    def test_recommended_key_covers_requests(self):
+        requests = [["year", "moy"], ["year", "qoy", "moy", "dom"]]
+        key = recommend_key(THEORY, requests)
+        for request in requests:
+            assert order_subsumes(THEORY, key, request)

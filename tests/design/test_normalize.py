@@ -1,0 +1,127 @@
+"""Normalization: BCNF analysis/decomposition and 3NF synthesis."""
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dependency import FunctionalDependency, fd
+from repro.design.normalize import (
+    bcnf_decompose,
+    is_bcnf,
+    is_lossless_binary,
+    synthesize_3nf,
+    violating_fds,
+)
+from repro.fd.closure import attribute_closure, candidate_keys, is_superkey
+from repro.fd.cover import equivalent_covers
+
+NAMES = ("A", "B", "C", "D")
+sides = st.lists(st.sampled_from(NAMES), min_size=1, max_size=2, unique=True)
+fds_st = st.builds(FunctionalDependency, sides, sides)
+
+
+class TestViolations:
+    def test_classic_offender(self):
+        schema = ("A", "B", "C")
+        premises = [fd("A", "B,C"), fd("B", "C")]
+        offenders = violating_fds(schema, premises)
+        assert fd("B", "C") in offenders
+        assert fd("A", "B,C") not in offenders
+
+    def test_bcnf_positive(self):
+        assert is_bcnf(("A", "B"), [fd("A", "B")])
+
+    def test_bcnf_negative(self):
+        assert not is_bcnf(("A", "B", "C"), [fd("A", "B,C"), fd("B", "C")])
+
+    def test_hidden_projected_violation(self):
+        """A violation only visible through projected FDs is still found."""
+        schema = ("A", "B", "C")
+        premises = [fd("A", "B"), fd("B", "C")]
+        assert not is_bcnf(schema, premises)  # B -> C violates
+
+
+class TestBcnfDecompose:
+    def test_textbook_example(self):
+        schema = ("A", "B", "C")
+        premises = [fd("A", "B,C"), fd("B", "C")]
+        fragments = bcnf_decompose(schema, premises)
+        assert frozenset({"B", "C"}) in fragments
+        assert frozenset({"A", "B"}) in fragments
+
+    def test_fragments_are_bcnf(self):
+        schema = ("A", "B", "C", "D")
+        premises = [fd("A", "B"), fd("B", "C")]
+        for fragment in bcnf_decompose(schema, premises):
+            assert is_bcnf(sorted(fragment), premises)
+
+    def test_covers_schema(self):
+        schema = ("A", "B", "C", "D")
+        premises = [fd("A", "B"), fd("C", "D")]
+        fragments = bcnf_decompose(schema, premises)
+        assert set().union(*fragments) == set(schema)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(fds_st, max_size=3))
+    def test_random_schemas(self, premises):
+        fragments = bcnf_decompose(NAMES, premises)
+        assert set().union(*fragments) == set(NAMES)
+        for fragment in fragments:
+            assert is_bcnf(sorted(fragment), premises)
+
+
+class TestSynthesize3NF:
+    def test_groups_by_determinant(self):
+        premises = [fd("A", "B"), fd("A", "C"), fd("D", "A")]
+        relations = synthesize_3nf(("A", "B", "C", "D"), premises)
+        attribute_sets = {relation.attributes for relation in relations}
+        assert frozenset({"A", "B", "C"}) in attribute_sets
+        assert frozenset({"D", "A"}) in attribute_sets
+
+    def test_key_relation_added(self):
+        # no FD mentions D: a key relation containing D must appear
+        premises = [fd("A", "B")]
+        relations = synthesize_3nf(("A", "B", "D"), premises)
+        assert any("D" in relation.attributes for relation in relations)
+
+    def test_dependency_preserving(self):
+        premises = [fd("A", "B"), fd("B", "C"), fd("C", "A")]
+        relations = synthesize_3nf(("A", "B", "C"), premises)
+        embedded = [f for relation in relations for f in relation.fds]
+        assert equivalent_covers(premises, embedded)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(fds_st, min_size=1, max_size=3))
+    def test_some_fragment_contains_a_key(self, premises):
+        relations = synthesize_3nf(NAMES, premises)
+        keys = candidate_keys(NAMES, premises)
+        assert any(
+            any(key <= relation.attributes for relation in relations)
+            for key in keys
+        )
+
+
+class TestLosslessJoin:
+    def test_positive(self):
+        premises = [fd("B", "C")]
+        assert is_lossless_binary(
+            ("A", "B", "C"), frozenset({"B", "C"}), frozenset({"A", "B"}), premises
+        )
+
+    def test_negative(self):
+        assert not is_lossless_binary(
+            ("A", "B", "C"), frozenset({"A", "B"}), frozenset({"B", "C"}), []
+        )
+
+    def test_must_cover_schema(self):
+        assert not is_lossless_binary(
+            ("A", "B", "C"), frozenset({"A"}), frozenset({"B"}), []
+        )
+
+    def test_bcnf_split_is_lossless(self):
+        schema = ("A", "B", "C")
+        premises = [fd("A", "B,C"), fd("B", "C")]
+        fragments = bcnf_decompose(schema, premises)
+        if len(fragments) == 2:
+            assert is_lossless_binary(schema, fragments[0], fragments[1], premises)

@@ -1,0 +1,167 @@
+"""Dependency discovery: planted dependencies recovered, discoveries valid."""
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attrs import AttrList, attrlist
+from repro.core.dependency import FunctionalDependency, compat, od
+from repro.core.relation import Relation
+from repro.core.satisfaction import satisfies
+from repro.discovery import (
+    compose_rhs,
+    discover_compatibilities,
+    discover_constants,
+    discover_fds,
+    discover_ods,
+)
+
+
+def monotone_relation(rows=30, seed=3):
+    """A table with planted structure: B = 2A, C = A // 3, D random, K const."""
+    rng = random.Random(seed)
+    data = []
+    for _ in range(rows):
+        a = rng.randint(0, 20)
+        data.append((a, 2 * a, a // 3, rng.randint(0, 5), 7))
+    return Relation(attrlist("A,B,C,D,K"), data)
+
+
+class TestConstants:
+    def test_found(self):
+        r = monotone_relation()
+        assert "K" in discover_constants(r)
+
+    def test_not_overreported(self):
+        r = monotone_relation()
+        assert "A" not in discover_constants(r)
+
+    def test_empty_relation(self):
+        r = Relation(attrlist("A"), [])
+        assert discover_constants(r) == {"A"}
+
+
+class TestFdDiscovery:
+    def test_planted_fds_found(self):
+        r = monotone_relation()
+        found = discover_fds(r, max_lhs=1)
+        assert FunctionalDependency(("A",), ("B",)) in found
+        assert FunctionalDependency(("A",), ("C",)) in found
+        assert FunctionalDependency(("B",), ("A",)) in found  # B=2A is injective
+
+    def test_all_discovered_hold(self):
+        r = monotone_relation()
+        for dependency in discover_fds(r, max_lhs=2):
+            assert satisfies(r, dependency)
+
+    def test_minimality(self):
+        r = monotone_relation()
+        found = discover_fds(r, max_lhs=2)
+        # A -> B is minimal, so {A, D} -> B must not be reported
+        assert FunctionalDependency(("A", "D"), ("B",)) not in found
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)),
+        max_size=12,
+    ))
+    def test_soundness_on_random_data(self, rows):
+        r = Relation(attrlist("A,B,C"), rows)
+        for dependency in discover_fds(r, max_lhs=2):
+            assert satisfies(r, dependency)
+
+
+class TestCompatibilities:
+    def test_monotone_pair_compatible(self):
+        r = monotone_relation()
+        found = discover_compatibilities(r)
+        assert compat("A", "B") in found or compat("B", "A") in found
+
+    def test_swapping_pair_not_compatible(self):
+        r = Relation(attrlist("A,B"), [(1, 2), (2, 1)])
+        assert discover_compatibilities(r) == []
+
+
+class TestOdDiscovery:
+    def test_planted_ods_found(self):
+        r = monotone_relation()
+        result = discover_ods(r, max_lhs=1)
+        assert od("A", "B") in result.ods
+        assert od("A", "C") in result.ods
+
+    def test_constant_reported_as_empty_lhs(self):
+        r = monotone_relation()
+        result = discover_ods(r, max_lhs=1)
+        assert od("", "K") in result.ods
+
+    def test_all_discovered_hold(self):
+        r = monotone_relation(rows=25)
+        result = discover_ods(r, max_lhs=2)
+        for dependency in result.ods:
+            assert satisfies(r, dependency)
+        for compatibility in result.compatibilities:
+            assert satisfies(r, compatibility)
+
+    def test_minimality_pruning(self):
+        """[A] |-> [B] valid means [A, X] |-> [B] is never reported."""
+        r = monotone_relation()
+        result = discover_ods(r, max_lhs=2)
+        for dependency in result.ods:
+            if tuple(dependency.rhs) == ("B",) and len(dependency.lhs) == 2:
+                assert dependency.lhs[0] != "A"
+
+    def test_summary(self):
+        result = discover_ods(monotone_relation(), max_lhs=1)
+        assert "minimal ODs" in result.summary()
+
+    def test_statements_feed_theory(self):
+        from repro.core.inference import ODTheory
+
+        result = discover_ods(monotone_relation(), max_lhs=1)
+        theory = ODTheory(result.statements())
+        # discovered A |-> B and A |-> C compose
+        assert theory.implies(od("A", "B,C"))
+
+
+class TestComposeRhs:
+    def test_grows_maximal_list(self):
+        r = monotone_relation()
+        grown = compose_rhs(r, attrlist("A"), ["B", "C", "D"])
+        assert "B" in grown and "C" in grown and "D" not in grown
+
+    def test_respects_order_sensitivity(self):
+        rows = [(1, 1, 1), (2, 1, 2), (3, 2, 1)]
+        r = Relation(attrlist("A,B,C"), rows)
+        grown = compose_rhs(r, attrlist("A"), ["B", "C"])
+        # A orders B; appending C after B must only stay if valid
+        assert satisfies(r, od("A", list(grown)))
+
+
+class TestDiscoverOnWorkloads:
+    def test_datedim_recovers_figure2(self):
+        from repro.workloads.datedim import generate_date_dim
+
+        table = generate_date_dim(days=400)
+        relation = table.as_relation()
+        result = discover_ods(relation, max_lhs=1, max_fd_lhs=1)
+        assert od("d_date", "d_year") in result.ods
+        assert od("d_date_sk", "d_date") in result.ods
+        assert od("d_moy", "d_qoy") in result.ods
+        # and the reverse equivalence sk <-> date
+        assert (attrlist("d_date_sk"), attrlist("d_date")) in result.equivalences or (
+            attrlist("d_date"), attrlist("d_date_sk")
+        ) in result.equivalences
+
+    def test_taxes_recovers_example5(self):
+        from repro.workloads.taxes import generate_taxes, taxes_schema
+        from repro.engine.table import Table
+
+        table = Table("taxes", taxes_schema())
+        table.load(generate_taxes(rows=300), check=False)
+        relation = table.as_relation()
+        result = discover_ods(relation, max_lhs=1, max_fd_lhs=1)
+        assert od("income", "bracket") in result.ods
+        assert od("income", "payable") in result.ods

@@ -1,0 +1,71 @@
+"""The raw cost model: arithmetic and shape of the primitives."""
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.cost import Cost, hash_cost, probe_cost, scan_cost, sort_cost
+
+
+class TestCost:
+    def test_total(self):
+        assert Cost(io=2.0, cpu=3.0).total == 5.0
+
+    def test_addition(self):
+        combined = Cost(io=1.0, cpu=2.0) + Cost(io=3.0, cpu=4.0)
+        assert combined == Cost(io=4.0, cpu=6.0)
+
+    @given(st.floats(0, 1e6), st.floats(0, 1e6))
+    def test_total_nonnegative(self, io, cpu):
+        assert Cost(io=io, cpu=cpu).total >= 0
+
+
+class TestPrimitives:
+    def test_scan_linear(self):
+        assert scan_cost(2000).total == pytest.approx(2 * scan_cost(1000).total)
+
+    def test_sort_superlinear(self):
+        assert sort_cost(2000).total > 2 * sort_cost(1000).total
+
+    def test_sort_tiny_inputs(self):
+        assert sort_cost(0).total == 0
+        assert sort_cost(1).total == 1
+
+    def test_probe_vs_scan_crossover(self):
+        """A few probes beat a scan of many rows; many probes do not."""
+        assert probe_cost(2).total < scan_cost(1000).total
+        assert probe_cost(1000).total > scan_cost(1000).total
+
+    def test_hash_symmetric_in_total_rows(self):
+        assert hash_cost(100, 900).total == hash_cost(900, 100).total
+
+    @given(st.integers(2, 100_000))
+    def test_sort_monotone(self, n):
+        assert sort_cost(n + 1).total > sort_cost(n).total
+
+
+class TestMetricsWork:
+    def test_work_weights_sorts(self):
+        from repro.engine.operators.base import Metrics
+
+        flat = Metrics()
+        flat.add("rows_scanned", 1000)
+        sorting = Metrics()
+        sorting.add("rows_scanned", 1000)
+        sorting.add("sort_rows", 1000)
+        assert sorting.work > flat.work
+
+    def test_work_counts_probes(self):
+        from repro.engine.operators.base import Metrics
+
+        metrics = Metrics()
+        metrics.add("index_probes", 10)
+        assert metrics.work == pytest.approx(40.0)
+
+    def test_str_mentions_work(self):
+        from repro.engine.operators.base import Metrics
+
+        metrics = Metrics()
+        metrics.add("rows_scanned", 5)
+        assert "work" in str(metrics)

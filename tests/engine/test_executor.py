@@ -1,0 +1,201 @@
+"""End-to-end SQL execution vs hand-written reference computations, and
+differential testing across the three planner modes."""
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.core.dependency import od
+from repro.engine.database import Database
+from repro.engine.schema import Schema
+from repro.engine.types import DataType
+
+
+@pytest.fixture(scope="module")
+def db():
+    rng = random.Random(123)
+    database = Database()
+    orders = database.create_table(
+        "orders",
+        Schema.of(
+            ("oid", DataType.INT),
+            ("cust", DataType.INT),
+            ("amount", DataType.INT),
+            ("day", DataType.INT),
+        ),
+    )
+    rows = [
+        (i, rng.randint(1, 8), rng.randint(1, 100), rng.randint(1, 30))
+        for i in range(1, 301)
+    ]
+    orders.load(rows)
+    customers = database.create_table(
+        "customers",
+        Schema.of(("cid", DataType.INT), ("region", DataType.STR)),
+    )
+    customers.load([(i, f"r{i % 3}") for i in range(1, 9)])
+    database.create_index("orders_day", "orders", ["day", "oid"])
+    database.create_index("cust_pk", "customers", ["cid"])
+    return database
+
+
+MODES = ("naive", "fd", "od")
+
+
+def run_all_modes(db, sql):
+    out = {}
+    for mode in MODES:
+        from repro.engine.logical import bind
+        from repro.engine.sql.parser import parse
+        from repro.optimizer.planner import Planner
+
+        plan = Planner(db, mode=mode).plan(bind(parse(sql)))
+        rows, metrics = plan.run()
+        out[mode] = (rows, metrics)
+    return out
+
+
+class TestAgainstReference:
+    def test_filter_project(self, db):
+        result = db.execute("SELECT oid, amount FROM orders WHERE amount > 90")
+        expected = sorted(
+            (r[0], r[2]) for r in db.table("orders").rows if r[2] > 90
+        )
+        assert sorted(result.rows) == expected
+
+    def test_order_by(self, db):
+        result = db.execute("SELECT oid FROM orders ORDER BY day, oid")
+        expected = [
+            (r[0],)
+            for r in sorted(db.table("orders").rows, key=lambda r: (r[3], r[0]))
+        ]
+        assert result.rows == expected
+
+    def test_group_by(self, db):
+        result = db.execute(
+            "SELECT cust, SUM(amount) AS total, COUNT(*) AS n "
+            "FROM orders GROUP BY cust ORDER BY cust"
+        )
+        totals = defaultdict(lambda: [0, 0])
+        for r in db.table("orders").rows:
+            totals[r[1]][0] += r[2]
+            totals[r[1]][1] += 1
+        expected = [(c, t, n) for c, (t, n) in sorted(totals.items())]
+        assert result.rows == expected
+
+    def test_join(self, db):
+        result = db.execute(
+            "SELECT region, SUM(amount) AS total FROM orders o "
+            "JOIN customers c ON o.cust = c.cid "
+            "GROUP BY region ORDER BY region"
+        )
+        region_of = {r[0]: r[1] for r in db.table("customers").rows}
+        totals = defaultdict(int)
+        for r in db.table("orders").rows:
+            totals[region_of[r[1]]] += r[2]
+        assert result.rows == [(k, v) for k, v in sorted(totals.items())]
+
+    def test_distinct(self, db):
+        result = db.execute("SELECT DISTINCT cust FROM orders ORDER BY cust")
+        expected = sorted({(r[1],) for r in db.table("orders").rows})
+        assert result.rows == expected
+
+    def test_limit(self, db):
+        result = db.execute("SELECT oid FROM orders ORDER BY oid LIMIT 7")
+        assert result.rows == [(i,) for i in range(1, 8)]
+
+    def test_global_aggregate(self, db):
+        result = db.execute("SELECT COUNT(*) AS n, MAX(amount) AS m FROM orders")
+        rows = db.table("orders").rows
+        assert result.rows == [(len(rows), max(r[2] for r in rows))]
+
+    def test_scalar_function_in_select(self, db):
+        result = db.execute("SELECT oid, amount * 2 AS double FROM orders WHERE oid = 1")
+        row = db.table("orders").rows[0]
+        assert result.rows == [(1, row[2] * 2)]
+
+    def test_empty_result(self, db):
+        result = db.execute("SELECT oid FROM orders WHERE amount > 1000")
+        assert result.rows == []
+
+    def test_between_filter(self, db):
+        result = db.execute("SELECT COUNT(*) AS n FROM orders WHERE day BETWEEN 10 AND 12")
+        expected = sum(1 for r in db.table("orders").rows if 10 <= r[3] <= 12)
+        assert result.rows == [(expected,)]
+
+    def test_in_filter(self, db):
+        result = db.execute("SELECT COUNT(*) AS n FROM orders WHERE cust IN (1, 2)")
+        expected = sum(1 for r in db.table("orders").rows if r[1] in (1, 2))
+        assert result.rows == [(expected,)]
+
+
+QUERIES = [
+    "SELECT oid FROM orders WHERE day BETWEEN 5 AND 9 ORDER BY day, oid",
+    "SELECT cust, COUNT(*) AS n FROM orders GROUP BY cust ORDER BY cust",
+    "SELECT day, SUM(amount) AS t FROM orders WHERE amount >= 10 GROUP BY day ORDER BY day",
+    "SELECT DISTINCT day FROM orders ORDER BY day",
+    "SELECT region, AVG(amount) AS a FROM orders o JOIN customers c ON o.cust = c.cid "
+    "GROUP BY region ORDER BY region",
+    "SELECT oid, amount FROM orders WHERE day = 3 ORDER BY oid LIMIT 5",
+    "SELECT MIN(amount) AS lo, MAX(amount) AS hi FROM orders WHERE day <= 15",
+]
+
+
+class TestModeEquivalence:
+    """All three planning modes must return identical answers — the
+    correctness contract of every rewrite."""
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_same_rows(self, db, sql):
+        results = run_all_modes(db, sql)
+        naive_rows = results["naive"][0]
+        assert results["fd"][0] == naive_rows
+        assert results["od"][0] == naive_rows
+
+    def test_optimized_never_does_more_work(self, db):
+        sql = QUERIES[0]
+        results = run_all_modes(db, sql)
+        assert results["od"][1].work <= results["naive"][1].work
+
+
+class TestQueryResult:
+    def test_as_dicts(self, db):
+        result = db.execute("SELECT oid FROM orders ORDER BY oid LIMIT 1")
+        assert result.as_dicts() == [{"oid": 1}]
+
+    def test_columns(self, db):
+        result = db.execute("SELECT oid, cust AS customer FROM orders LIMIT 1")
+        assert result.columns == ("oid", "customer")
+
+    def test_explain(self, db):
+        text = db.explain("SELECT oid FROM orders ORDER BY oid")
+        assert "Sort" in text or "IndexScan" in text
+
+
+class TestHavingExecution:
+    def test_having_filters_groups(self, db):
+        result = db.execute(
+            "SELECT cust, COUNT(*) AS n FROM orders GROUP BY cust "
+            "HAVING COUNT(*) > 30 ORDER BY cust"
+        )
+        counts = defaultdict(int)
+        for r in db.table("orders").rows:
+            counts[r[1]] += 1
+        expected = [(c, n) for c, n in sorted(counts.items()) if n > 30]
+        assert result.rows == expected
+
+    def test_having_hidden_agg_not_in_output(self, db):
+        result = db.execute(
+            "SELECT cust FROM orders GROUP BY cust HAVING SUM(amount) > 1000 ORDER BY cust"
+        )
+        assert result.columns == ("cust",)
+
+    def test_having_same_across_modes(self, db):
+        sql = (
+            "SELECT cust, SUM(amount) AS t FROM orders GROUP BY cust "
+            "HAVING SUM(amount) > 1200 ORDER BY cust"
+        )
+        results = run_all_modes(db, sql)
+        assert results["naive"][0] == results["fd"][0] == results["od"][0]

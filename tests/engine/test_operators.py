@@ -1,0 +1,252 @@
+"""Physical operators against naive reference computations."""
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.expr import Cmp, Col, Lit
+from repro.engine.index import SortedIndex
+from repro.engine.operators import (
+    AggSpec,
+    Filter,
+    HashAggregate,
+    HashDistinct,
+    HashJoin,
+    IndexScan,
+    Limit,
+    MergeJoin,
+    Metrics,
+    NestedLoopJoin,
+    Project,
+    SeqScan,
+    Sort,
+    SortedDistinct,
+    StreamAggregate,
+)
+from repro.engine.schema import Schema
+from repro.engine.table import Table
+from repro.engine.types import DataType
+
+
+def make_table(name="t", rows=()):
+    table = Table(name, Schema.of(("a", DataType.INT), ("b", DataType.INT)))
+    table.load(rows, check=False)
+    return table
+
+
+def run(op):
+    rows, metrics = op.run()
+    return rows, metrics
+
+
+class TestScans:
+    def test_seq_scan(self):
+        rows, metrics = run(SeqScan(make_table(rows=[(1, 2), (3, 4)])))
+        assert rows == [(1, 2), (3, 4)]
+        assert metrics.get("rows_scanned") == 2
+
+    def test_seq_scan_qualifies_schema(self):
+        op = SeqScan(make_table(), alias="x")
+        assert op.schema.names == ("x.a", "x.b")
+
+    def test_index_scan_ordering_property(self):
+        table = make_table(rows=[(3, 0), (1, 0)])
+        index = SortedIndex("i", table, ["a"])
+        op = IndexScan(index, alias="t")
+        assert op.ordering == ("t.a",)
+        rows, _ = run(op)
+        assert rows == [(1, 0), (3, 0)]
+
+    def test_index_scan_bounds(self):
+        table = make_table(rows=[(i, 0) for i in range(10)])
+        index = SortedIndex("i", table, ["a"])
+        rows, _ = run(IndexScan(index, low=(2,), high=(4,)))
+        assert [r[0] for r in rows] == [2, 3, 4]
+
+
+class TestFilterProject:
+    def test_filter(self):
+        scan = SeqScan(make_table(rows=[(1, 2), (3, 4)]))
+        rows, _ = run(Filter(scan, Cmp(">", Col("a"), Lit(1))))
+        assert rows == [(3, 4)]
+
+    def test_filter_preserves_ordering(self):
+        table = make_table(rows=[(1, 0), (2, 0)])
+        index = SortedIndex("i", table, ["a"])
+        op = Filter(IndexScan(index), Lit(True))
+        assert op.ordering == op.child.ordering
+
+    def test_project_compute(self):
+        scan = SeqScan(make_table(rows=[(1, 2)]))
+        from repro.engine.expr import Arith
+
+        op = Project(scan, [Arith("+", Col("a"), Col("b"))], ["s"])
+        rows, _ = run(op)
+        assert rows == [(3,)]
+        assert op.schema.names == ("s",)
+
+    def test_project_ordering_renames(self):
+        table = make_table(rows=[(1, 2)])
+        index = SortedIndex("i", table, ["a", "b"])
+        scan = IndexScan(index, alias="t")
+        op = Project(scan, [Col("a"), Col("b")], ["x", "y"])
+        assert op.ordering == ("x", "y")
+
+    def test_project_ordering_truncates_at_dropped(self):
+        table = make_table(rows=[(1, 2)])
+        index = SortedIndex("i", table, ["a", "b"])
+        scan = IndexScan(index, alias="t")
+        op = Project(scan, [Col("b")], ["y"])
+        assert op.ordering == ()  # a was dropped; order by b alone unknown
+
+
+class TestSort:
+    def test_sorts_and_charges(self):
+        scan = SeqScan(make_table(rows=[(3, 1), (1, 2), (2, 0)]))
+        op = Sort(scan, ["a"])
+        rows, metrics = run(op)
+        assert [r[0] for r in rows] == [1, 2, 3]
+        assert metrics.get("sorts") == 1
+        assert metrics.get("sort_rows") == 3
+
+    def test_sort_is_stable(self):
+        scan = SeqScan(make_table(rows=[(1, 3), (1, 1), (1, 2)]))
+        rows, _ = run(Sort(scan, ["a"]))
+        assert [r[1] for r in rows] == [3, 1, 2]
+
+
+class TestDistinctLimit:
+    def test_hash_distinct(self):
+        scan = SeqScan(make_table(rows=[(1, 1), (1, 1), (2, 2)]))
+        rows, _ = run(HashDistinct(scan))
+        assert rows == [(1, 1), (2, 2)]
+
+    def test_sorted_distinct(self):
+        scan = SeqScan(make_table(rows=[(1, 1), (1, 1), (2, 2), (2, 2)]))
+        rows, _ = run(SortedDistinct(scan))
+        assert rows == [(1, 1), (2, 2)]
+
+    def test_limit(self):
+        scan = SeqScan(make_table(rows=[(i, 0) for i in range(10)]))
+        rows, _ = run(Limit(scan, 3))
+        assert len(rows) == 3
+
+
+class TestAggregates:
+    def data(self):
+        return make_table(rows=[(1, 10), (1, 20), (2, 5)])
+
+    def specs(self):
+        return [
+            AggSpec("COUNT", None, "n"),
+            AggSpec("SUM", Col("b"), "total"),
+            AggSpec("MIN", Col("b"), "low"),
+            AggSpec("MAX", Col("b"), "high"),
+            AggSpec("AVG", Col("b"), "mean"),
+        ]
+
+    def test_hash_aggregate(self):
+        op = HashAggregate(SeqScan(self.data()), ["a"], self.specs())
+        rows, _ = run(op)
+        assert sorted(rows) == [(1, 2, 30, 10, 20, 15.0), (2, 1, 5, 5, 5, 5.0)]
+
+    def test_stream_aggregate_on_sorted_input(self):
+        table = self.data()
+        index = SortedIndex("i", table, ["a"])
+        op = StreamAggregate(IndexScan(index, alias="t"), ["a"], self.specs())
+        rows, _ = run(op)
+        assert rows == [(1, 2, 30, 10, 20, 15.0), (2, 1, 5, 5, 5, 5.0)]
+
+    def test_stream_matches_hash(self):
+        table = make_table(rows=[(i % 4, i) for i in range(40)])
+        index = SortedIndex("i", table, ["a"])
+        specs = [AggSpec("SUM", Col("b"), "s")]
+        stream_rows, _ = run(StreamAggregate(IndexScan(index), ["a"], specs))
+        hash_rows, _ = run(HashAggregate(SeqScan(table), ["a"], specs))
+        assert sorted(stream_rows) == sorted(hash_rows)
+
+    def test_global_aggregate_empty_input(self):
+        empty = make_table(rows=[])
+        specs = [AggSpec("COUNT", None, "n"), AggSpec("SUM", Col("b"), "s")]
+        for op in (
+            HashAggregate(SeqScan(empty), [], specs),
+            StreamAggregate(SeqScan(empty), [], specs),
+        ):
+            rows, _ = run(op)
+            assert rows == [(0, 0)]
+
+    def test_grouped_aggregate_empty_input(self):
+        empty = make_table(rows=[])
+        rows, _ = run(
+            HashAggregate(SeqScan(empty), ["a"], [AggSpec("COUNT", None, "n")])
+        )
+        assert rows == []
+
+    def test_bad_agg_spec(self):
+        with pytest.raises(ValueError):
+            AggSpec("MEDIAN", Col("b"), "m")
+        with pytest.raises(ValueError):
+            AggSpec("SUM", None, "s")
+
+
+class TestJoins:
+    def tables(self):
+        left = make_table("l", rows=[(1, 10), (2, 20), (2, 21), (3, 30)])
+        right = Table("r", Schema.of(("k", DataType.INT), ("v", DataType.STR)))
+        right.load([(1, "one"), (2, "two"), (4, "four")], check=False)
+        return left, right
+
+    def expected(self):
+        return sorted(
+            [
+                (1, 10, 1, "one"),
+                (2, 20, 2, "two"),
+                (2, 21, 2, "two"),
+            ]
+        )
+
+    def test_hash_join(self):
+        left, right = self.tables()
+        op = HashJoin(SeqScan(left), SeqScan(right), ["a"], ["k"])
+        rows, _ = run(op)
+        assert sorted(rows) == self.expected()
+
+    def test_merge_join(self):
+        left, right = self.tables()
+        li = SortedIndex("li", left, ["a"])
+        ri = SortedIndex("ri", right, ["k"])
+        op = MergeJoin(IndexScan(li), IndexScan(ri), ["a"], ["k"])
+        rows, _ = run(op)
+        assert sorted(rows) == self.expected()
+
+    def test_nested_loop_join(self):
+        left, right = self.tables()
+        op = NestedLoopJoin(SeqScan(left), SeqScan(right), ["a"], ["k"])
+        rows, _ = run(op)
+        assert sorted(rows) == self.expected()
+
+    def test_merge_join_duplicate_keys_both_sides(self):
+        left = make_table("l", rows=[(1, 0), (1, 1)])
+        right = Table("r", Schema.of(("k", DataType.INT), ("v", DataType.INT)))
+        right.load([(1, 7), (1, 8)], check=False)
+        li = SortedIndex("li", left, ["a"])
+        ri = SortedIndex("ri", right, ["k"])
+        rows, _ = run(MergeJoin(IndexScan(li), IndexScan(ri), ["a"], ["k"]))
+        assert len(rows) == 4  # full cross product of the matching group
+
+    def test_join_schema_concat(self):
+        left, right = self.tables()
+        op = HashJoin(SeqScan(left), SeqScan(right), ["a"], ["k"])
+        assert op.schema.names == ("l.a", "l.b", "r.k", "r.v")
+
+    def test_key_length_mismatch(self):
+        left, right = self.tables()
+        with pytest.raises(ValueError):
+            HashJoin(SeqScan(left), SeqScan(right), ["a"], [])
+
+
+class TestExplain:
+    def test_tree_rendering(self):
+        scan = SeqScan(make_table(rows=[(1, 2)]))
+        op = Limit(Sort(scan, ["a"]), 1)
+        text = op.explain()
+        assert "Limit(1)" in text and "Sort(t.a)" in text and "SeqScan" in text

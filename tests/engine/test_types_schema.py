@@ -1,0 +1,86 @@
+"""Type validation and schema resolution."""
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.engine.schema import Column, Schema
+from repro.engine.types import DataType, validate_value
+
+
+class TestValidateValue:
+    def test_int(self):
+        assert validate_value(3, DataType.INT) == 3
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeError):
+            validate_value(True, DataType.INT)
+
+    def test_float_accepts_int(self):
+        assert validate_value(3, DataType.FLOAT) == 3.0
+        assert isinstance(validate_value(3, DataType.FLOAT), float)
+
+    def test_str(self):
+        assert validate_value("x", DataType.STR) == "x"
+        with pytest.raises(TypeError):
+            validate_value(1, DataType.STR)
+
+    def test_bool(self):
+        assert validate_value(False, DataType.BOOL) is False
+        with pytest.raises(TypeError):
+            validate_value(0, DataType.BOOL)
+
+    def test_date_from_iso(self):
+        assert validate_value("2001-02-03", DataType.DATE) == datetime.date(2001, 2, 3)
+
+    def test_date_native(self):
+        day = datetime.date(2001, 2, 3)
+        assert validate_value(day, DataType.DATE) is day
+
+    def test_null_rejected(self):
+        with pytest.raises(TypeError):
+            validate_value(None, DataType.INT)
+
+
+class TestSchema:
+    def make(self):
+        return Schema.of(("t.a", DataType.INT), ("t.b", DataType.STR), ("c", DataType.INT))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema.of(("a", DataType.INT), ("a", DataType.INT))
+
+    def test_position(self):
+        assert self.make().position("t.b") == 1
+
+    def test_resolve_exact(self):
+        assert self.make().resolve("t.a") == "t.a"
+
+    def test_resolve_suffix(self):
+        assert self.make().resolve("a") == "t.a"
+
+    def test_resolve_missing(self):
+        with pytest.raises(KeyError):
+            self.make().resolve("zzz")
+
+    def test_resolve_ambiguous(self):
+        schema = Schema.of(("t.a", DataType.INT), ("u.a", DataType.INT))
+        with pytest.raises(ValueError):
+            schema.resolve("a")
+
+    def test_concat(self):
+        joined = self.make().concat(Schema.of(("d", DataType.INT)))
+        assert joined.names == ("t.a", "t.b", "c", "d")
+
+    def test_rename(self):
+        renamed = self.make().rename(["x", "y", "z"])
+        assert renamed.names == ("x", "y", "z")
+        assert renamed.columns[0].dtype is DataType.INT
+
+    def test_select(self):
+        sub = self.make().select(["c", "a"])
+        assert sub.names == ("c", "t.a")
+
+    def test_dtype_of(self):
+        assert self.make().dtype_of("b") is DataType.STR

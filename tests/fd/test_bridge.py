@@ -1,0 +1,95 @@
+"""Theorem 13 / Lemma 1 / Theorem 16: the FD ↔ OD correspondence."""
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attrs import AttrList
+from repro.core.dependency import FunctionalDependency, od
+from repro.core.inference import ODTheory
+from repro.core.relation import Relation
+from repro.core.satisfaction import satisfies
+from repro.fd.bridge import (
+    armstrong_rules_via_ods,
+    fd_to_od,
+    fds_of,
+    od_to_fd,
+    theory_fd_implies,
+)
+
+NAMES = ("A", "B", "C")
+rows = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)), max_size=8
+)
+sides = st.lists(st.sampled_from(NAMES), max_size=2, unique=True)
+fds_st = st.builds(FunctionalDependency, sides, sides)
+
+
+class TestTheorem13OnData:
+    """On any instance: the FD holds iff its OD encoding holds."""
+
+    @settings(max_examples=150)
+    @given(rows, fds_st)
+    def test_fd_iff_encoded_od(self, data, dependency):
+        relation = Relation(AttrList(NAMES), data)
+        assert satisfies(relation, dependency) == satisfies(
+            relation, fd_to_od(dependency)
+        )
+
+    @settings(max_examples=100)
+    @given(rows, fds_st)
+    def test_any_lhs_permutation_equivalent(self, data, dependency):
+        """Permutation (Theorem 14): every list encoding of the same FD
+        agrees on every instance."""
+        import itertools
+
+        relation = Relation(AttrList(NAMES), data)
+        outcomes = set()
+        for lhs_perm in itertools.permutations(dependency.lhs):
+            lhs = AttrList(lhs_perm)
+            encoded = od(lhs, lhs + AttrList(dependency.rhs))
+            outcomes.add(satisfies(relation, encoded))
+        assert len(outcomes) == 1
+
+
+class TestLemma1:
+    @settings(max_examples=100)
+    @given(rows, st.builds(
+        od,
+        st.lists(st.sampled_from(NAMES), max_size=2, unique=True).map(AttrList),
+        st.lists(st.sampled_from(NAMES), max_size=2, unique=True).map(AttrList),
+    ))
+    def test_od_implies_fd_on_data(self, data, dependency):
+        relation = Relation(AttrList(NAMES), data)
+        if satisfies(relation, dependency):
+            assert satisfies(relation, od_to_fd(dependency))
+
+    def test_converse_fails(self):
+        relation = Relation(AttrList(["A", "B"]), [(1, 2), (2, 1)])
+        assert satisfies(relation, od_to_fd(od("A", "B")))
+        assert not satisfies(relation, od("A", "B"))
+
+
+class TestTheorem16:
+    def test_armstrong_axioms(self):
+        assert armstrong_rules_via_ods(("A",), ("B",), ("C",)) == (True, True, True)
+        assert armstrong_rules_via_ods(("A", "B"), ("C",), ("D",)) == (
+            True, True, True,
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(fds_st, max_size=3), fds_st)
+    def test_oracle_equals_classical(self, premises, goal):
+        from repro.fd.closure import fd_implies
+
+        theory = ODTheory(premises)
+        assert theory_fd_implies(theory, goal) == fd_implies(premises, goal)
+
+
+class TestFdsOf:
+    def test_expands_statements(self):
+        from repro.core.dependency import equiv
+
+        out = fds_of([od("A", "B"), equiv("B", "C")])
+        assert FunctionalDependency(("A",), ("B",)) in out
+        assert len(out) == 3

@@ -1,0 +1,77 @@
+"""Classical FD closure, implication, and keys."""
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dependency import FunctionalDependency, fd
+from repro.fd.closure import (
+    attribute_closure,
+    candidate_keys,
+    fd_implies,
+    is_superkey,
+)
+
+NAMES = ("A", "B", "C", "D")
+sides = st.lists(st.sampled_from(NAMES), max_size=2, unique=True)
+fds = st.builds(FunctionalDependency, sides, sides)
+
+
+class TestClosure:
+    def test_simple_chain(self):
+        premises = [fd("A", "B"), fd("B", "C")]
+        assert attribute_closure(["A"], premises) == {"A", "B", "C"}
+
+    def test_composite_lhs(self):
+        premises = [fd("A,B", "C")]
+        assert attribute_closure(["A"], premises) == {"A"}
+        assert attribute_closure(["A", "B"], premises) == {"A", "B", "C"}
+
+    def test_reflexive_base(self):
+        assert attribute_closure(["A", "B"], []) == {"A", "B"}
+
+    @settings(max_examples=100)
+    @given(st.lists(fds, max_size=4), st.sets(st.sampled_from(NAMES), max_size=3))
+    def test_closure_vs_bruteforce(self, premises, base):
+        """Fixpoint closure == naive saturation."""
+        closed = set(base)
+        changed = True
+        while changed:
+            changed = False
+            for dependency in premises:
+                if set(dependency.lhs) <= closed and not set(dependency.rhs) <= closed:
+                    closed |= set(dependency.rhs)
+                    changed = True
+        assert attribute_closure(base, premises) == closed
+
+    @settings(max_examples=100)
+    @given(st.lists(fds, max_size=3), fds)
+    def test_implication_via_closure(self, premises, goal):
+        assert fd_implies(premises, goal) == (
+            set(goal.rhs) <= attribute_closure(goal.lhs, premises)
+        )
+
+
+class TestKeys:
+    def test_single_key(self):
+        premises = [fd("A", "B"), fd("A", "C"), fd("A", "D")]
+        assert candidate_keys(NAMES, premises) == [frozenset({"A"})]
+
+    def test_two_keys(self):
+        premises = [fd("A", "B,C,D"), fd("B", "A,C,D")]
+        keys = candidate_keys(NAMES, premises)
+        assert frozenset({"A"}) in keys and frozenset({"B"}) in keys
+        assert len(keys) == 2
+
+    def test_whole_schema_when_no_fds(self):
+        assert candidate_keys(("A", "B"), []) == [frozenset({"A", "B"})]
+
+    def test_keys_are_minimal_superkeys(self):
+        premises = [fd("A,B", "C"), fd("C", "D")]
+        for key in candidate_keys(NAMES, premises):
+            assert is_superkey(key, NAMES, premises)
+            for attribute in key:
+                assert not is_superkey(key - {attribute}, NAMES, premises)

@@ -1,0 +1,64 @@
+"""Minimal covers: equivalence, minimality, determinism."""
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dependency import FunctionalDependency, fd
+from repro.fd.closure import fd_implies
+from repro.fd.cover import equivalent_covers, minimal_cover, singleton_rhs
+
+NAMES = ("A", "B", "C", "D")
+sides = st.lists(st.sampled_from(NAMES), max_size=2, unique=True)
+fds = st.builds(FunctionalDependency, sides, sides)
+
+
+class TestSingletonRhs:
+    def test_splits(self):
+        out = singleton_rhs([fd("A", "B,C")])
+        assert set(out) == {fd("A", "B"), fd("A", "C")}
+
+    def test_drops_trivial(self):
+        assert singleton_rhs([fd("A", "A")]) == []
+        assert singleton_rhs([fd("A,B", "B,C")]) == [fd("A,B", "C")]
+
+
+class TestMinimalCover:
+    def test_removes_redundant_fd(self):
+        cover = minimal_cover([fd("A", "B"), fd("B", "C"), fd("A", "C")])
+        assert fd("A", "C") not in cover
+        assert len(cover) == 2
+
+    def test_trims_extraneous_lhs(self):
+        cover = minimal_cover([fd("A", "B"), fd("A,B", "C")])
+        assert fd("A", "C") in cover
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(fds, max_size=4))
+    def test_cover_is_equivalent(self, premises):
+        cover = minimal_cover(premises)
+        assert equivalent_covers(premises, cover)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(fds, max_size=4))
+    def test_cover_has_no_redundancy(self, premises):
+        cover = minimal_cover(premises)
+        for i, dependency in enumerate(cover):
+            rest = cover[:i] + cover[i + 1:]
+            assert not fd_implies(rest, dependency)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(fds, max_size=4))
+    def test_singleton_rhs_form(self, premises):
+        for dependency in minimal_cover(premises):
+            assert len(dependency.rhs) == 1
+
+
+class TestEquivalentCovers:
+    def test_positive(self):
+        assert equivalent_covers(
+            [fd("A", "B,C")], [fd("A", "B"), fd("A", "C")]
+        )
+
+    def test_negative(self):
+        assert not equivalent_covers([fd("A", "B")], [fd("B", "A")])

@@ -1,0 +1,85 @@
+"""Query-scoped theory assembly: qualification, join equivalences,
+constants."""
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attrs import attrlist
+from repro.core.dependency import compat, equiv, fd, od
+from repro.optimizer.context import (
+    alias_constraints,
+    build_theory,
+    constant_statement,
+    join_equivalence,
+    qualify_statement,
+)
+
+
+class TestQualify:
+    def test_od(self):
+        assert qualify_statement(od("a", "b"), "t") == od("t.a", "t.b")
+
+    def test_equiv(self):
+        assert qualify_statement(equiv("a", "b"), "t") == equiv("t.a", "t.b")
+
+    def test_compat(self):
+        assert qualify_statement(compat("a", "b"), "t") == compat("t.a", "t.b")
+
+    def test_fd(self):
+        qualified = qualify_statement(fd("a,b", "c"), "t")
+        assert qualified == fd("t.a,t.b", "t.c")
+
+    def test_rejects_junk(self):
+        with pytest.raises(TypeError):
+            qualify_statement("nonsense", "t")
+
+    def test_lists_keep_order(self):
+        qualified = qualify_statement(od("b,a", "c"), "t")
+        assert tuple(qualified.lhs) == ("t.b", "t.a")
+
+
+class TestBuildingBlocks:
+    def test_join_equivalence(self):
+        statement = join_equivalence("f.sk", "d.sk")
+        assert statement == equiv("f.sk", "d.sk")
+
+    def test_constant(self):
+        statement = constant_statement("t.year")
+        assert tuple(statement.lhs) == ()
+        assert tuple(statement.rhs) == ("t.year",)
+
+    def test_alias_constraints_pull_from_catalog(self):
+        from repro.engine.database import Database
+        from repro.engine.schema import Schema
+        from repro.engine.types import DataType
+
+        db = Database()
+        table = db.create_table(
+            "t", Schema.of(("a", DataType.INT), ("b", DataType.INT))
+        )
+        table.load([(1, 1), (2, 2)])
+        db.declare("t", od("a", "b"))
+        statements = alias_constraints(db, "x", "t")
+        assert statements == [od("x.a", "x.b")]
+
+
+class TestComposedTheory:
+    def test_join_equivalence_transfers_constraints(self):
+        """The scenario behind the date rewrite: a constraint on the
+        dimension's key transfers across the join equality."""
+        theory = build_theory(
+            [
+                qualify_statement(equiv("sk", "dt"), "d"),
+                join_equivalence("f.sk", "d.sk"),
+            ]
+        )
+        assert theory.implies(od("f.sk", "d.dt"))
+        assert theory.implies(equiv("f.sk", "d.dt"))
+
+    def test_filter_constant_enables_reduction(self):
+        theory = build_theory(
+            [constant_statement("t.year"), qualify_statement(od("a", "b"), "t")]
+        )
+        from repro.optimizer.reduce_order import reduce_order_od
+
+        assert reduce_order_od(theory, ["t.year", "t.a", "t.b"]) == ("t.a",)

@@ -1,0 +1,176 @@
+"""ReduceOrder vs ReduceOrder++ vs the exact semantic reduction (E10)."""
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attrs import AttrList
+from repro.core.dependency import OrderEquivalence, fd, od
+from repro.core.inference import ODTheory
+from repro.optimizer.reduce_order import (
+    minimal_groupby,
+    ordering_satisfies,
+    ordering_satisfies_fd,
+    reduce_order_exact,
+    reduce_order_fd,
+    reduce_order_od,
+    stream_groupable,
+)
+
+#: month orders quarter — the Example 1 theory
+EX1 = ODTheory([od("moy", "qoy")])
+NAMES = ("A", "B", "C", "D")
+keys_st = st.lists(st.sampled_from(NAMES), max_size=4)
+ods_st = st.builds(
+    od,
+    st.lists(st.sampled_from(NAMES), max_size=2, unique=True).map(AttrList),
+    st.lists(st.sampled_from(NAMES), max_size=2, unique=True).map(AttrList),
+)
+
+
+class TestHeadlineExample:
+    def test_fd_cannot_drop_quarter(self):
+        assert reduce_order_fd(EX1, ["year", "qoy", "moy"]) == ("year", "qoy", "moy")
+
+    def test_od_drops_quarter(self):
+        assert reduce_order_od(EX1, ["year", "qoy", "moy"]) == ("year", "moy")
+
+    def test_od_drops_quarter_after_month_too(self):
+        # Eliminate handles quarter appearing after month
+        assert reduce_order_od(EX1, ["year", "moy", "qoy"]) == ("year", "moy")
+
+    def test_fd_drops_quarter_only_with_prefix_fd(self):
+        theory = ODTheory([fd("moy", "qoy")])
+        # quarter after month: the whole prefix {year, moy} determines qoy
+        assert reduce_order_fd(theory, ["year", "moy", "qoy"]) == ("year", "moy")
+        # quarter before month: FD prefix {year} does not determine qoy
+        assert reduce_order_fd(theory, ["year", "qoy", "moy"]) == (
+            "year", "qoy", "moy",
+        )
+
+
+class TestAdjacency:
+    """The paper's ABD vs ABCD discussion."""
+
+    THEORY = ODTheory([od("D", "B")])
+
+    def test_abd_reduces(self):
+        assert reduce_order_od(self.THEORY, ["A", "B", "D"]) == ("A", "D")
+
+    def test_abcd_does_not(self):
+        assert reduce_order_od(self.THEORY, ["A", "B", "C", "D"]) == (
+            "A", "B", "C", "D",
+        )
+
+    def test_wider_od_reduces_abcd(self):
+        wide = ODTheory([od("D", "B,C")])
+        assert reduce_order_od(wide, ["A", "B", "C", "D"]) == ("A", "D")
+
+
+class TestConstantsAndDuplicates:
+    def test_constant_dropped_everywhere(self):
+        theory = ODTheory([od("", "K")])
+        assert reduce_order_fd(theory, ["K", "A", "K"]) == ("A",)
+        assert reduce_order_od(theory, ["A", "K", "B"]) == ("A", "B")
+
+    def test_duplicates_dropped(self):
+        theory = ODTheory([])
+        assert reduce_order_fd(theory, ["A", "B", "A"]) == ("A", "B")
+
+    def test_empty_spec(self):
+        assert reduce_order_od(ODTheory([]), []) == ()
+
+
+class TestInclusionChain:
+    """fd-reduction ⊆ od-reduction ⊆ exact, and all preserve equivalence."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(ods_st, max_size=2), keys_st)
+    def test_chain_and_equivalence(self, premises, keys):
+        theory = ODTheory(premises)
+        fd_out = reduce_order_fd(theory, keys)
+        od_out = reduce_order_od(theory, keys)
+        exact_out = reduce_order_exact(theory, keys)
+        assert len(exact_out) <= len(od_out) <= len(fd_out)
+        original = AttrList(tuple(dict.fromkeys(keys)))
+        for reduced in (fd_out, od_out, exact_out):
+            assert theory.implies(OrderEquivalence(original, AttrList(reduced))), (
+                f"reduction {reduced} not equivalent to {keys} under {premises}"
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(ods_st, max_size=2), keys_st)
+    def test_idempotent(self, premises, keys):
+        theory = ODTheory(premises)
+        once = reduce_order_od(theory, keys)
+        assert reduce_order_od(theory, once) == once
+
+
+class TestOrderingSatisfies:
+    def test_od_mode_uses_oracle(self):
+        assert ordering_satisfies(EX1, ["year", "moy"], ["year", "qoy", "moy"])
+
+    def test_fd_mode_does_not(self):
+        assert not ordering_satisfies_fd(EX1, ["year", "moy"], ["year", "qoy", "moy"])
+
+    def test_fd_mode_prefix(self):
+        theory = ODTheory([])
+        assert ordering_satisfies_fd(theory, ["a", "b", "c"], ["a", "b"])
+        assert not ordering_satisfies_fd(theory, ["a"], ["a", "b"])
+
+    def test_fd_mode_sees_renames(self):
+        theory = ODTheory([OrderEquivalence(AttrList(["t.a"]), AttrList(["a"]))])
+        assert ordering_satisfies_fd(theory, ["t.a"], ["a"])
+
+    def test_empty_required(self):
+        assert ordering_satisfies(ODTheory([]), [], [])
+        assert ordering_satisfies_fd(ODTheory([]), [], [])
+
+    def test_constants_only_requirement(self):
+        theory = ODTheory([od("", "K")])
+        assert ordering_satisfies(theory, [], ["K"])
+
+
+class TestStreamGroupable:
+    def test_prefix_fd_path(self):
+        theory = ODTheory([fd("moy", "qoy")])
+        assert stream_groupable(
+            theory, ["year", "moy", "dom"], ["year", "qoy", "moy"],
+            od_reasoning=False,
+        )
+
+    def test_od_path(self):
+        theory = ODTheory([OrderEquivalence(AttrList(["sk"]), AttrList(["dt"])),
+                           od("dt", "year,moy")])
+        assert stream_groupable(theory, ["sk"], ["year", "moy"])
+        assert not stream_groupable(
+            theory, ["sk"], ["year", "moy"], od_reasoning=False
+        )
+
+    def test_unordered_stream_fails(self):
+        assert not stream_groupable(ODTheory([]), [], ["a"])
+
+    def test_empty_group_always_ok(self):
+        assert stream_groupable(ODTheory([]), [], [])
+
+    def test_exact_prefix(self):
+        assert stream_groupable(ODTheory([]), ["a", "b"], ["a", "b"])
+        assert stream_groupable(ODTheory([]), ["a", "b"], ["b", "a"])
+        assert not stream_groupable(ODTheory([]), ["a", "b"], ["b"])
+
+
+class TestMinimalGroupby:
+    def test_fd_drop(self):
+        theory = ODTheory([fd("moy", "qoy")])
+        assert minimal_groupby(theory, ["year", "qoy", "moy"]) == ("year", "moy")
+
+    def test_partition_preserved(self):
+        """Reduced grouping induces the same partition: rest determines
+        dropped columns."""
+        theory = ODTheory([fd("A", "B")])
+        reduced = minimal_groupby(theory, ["A", "B", "C"])
+        assert reduced == ("A", "C")
+        from repro.core.dependency import FunctionalDependency
+
+        assert theory.implies(FunctionalDependency(reduced, ("B",)))

@@ -1,0 +1,214 @@
+"""Logical rewrites: pushdown correctness and the date join elimination."""
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.engine.logical import (
+    LogicalFilter,
+    LogicalJoin,
+    LogicalScan,
+    bind,
+    explain_logical,
+)
+from repro.engine.sql.parser import parse
+from repro.optimizer.rewrites import (
+    NameResolver,
+    apply_date_rewrite,
+    collect_aliases,
+    conjoin,
+    push_filters,
+    split_conjuncts,
+)
+from repro.workloads.tpcds_lite import build_tpcds_lite
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_tpcds_lite(days=120, sales_rows=3000)
+
+
+def logical_for(db, sql):
+    node = bind(parse(sql))
+    resolver = NameResolver(db, collect_aliases(node))
+    return node, resolver
+
+
+class TestConjuncts:
+    def test_split_nested_ands(self):
+        from repro.engine.expr import BoolOp, Cmp, Col, Lit
+
+        pred = BoolOp(
+            "AND",
+            [
+                Cmp("=", Col("a"), Lit(1)),
+                BoolOp("AND", [Cmp("=", Col("b"), Lit(2)), Cmp("=", Col("c"), Lit(3))]),
+            ],
+        )
+        assert len(split_conjuncts(pred)) == 3
+
+    def test_or_not_split(self):
+        from repro.engine.expr import BoolOp, Cmp, Col, Lit
+
+        pred = BoolOp("OR", [Cmp("=", Col("a"), Lit(1)), Cmp("=", Col("b"), Lit(2))])
+        assert split_conjuncts(pred) == [pred]
+
+    def test_conjoin_roundtrip(self):
+        from repro.engine.expr import Cmp, Col, Lit
+
+        a = Cmp("=", Col("a"), Lit(1))
+        b = Cmp("=", Col("b"), Lit(2))
+        assert conjoin([]) is None
+        assert conjoin([a]) is a
+        assert split_conjuncts(conjoin([a, b])) == [a, b]
+
+
+class TestPushFilters:
+    def test_single_alias_conjunct_reaches_scan(self, workload):
+        db = workload.database
+        node, resolver = logical_for(
+            db,
+            "SELECT ss_quantity FROM store_sales ss "
+            "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+            "WHERE d_year = 1999 AND ss_quantity > 5",
+        )
+        pushed = push_filters(node, resolver)
+        text = explain_logical(pushed)
+        # each conjunct sits directly over its own scan
+        assert "Filter d_year = 1999" in text
+        assert "Filter ss_quantity > 5" in text
+        # and below the join
+        join_pos = text.index("Join")
+        assert text.index("d_year") > join_pos
+
+    def test_multi_alias_residue_stays(self, workload):
+        db = workload.database
+        node, resolver = logical_for(
+            db,
+            "SELECT ss_quantity FROM store_sales ss "
+            "JOIN item i ON ss.ss_item_sk = i.i_item_sk "
+            "WHERE ss_quantity > i_current_price",
+        )
+        pushed = push_filters(node, resolver)
+        text = explain_logical(pushed)
+        assert text.index("Filter ss_quantity > i_current_price") < text.index("Join")
+
+    def test_results_unchanged(self, workload):
+        db = workload.database
+        lo, hi = workload.date_range(10, 20)
+        sql = (
+            "SELECT SUM(ss_quantity) AS q FROM store_sales ss "
+            "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+            f"WHERE d.d_date BETWEEN DATE '{lo}' AND DATE '{hi}' AND ss_store_sk = 2"
+        )
+        naive = db.execute(sql, optimize=False)
+        optimized = db.execute(sql, optimize=True)
+        assert naive.rows == optimized.rows
+
+
+class TestDateRewrite:
+    def rewrite(self, workload, sql):
+        db = workload.database
+        node, resolver = logical_for(db, sql)
+        pushed = push_filters(node, resolver)
+        return apply_date_rewrite(db, pushed, resolver)
+
+    def test_applies_on_eligible_query(self, workload):
+        lo, hi = workload.date_range(5, 30)
+        rewritten, applied = self.rewrite(
+            workload,
+            "SELECT SUM(ss_sales_price) AS r FROM store_sales ss "
+            "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+            f"WHERE d.d_date BETWEEN DATE '{lo}' AND DATE '{hi}'",
+        )
+        assert len(applied) == 1
+        record = applied[0]
+        assert record.dim_table == "date_dim"
+        assert record.surrogate_low is not None
+        assert "Join" not in explain_logical(rewritten)
+        assert "two probes" in record.describe()
+
+    def test_probe_values_correct(self, workload):
+        lo, hi = workload.date_range(5, 30)
+        _, applied = self.rewrite(
+            workload,
+            "SELECT COUNT(*) AS n FROM store_sales ss "
+            "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+            f"WHERE d.d_date BETWEEN DATE '{lo}' AND DATE '{hi}'",
+        )
+        record = applied[0]
+        table = workload.database.table("date_dim")
+        lo_d = datetime.date.fromisoformat(lo)
+        hi_d = datetime.date.fromisoformat(hi)
+        qualifying = [
+            row[0] for row in table.rows if lo_d <= row[1] <= hi_d
+        ]
+        assert record.surrogate_low == min(qualifying)
+        assert record.surrogate_high == max(qualifying)
+
+    def test_skipped_when_dim_columns_used(self, workload):
+        lo, hi = workload.date_range(5, 30)
+        _, applied = self.rewrite(
+            workload,
+            "SELECT d.d_year, COUNT(*) AS n FROM store_sales ss "
+            "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+            f"WHERE d.d_date BETWEEN DATE '{lo}' AND DATE '{hi}' "
+            "GROUP BY d.d_year",
+        )
+        assert applied == []
+
+    def test_skipped_without_od_guarantee(self, workload):
+        """Joining through the item dimension (no [pk] <-> [price] OD) must
+        not trigger the rewrite."""
+        _, applied = self.rewrite(
+            workload,
+            "SELECT COUNT(*) AS n FROM store_sales ss "
+            "JOIN item i ON ss.ss_item_sk = i.i_item_sk "
+            "WHERE i_current_price BETWEEN 10 AND 20",
+        )
+        assert applied == []
+
+    def test_skipped_without_closed_range(self, workload):
+        _, applied = self.rewrite(
+            workload,
+            "SELECT COUNT(*) AS n FROM store_sales ss "
+            "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+            "WHERE d_year = 1999 AND d_moy = 2",
+        )
+        # d_year/d_moy are not range-closed on a column with the OD guarantee
+        assert applied == []
+
+    def test_empty_range_yields_false_filter(self, workload):
+        beyond = (workload.start + datetime.timedelta(days=10_000)).isoformat()
+        later = (workload.start + datetime.timedelta(days=10_030)).isoformat()
+        rewritten, applied = self.rewrite(
+            workload,
+            "SELECT COUNT(*) AS n FROM store_sales ss "
+            "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+            f"WHERE d.d_date BETWEEN DATE '{beyond}' AND DATE '{later}'",
+        )
+        assert len(applied) == 1
+        assert applied[0].surrogate_low is None
+        assert "False" in explain_logical(rewritten)
+
+    def test_ge_le_pair_accepted(self, workload):
+        lo, hi = workload.date_range(5, 30)
+        _, applied = self.rewrite(
+            workload,
+            "SELECT COUNT(*) AS n FROM store_sales ss "
+            "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+            f"WHERE d.d_date >= DATE '{lo}' AND d.d_date <= DATE '{hi}'",
+        )
+        assert len(applied) == 1
+
+    def test_rewritten_results_match(self, workload):
+        db = workload.database
+        lo, hi = workload.date_range(5, 30)
+        sql = (
+            "SELECT ss_store_sk, SUM(ss_quantity) AS q FROM store_sales ss "
+            "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+            f"WHERE d.d_date BETWEEN DATE '{lo}' AND DATE '{hi}' "
+            "GROUP BY ss_store_sk ORDER BY ss_store_sk"
+        )
+        assert db.execute(sql, optimize=False).rows == db.execute(sql, optimize=True).rows

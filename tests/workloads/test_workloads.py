@@ -1,0 +1,138 @@
+"""Workload generators: declared dependencies must hold in generated data."""
+from __future__ import annotations
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dependency import od
+from repro.core.satisfaction import satisfies
+from repro.engine.database import Database
+from repro.workloads.datedim import (
+    FIGURE2_PATHS,
+    build_date_dim,
+    date_dim_ods,
+    generate_date_dim,
+)
+from repro.workloads.random_instances import (
+    random_od_set,
+    random_relation,
+    relation_satisfying,
+)
+from repro.workloads.taxes import build_taxes, generate_taxes, tax_of
+from repro.workloads.tpcds_lite import build_tpcds_lite
+
+
+class TestDateDim:
+    def test_row_count(self):
+        assert len(generate_date_dim(days=100)) == 100
+
+    def test_surrogates_ascend_with_dates(self):
+        table = generate_date_dim(days=50)
+        sks = table.column_values("d_date_sk")
+        dates = table.column_values("d_date")
+        assert sks == sorted(sks)
+        assert dates == sorted(dates)
+
+    def test_declared_ods_hold_across_leap_year(self):
+        table = generate_date_dim(
+            start=datetime.date(1999, 6, 1), days=365 * 3
+        )
+        relation = table.as_relation()
+        for statement in date_dim_ods():
+            assert satisfies(relation, statement), str(statement)
+
+    def test_figure2_paths_are_ods(self):
+        table = generate_date_dim(days=800)
+        relation = table.as_relation()
+        for path in FIGURE2_PATHS:
+            assert satisfies(relation, od("d_date", list(path)))
+
+    def test_month_name_trap(self):
+        """d_moy determines d_month_name but does NOT order it (Example 1)."""
+        from repro.core.dependency import fd
+
+        relation = generate_date_dim(days=365).as_relation()
+        assert satisfies(relation, fd("d_moy", "d_month_name"))
+        assert not satisfies(relation, od("d_moy", "d_month_name"))
+
+    def test_build_declares_and_indexes(self):
+        db = Database()
+        build_date_dim(db, days=60)
+        assert db.table("date_dim").constraints
+        assert len(db.indexes_on("date_dim")) == 3
+
+
+class TestTaxes:
+    def test_generated_rows_schedule_consistent(self):
+        for row in generate_taxes(rows=200):
+            _, income, bracket, rate, payable = row
+            assert (bracket, rate, payable) == (*tax_of(income)[:2], tax_of(income)[2])
+
+    @given(st.integers(0, 1_000_000), st.integers(0, 1_000_000))
+    @settings(max_examples=200)
+    def test_tax_of_monotone(self, a, b):
+        """The Example 5 premise: brackets and payable rise with income."""
+        lo, hi = min(a, b), max(a, b)
+        b_lo, r_lo, p_lo = tax_of(lo)
+        b_hi, r_hi, p_hi = tax_of(hi)
+        assert b_lo <= b_hi and r_lo <= r_hi and p_lo <= p_hi
+
+    def test_declared_ods_hold(self):
+        db = Database()
+        table = build_taxes(db, rows=1500)
+        relation = table.as_relation()
+        for statement in table.constraints:
+            assert satisfies(relation, statement)
+
+
+class TestTpcdsLite:
+    def test_build_shape(self):
+        workload = build_tpcds_lite(days=60, sales_rows=500, items=20, stores=4)
+        db = workload.database
+        assert len(db.table("store_sales")) == 500
+        assert len(db.table("date_dim")) == 60
+        assert len(db.table("item")) == 20
+
+    def test_fact_dates_within_dimension(self):
+        workload = build_tpcds_lite(days=60, sales_rows=300)
+        sks = set(workload.database.table("date_dim").column_values("d_date_sk"))
+        for sk in workload.database.table("store_sales").column_values(
+            "ss_sold_date_sk"
+        ):
+            assert sk in sks
+
+    def test_fact_clustered_by_date(self):
+        workload = build_tpcds_lite(days=60, sales_rows=300)
+        values = workload.database.table("store_sales").column_values(
+            "ss_sold_date_sk"
+        )
+        assert values == sorted(values)
+
+    def test_date_range_helper(self):
+        workload = build_tpcds_lite(days=60, sales_rows=10)
+        lo, hi = workload.date_range(0, 10)
+        assert lo == workload.start.isoformat()
+        assert datetime.date.fromisoformat(hi) == workload.start + datetime.timedelta(days=9)
+
+    def test_deterministic_given_seed(self):
+        a = build_tpcds_lite(days=30, sales_rows=100, seed=9)
+        b = build_tpcds_lite(days=30, sales_rows=100, seed=9)
+        assert a.database.table("store_sales").rows == b.database.table("store_sales").rows
+
+
+class TestRandomInstances:
+    def test_random_relation_shape(self):
+        r = random_relation(("A", "B"), rows=10, rng=1)
+        assert len(r.rows) == 10 and len(r.attributes) == 2
+
+    def test_random_od_set_reproducible(self):
+        assert random_od_set(("A", "B"), 3, rng=5) == random_od_set(("A", "B"), 3, rng=5)
+
+    def test_relation_satisfying(self):
+        statements = [od("A", "B")]
+        r = relation_satisfying(statements, ("A", "B"), rows=12, rng=2)
+        assert r is not None
+        assert satisfies(r, statements[0])
