@@ -126,3 +126,52 @@ def test_topn_equals_sort_limit(benchmark, fact):
         return fused == reference
 
     assert benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# Planning-time benchmarks: the memoized OD oracle on repeated templates
+# ----------------------------------------------------------------------
+PLAN_REPEATS = 10
+
+
+def _template_sql(workload, qid: str) -> str:
+    from repro.workloads.tpcds_lite import DATE_QUERIES
+
+    lo, hi = workload.date_range(100, 60)
+    return dict(DATE_QUERIES)[qid].format(lo=lo, hi=hi)
+
+
+def test_repeated_template_planning_cold(benchmark, tpcds):
+    """Every round starts with cold caches — the seed planner's regime
+    (fresh theories, no memoized implications)."""
+    from repro.optimizer.context import clear_theory_cache
+
+    sql = _template_sql(tpcds, "Q9")
+
+    def run():
+        for _ in range(PLAN_REPEATS):
+            clear_theory_cache()  # per plan: every planning starts cold
+            plan = tpcds.database.plan(sql)
+        return plan.plan_info
+
+    info = benchmark(run)
+    assert info.oracle["implies_calls"] > 0
+
+
+def test_repeated_template_planning_warm(benchmark, tpcds):
+    """The same template planned PLAN_REPEATS times against interned
+    theories: the oracle result cache must absorb > 50% of lookups."""
+    from repro.optimizer.context import clear_theory_cache
+
+    sql = _template_sql(tpcds, "Q9")
+    clear_theory_cache()
+
+    def run():
+        infos = [tpcds.database.plan(sql).plan_info for _ in range(PLAN_REPEATS)]
+        return infos
+
+    infos = benchmark(run)
+    hits = sum(info.oracle["cache_hits"] for info in infos)
+    misses = sum(info.oracle["cache_misses"] for info in infos)
+    assert hits / (hits + misses) > 0.5
+    assert infos[-1].oracle["enumerations"] == 0  # fully warmed: no DFS at all

@@ -62,6 +62,40 @@ def test_chain_axiom_instance(benchmark):
     assert result is True
 
 
+@pytest.mark.parametrize("width", [8, 16])
+def test_memoized_repeat_queries(benchmark, width):
+    """Repeated implication probes over one theory: after the first probe
+    every answer comes from the result cache, no sign-vector enumeration."""
+    theory = chain_theory(width)
+    goals = [od("c0", f"c{i}") for i in range(1, width)]
+
+    def run():
+        for goal in goals:
+            assert theory.implies(goal)
+        return theory.stats()
+
+    stats = benchmark(run)
+    # warm rounds hit the cache: far more hits than enumerations overall
+    assert stats["cache_hits"] > stats["enumerations"]
+    assert stats["hit_rate"] > 0.5
+
+
+def test_uncached_repeat_queries_baseline(benchmark):
+    """The same probe pattern with memoization disabled — the contrast that
+    makes the cache's payoff visible in BENCH_bench_inference.json."""
+    theory = chain_theory(12)
+    theory_uncached = ODTheory(theory.statements, max_attributes=40, result_cache_size=0)
+    goals = [od("c0", f"c{i}") for i in range(1, 12)]
+
+    def run():
+        for goal in goals:
+            assert theory_uncached.implies(goal)
+        return theory_uncached.stats()
+
+    stats = benchmark(run)
+    assert stats["cache_hits"] == 0
+
+
 def test_counterexample_generation(benchmark):
     theory = ODTheory([od("A", "B"), od("B", "C")])
 

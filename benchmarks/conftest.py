@@ -2,10 +2,17 @@
 
 Workloads are built once per session at laptop scale.  Set
 ``REPRO_BENCH_SCALE`` (default 1.0) to shrink/grow all datasets together.
+
+Each run also dumps per-benchmark timings to ``BENCH_<module>.json`` in the
+repo root (see :func:`pytest_sessionfinish`), so successive PRs leave a
+comparable perf trajectory behind.
 """
 from __future__ import annotations
 
+import collections
+import json
 import os
+import pathlib
 
 import pytest
 
@@ -14,6 +21,36 @@ SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 def scaled(n: int) -> int:
     return max(1, int(n * SCALE))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump per-benchmark timings to ``BENCH_<module>.json``.
+
+    Best-effort: any pytest-benchmark API drift must never fail the run.
+    """
+    benchsession = getattr(session.config, "_benchmarksession", None)
+    if benchsession is None or not getattr(benchsession, "benchmarks", None):
+        return
+    try:
+        per_module = collections.defaultdict(dict)
+        for bench in benchsession.benchmarks:
+            fullname = getattr(bench, "fullname", "") or ""
+            module = pathlib.Path(fullname.split("::")[0]).stem or "unknown"
+            stats = getattr(bench, "stats", None)
+            inner = getattr(stats, "stats", stats)
+            per_module[module][getattr(bench, "name", fullname)] = {
+                "mean_s": getattr(inner, "mean", None),
+                "stddev_s": getattr(inner, "stddev", None),
+                "min_s": getattr(inner, "min", None),
+                "rounds": getattr(inner, "rounds", None),
+                "scale": SCALE,
+            }
+        root = pathlib.Path(str(session.config.rootdir))
+        for module, entries in sorted(per_module.items()):
+            path = root / f"BENCH_{module}.json"
+            path.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n")
+    except Exception:  # pragma: no cover - diagnostics must not break runs
+        pass
 
 
 def _warm(database):

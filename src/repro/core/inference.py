@@ -17,11 +17,24 @@ Besides yes/no answers the oracle produces **counterexample witnesses**: a
 concrete two-row relation satisfying ``M`` and falsifying ``θ``, which is how
 the library *shows its work* and how the test suite cross-validates every
 derived theorem in :mod:`repro.core.theorems`.
+
+**Memoization.**  A theory is immutable, so implication answers are too:
+every query is canonicalized (component ODs normalized per the
+Normalization axiom, trivially-true components dropped) and the refutation
+result — ``None`` for implied, else the exact ``(names, signs)`` witness
+tuple — is kept in a bounded LRU keyed on that canonical form.  Repeated
+planner probes over the same query template therefore short-circuit without
+re-enumerating sign vectors, and memoized answers (including counterexample
+witnesses) are bit-identical to uncached ones because the cache stores the
+search's own output.  Fast paths answer trivial/prefix/constant-reducible
+goals before the cache is even consulted; :meth:`ODTheory.stats` exposes
+hit/miss/fast-path counters for EXPLAIN output and benchmarks.
 """
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .attrs import EMPTY, AttrList, attrlist
 from .dependency import (
@@ -48,6 +61,42 @@ __all__ = [
 #: Refuse enumeration beyond this many attributes by default (3^18 ≈ 4e8).
 DEFAULT_MAX_ATTRIBUTES = 18
 
+#: Default bound on memoized implication results per theory.
+DEFAULT_RESULT_CACHE_SIZE = 4096
+
+#: Default bound on compiled-premise sets per theory (was unbounded, which
+#: leaked memory over long discovery runs probing many attribute components).
+DEFAULT_COMPILED_CACHE_SIZE = 512
+
+_MISS = object()
+
+
+class _LRUCache:
+    """A small bounded mapping with least-recently-used eviction."""
+
+    __slots__ = ("maxsize", "_data")
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: "OrderedDict[tuple, object]" = OrderedDict()
+
+    def get(self, key, default=None):
+        try:
+            value = self._data[key]
+        except KeyError:
+            return default
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
 
 class TooManyAttributes(RuntimeError):
     """Raised when an implication problem exceeds the enumeration budget."""
@@ -66,6 +115,8 @@ class ODTheory:
         self,
         statements: Iterable[Statement] = (),
         max_attributes: int = DEFAULT_MAX_ATTRIBUTES,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        compiled_cache_size: int = DEFAULT_COMPILED_CACHE_SIZE,
     ) -> None:
         self.statements: tuple = tuple(statements)
         self.ods: tuple = expand_all(self.statements)
@@ -73,7 +124,25 @@ class ODTheory:
         self._universe = frozenset().union(
             *(dependency.attributes for dependency in self.ods)
         ) if self.ods else frozenset()
-        self._compiled_cache: Dict[tuple, tuple] = {}
+        self._result_cache_size = result_cache_size
+        self._compiled_cache_size = compiled_cache_size
+        self._compiled_cache = _LRUCache(max(1, compiled_cache_size))
+        #: canonical goal set -> None (implied) | (names, signs) refutation.
+        #: ``result_cache_size=0`` disables memoization entirely (used by
+        #: tests to cross-check cached answers against fresh searches).
+        self._result_cache: Optional[_LRUCache] = (
+            _LRUCache(result_cache_size) if result_cache_size > 0 else None
+        )
+        #: attributes proven constant ([] ↦ [A]) by earlier queries; lets
+        #: the constant fast path reduce goals without touching the oracle.
+        self._known_constants: set = set()
+        self._counters: Dict[str, int] = {
+            "implies_calls": 0,
+            "fast_path": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "enumerations": 0,
+        }
 
     # ------------------------------------------------------------------
     # Introspection
@@ -87,8 +156,37 @@ class ODTheory:
         return len(self.ods)
 
     def extended(self, statements: Iterable[Statement]) -> "ODTheory":
-        """A new theory with additional premises."""
-        return ODTheory(self.statements + tuple(statements), self.max_attributes)
+        """A new theory with additional premises (caches start fresh — the
+        premises changed, so memoized answers would be unsound — but keep
+        this theory's cache configuration)."""
+        return ODTheory(
+            self.statements + tuple(statements),
+            self.max_attributes,
+            result_cache_size=self._result_cache_size,
+            compiled_cache_size=self._compiled_cache_size,
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """Oracle instrumentation: call, fast-path, and cache counters.
+
+        ``hit_rate`` is over result-cache lookups only (fast-path answers
+        never reach the cache); the raw counters are what the planner diffs
+        to attribute oracle work to a single plan.
+        """
+        out: Dict[str, object] = dict(self._counters)
+        lookups = self._counters["cache_hits"] + self._counters["cache_misses"]
+        out["hit_rate"] = self._counters["cache_hits"] / lookups if lookups else 0.0
+        out["result_cache_size"] = (
+            len(self._result_cache) if self._result_cache is not None else 0
+        )
+        out["compiled_cache_size"] = len(self._compiled_cache)
+        out["known_constants"] = len(self._known_constants)
+        return out
+
+    def reset_stats(self) -> None:
+        """Zero the counters (caches are kept — they stay sound)."""
+        for key in self._counters:
+            self._counters[key] = 0
 
     # ------------------------------------------------------------------
     # Core decision procedure
@@ -128,19 +226,79 @@ class ODTheory:
         )
         return frozenset(component), used
 
-    def _refuting_sign_tuple(
-        self, statement: Statement
-    ) -> Optional[tuple]:
-        """A sign tuple satisfying the theory but falsifying the statement.
+    @staticmethod
+    def _canonical_goals(statement: Statement) -> Tuple[tuple, ...]:
+        """The statement's canonical form: a sorted, duplicate-free tuple of
+        ``(lhs, rhs)`` column tuples, one per non-trivial component OD.
 
-        Returns ``(names, signs)`` or ``None`` when the statement is implied.
+        Both sides are normalized (sound by the Normalization axiom) and
+        components whose normalized rhs prefixes their lhs are dropped —
+        they hold on every instance (Reflexivity), so they never decide the
+        conjunction nor change which sign vectors refute it.
         """
-        goal_ods = to_ods(statement)
-        goal_attrs = (
-            frozenset().union(*(d.attributes for d in goal_ods))
-            if goal_ods
-            else frozenset()
+        goals = set()
+        for dependency in to_ods(statement):
+            lhs = dependency.lhs.normalized()
+            rhs = dependency.rhs.normalized()
+            if rhs.is_prefix_of(lhs):
+                continue
+            goals.add((tuple(lhs), tuple(rhs)))
+        return tuple(sorted(goals))
+
+    def _constant_reduced_trivial(self, goals: Tuple[tuple, ...]) -> bool:
+        """True when dropping known-constant attributes (sign forced 0 in
+        every model, so they never influence a lexicographic comparison)
+        makes every goal component trivial-by-prefix."""
+        constants = self._known_constants
+        if not constants:
+            return False
+        for lhs, rhs in goals:
+            reduced_lhs = tuple(a for a in lhs if a not in constants)
+            reduced_rhs = tuple(a for a in rhs if a not in constants)
+            if reduced_rhs != reduced_lhs[: len(reduced_rhs)]:
+                return False
+        return True
+
+    def _decide(self, statement: Statement) -> Optional[tuple]:
+        """Memoized refutation search over the canonicalized statement.
+
+        Returns ``None`` when implied, else the ``(names, signs)`` witness
+        tuple — always the same tuple the uncached search would produce.
+        """
+        self._counters["implies_calls"] += 1
+        goals = self._canonical_goals(statement)
+        if not goals:
+            self._counters["fast_path"] += 1
+            return None
+        if self._constant_reduced_trivial(goals):
+            self._counters["fast_path"] += 1
+            return None
+        if self._result_cache is not None:
+            found = self._result_cache.get(goals, _MISS)
+            if found is not _MISS:
+                self._counters["cache_hits"] += 1
+                return found
+            self._counters["cache_misses"] += 1
+        result = self._search_refutation(goals)
+        if self._result_cache is not None:
+            self._result_cache.put(goals, result)
+        if result is None:
+            for lhs, rhs in goals:
+                if not lhs:  # [] ↦ rhs implied: every rhs attribute is constant
+                    self._known_constants.update(rhs)
+        return result
+
+    def _search_refutation(self, goals: Tuple[tuple, ...]) -> Optional[tuple]:
+        """The exact DFS over sign vectors (uncached core).
+
+        Returns ``(names, signs)`` — a sign tuple satisfying the theory but
+        falsifying some goal — or ``None`` when the goals are implied.
+        """
+        self._counters["enumerations"] += 1
+        goal_ods = tuple(
+            OrderDependency(AttrList(lhs), AttrList(rhs)) for lhs, rhs in goals
         )
+        goal_attrs = frozenset().union(*(d.attributes for d in goal_ods))
         component, used = self._relevant_premises(goal_attrs)
         names = tuple(sorted(component | goal_attrs))
         if len(names) > self.max_attributes:
@@ -153,8 +311,8 @@ class ODTheory:
         premises = self._compiled_cache.get(cache_key)
         if premises is None:
             premises = tuple(CompiledOD(dep, index) for dep in used)
-            self._compiled_cache[cache_key] = premises
-        goals = tuple(CompiledOD(dependency, index) for dependency in goal_ods)
+            self._compiled_cache.put(cache_key, premises)
+        goals_compiled = tuple(CompiledOD(dependency, index) for dependency in goal_ods)
 
         # Partial-assignment pruning: a premise can be evaluated as soon as
         # the last of its attributes is assigned.  Bucket premises by that
@@ -175,7 +333,7 @@ class ODTheory:
 
         def dfs(position: int) -> Optional[tuple]:
             if position == len(names):
-                if not all(goal.holds(signs) for goal in goals):
+                if not all(goal.holds(signs) for goal in goals_compiled):
                     return tuple(signs)
                 return None
             for value in (0, -1, 1):
@@ -194,13 +352,13 @@ class ODTheory:
 
     def implies(self, statement: Statement) -> bool:
         """Exact logical implication: does every model of the theory satisfy
-        the statement?"""
-        return self._refuting_sign_tuple(statement) is None
+        the statement?  Memoized — see the module docstring."""
+        return self._decide(statement) is None
 
     def counterexample(self, statement: Statement) -> Optional[Relation]:
         """A two-row relation satisfying the theory and falsifying the
         statement, or ``None`` when the statement is implied."""
-        refutation = self._refuting_sign_tuple(statement)
+        refutation = self._decide(statement)
         if refutation is None:
             return None
         names, signs = refutation

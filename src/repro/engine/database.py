@@ -123,6 +123,16 @@ class Database:
         rows, metrics = plan.run()
         return QueryResult(plan.schema.names, rows, metrics, plan)
 
-    def explain(self, sql: str, optimize: bool = True) -> str:
-        """The physical plan as text."""
-        return self.plan(sql, optimize=optimize).explain()
+    def explain(self, sql: str, optimize: bool = True, verbose: bool = False) -> str:
+        """The physical plan as text.
+
+        ``verbose=True`` appends the planner's decision log — which
+        sorts/joins were eliminated and how much oracle work was answered
+        from the memoized result cache vs enumerated.
+        """
+        plan = self.plan(sql, optimize=optimize)
+        text = plan.explain()
+        info = getattr(plan, "plan_info", None)
+        if verbose and info is not None:
+            text = f"{text}\n{info.describe()}"
+        return text

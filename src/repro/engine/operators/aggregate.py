@@ -120,13 +120,9 @@ class StreamAggregate(_AggregateBase):
 
     def __init__(self, child, group_columns, aggregates) -> None:
         super().__init__(child, group_columns, aggregates)
-        out: List[str] = []
-        for column in child.ordering:
-            if column in self.group_columns:
-                out.append(column)
-            else:
-                break
-        self.ordering = tuple(out)
+        # OrderSpec.restrict: the input order survives up to the prefix
+        # made of grouping columns.
+        self.ordering = tuple(child.provides().restrict(self.group_columns))
 
     def execute(self, metrics: Metrics) -> Iterator[tuple]:
         current_key = None

@@ -4,7 +4,10 @@ Every physical operator exposes
 
 * ``schema`` — its output :class:`~repro.engine.schema.Schema`;
 * ``ordering`` — the attribute list its output stream is *guaranteed* sorted
-  by (Simmen-style order property; the currency of all the paper's rewrites);
+  by (Simmen-style order property; the currency of all the paper's rewrites),
+  derived per operator from the input's spec via the
+  :class:`~repro.optimizer.properties.OrderSpec` algebra and exposed to the
+  planner as :meth:`Operator.provides`;
 * ``execute(metrics)`` — a generator of rows, charging its work to the
   shared :class:`Metrics`;
 * ``explain_lines()`` — the pretty plan tree.
@@ -20,7 +23,18 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 from ..expr import Expr
 from ..schema import Schema
 
-__all__ = ["Metrics", "Operator", "AggSpec"]
+__all__ = ["Metrics", "Operator", "AggSpec", "order_spec"]
+
+
+def order_spec(columns: Sequence[str] = ()) -> "Any":
+    """Build an :class:`~repro.optimizer.properties.OrderSpec`.
+
+    Imported lazily so the engine layer has no import-time dependency on
+    the optimizer package (which itself imports the engine's operators).
+    """
+    from ...optimizer.properties import OrderSpec
+
+    return OrderSpec(columns)
 
 
 @dataclass
@@ -60,8 +74,15 @@ class Operator:
 
     #: Output schema; set by subclasses.
     schema: Schema
-    #: Guaranteed output ordering (exact column names, ascending).
+    #: Guaranteed output ordering (exact column names, ascending).  Each
+    #: subclass *declares* this from its input's spec — the planner reads
+    #: it back via :meth:`provides` instead of re-deriving it.
     ordering: Tuple[str, ...] = ()
+
+    def provides(self) -> "Any":
+        """The :class:`~repro.optimizer.properties.OrderSpec` this
+        operator's output stream is guaranteed sorted by."""
+        return order_spec(self.ordering)
 
     def execute(self, metrics: Metrics) -> Iterator[tuple]:
         raise NotImplementedError

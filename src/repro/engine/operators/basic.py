@@ -6,7 +6,7 @@ unnecessary.
 """
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 from ..expr import Col, Expr
 from ..schema import Column, Schema
@@ -23,7 +23,7 @@ class Filter(Operator):
         self.child = child
         self.predicate = predicate
         self.schema = child.schema
-        self.ordering = child.ordering
+        self.ordering = child.ordering  # order-preserving: same spec as input
         self._compiled = predicate.compile_against(child.schema)
 
     def children(self) -> Sequence[Operator]:
@@ -72,13 +72,9 @@ class Project(Operator):
             if isinstance(expr, Col):
                 resolved = self.child.schema.resolve(expr.name)
                 rename.setdefault(resolved, name)
-        out: List[str] = []
-        for column in self.child.ordering:
-            if column in rename:
-                out.append(rename[column])
-            else:
-                break  # ordering beyond a dropped column is lost
-        return tuple(out)
+        # OrderSpec.rename: the longest surviving prefix, renamed; ordering
+        # beyond a dropped column is lost.
+        return tuple(self.child.provides().rename(rename))
 
     def children(self) -> Sequence[Operator]:
         return (self.child,)
@@ -134,7 +130,7 @@ class Limit(Operator):
         self.child = child
         self.count = count
         self.schema = child.schema
-        self.ordering = child.ordering
+        self.ordering = child.ordering  # order-preserving: same spec as input
 
     def children(self) -> Sequence[Operator]:
         return (self.child,)
@@ -185,7 +181,7 @@ class SortedDistinct(Operator):
     def __init__(self, child: Operator) -> None:
         self.child = child
         self.schema = child.schema
-        self.ordering = child.ordering
+        self.ordering = child.ordering  # order-preserving: same spec as input
 
     def children(self) -> Sequence[Operator]:
         return (self.child,)

@@ -56,7 +56,7 @@ class HashJoin(_JoinBase):
 
     def __init__(self, left, right, left_keys, right_keys) -> None:
         super().__init__(left, right, left_keys, right_keys)
-        self.ordering = left.ordering
+        self.ordering = left.ordering  # preserves the probe side's spec
 
     def execute(self, metrics: Metrics) -> Iterator[tuple]:
         table: Dict[tuple, List[tuple]] = {}
@@ -81,7 +81,7 @@ class MergeJoin(_JoinBase):
 
     def __init__(self, left, right, left_keys, right_keys) -> None:
         super().__init__(left, right, left_keys, right_keys)
-        self.ordering = left.ordering
+        self.ordering = left.ordering  # preserves the probe side's spec
 
     def execute(self, metrics: Metrics) -> Iterator[tuple]:
         left_rows = list(self.left.execute(metrics))
@@ -118,7 +118,7 @@ class NestedLoopJoin(_JoinBase):
 
     def __init__(self, left, right, left_keys, right_keys) -> None:
         super().__init__(left, right, left_keys, right_keys)
-        self.ordering = left.ordering
+        self.ordering = left.ordering  # preserves the probe side's spec
 
     def execute(self, metrics: Metrics) -> Iterator[tuple]:
         right_rows = list(self.right.execute(metrics))

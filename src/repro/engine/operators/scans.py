@@ -11,7 +11,7 @@ from typing import Iterator, List, Optional, Tuple
 from ..index import SortedIndex
 from ..schema import Column, Schema
 from ..table import Table
-from .base import Metrics, Operator
+from .base import Metrics, Operator, order_spec
 
 __all__ = ["SeqScan", "IndexScan", "qualified_schema"]
 
@@ -63,7 +63,7 @@ class IndexScan(Operator):
         self.high = high
         self.schema = qualified_schema(index.table, self.alias)
         self.ordering = tuple(
-            f"{self.alias}.{column}" for column in index.key_columns
+            order_spec(f"{self.alias}.{column}" for column in index.key_columns)
         )
 
     def execute(self, metrics: Metrics) -> Iterator[tuple]:

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence, Tuple
 
-from .base import Metrics, Operator
+from .base import Metrics, Operator, order_spec
 
 __all__ = ["Sort"]
 
@@ -27,7 +27,8 @@ class Sort(Operator):
             child.schema.resolve(key) for key in keys
         )
         self.schema = child.schema
-        self.ordering = self.keys
+        # A Sort is the order *enforcer*: it provides exactly its keys.
+        self.ordering = tuple(order_spec(self.keys))
         self._positions = tuple(self.schema.position(key) for key in self.keys)
 
     def children(self) -> Sequence[Operator]:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import heapq
 from typing import Iterator, List, Sequence, Tuple
 
-from .base import Metrics, Operator
+from .base import Metrics, Operator, order_spec
 
 __all__ = ["TopN"]
 
@@ -32,7 +32,8 @@ class TopN(Operator):
         )
         self.count = count
         self.schema = child.schema
-        self.ordering = self.keys
+        # Like Sort, TopN enforces (a bounded prefix of) its key order.
+        self.ordering = tuple(order_spec(self.keys))
         self._positions = tuple(self.schema.position(key) for key in self.keys)
 
     def children(self) -> Sequence[Operator]:

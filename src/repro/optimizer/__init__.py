@@ -1,18 +1,44 @@
 """OD-aware query optimization: rewrites, order reduction, planning.
 
 The application layer of the reproduction — the techniques Sections 1–2 of
-the paper motivate, built on the theory core:
+the paper motivate, built on the theory core.  Module map (dependency
+order, bottom-up):
 
-* :mod:`repro.optimizer.reduce_order` — ReduceOrder ([17]) vs ReduceOrder++;
-* :mod:`repro.optimizer.rewrites` — predicate pushdown + the date-dimension
-  surrogate-key join elimination ([18] / Section 2.3);
-* :mod:`repro.optimizer.planner` — physical planning in ``naive`` / ``fd`` /
-  ``od`` modes;
-* :mod:`repro.optimizer.context` — query-scoped dependency theories.
+* :mod:`repro.optimizer.reduce_order` — the rewrite algorithms:
+  ReduceOrder ([17]) vs ReduceOrder++ (Eliminate / Left Eliminate), plus
+  the order-satisfaction and stream-groupability predicates they power.
+* :mod:`repro.optimizer.properties` — the physical-property IR:
+  :class:`~repro.optimizer.properties.OrderSpec` /
+  :class:`~repro.optimizer.properties.PhysicalProperty` with canonical
+  hashing, rename/restrict algebra, and the mode-dispatched satisfaction
+  layer (``naive`` / ``fd`` / ``od``) every caller funnels through.
+* :mod:`repro.optimizer.context` — query-scoped dependency theories:
+  constraint qualification, join equivalences, constant bindings, and the
+  interned (LRU) :func:`~repro.optimizer.context.build_theory` that keeps
+  the oracle's memoized results alive across repeated plannings.
+* :mod:`repro.optimizer.rewrites` — logical rewrites: predicate pushdown
+  and the date-dimension surrogate-key join elimination ([18] /
+  Section 2.3), verified through the property framework.
+* :mod:`repro.optimizer.costing` — cardinality + cost estimation,
+  pricing sort-avoidance from operators' declared order properties.
+* :mod:`repro.optimizer.planner` — physical planning in ``naive`` /
+  ``fd`` / ``od`` modes; attributes per-plan oracle activity (cache hits
+  vs enumerations) to :class:`~repro.optimizer.planner.PlanInfo` for
+  ``EXPLAIN``-style reporting.
 """
-from .context import build_theory, qualify_statement
+from .context import build_theory, clear_theory_cache, qualify_statement
 from .costing import PlanEstimate, estimate_plan
 from .planner import Desired, Planner, PlanInfo
+from .properties import (
+    EMPTY_PROPERTY,
+    EMPTY_SPEC,
+    OrderSpec,
+    PhysicalProperty,
+    column_equivalent,
+    groupable,
+    reduce_keys,
+    satisfies,
+)
 from .reduce_order import (
     minimal_groupby,
     ordering_satisfies,
@@ -28,6 +54,14 @@ __all__ = [
     "Planner",
     "PlanInfo",
     "Desired",
+    "OrderSpec",
+    "PhysicalProperty",
+    "EMPTY_SPEC",
+    "EMPTY_PROPERTY",
+    "satisfies",
+    "groupable",
+    "reduce_keys",
+    "column_equivalent",
     "reduce_order_fd",
     "reduce_order_od",
     "reduce_order_exact",
@@ -39,6 +73,7 @@ __all__ = [
     "push_filters",
     "DateRewrite",
     "build_theory",
+    "clear_theory_cache",
     "qualify_statement",
     "estimate_plan",
     "PlanEstimate",

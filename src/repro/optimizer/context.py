@@ -18,6 +18,7 @@ argument for using the oracle on derived streams.
 """
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..core.attrs import EMPTY, AttrList
@@ -36,6 +37,8 @@ __all__ = [
     "join_equivalence",
     "constant_statement",
     "build_theory",
+    "clear_theory_cache",
+    "theory_cache_len",
 ]
 
 
@@ -84,6 +87,39 @@ def constant_statement(column: str) -> Statement:
     return OrderDependency(EMPTY, AttrList([column]))
 
 
-def build_theory(statements: Iterable[Statement]) -> ODTheory:
-    """Assemble the query-scoped theory (bounded for big schemas)."""
-    return ODTheory(tuple(statements), max_attributes=20)
+#: Interned theories keyed on their exact statement tuple, LRU-bounded.
+#: Repeated plannings of the same query template assemble identical
+#: statement lists, so they get the *same* ``ODTheory`` instance back —
+#: and with it the theory's memoized implication results.
+_THEORY_CACHE_SIZE = 256
+_theory_cache: "OrderedDict[tuple, ODTheory]" = OrderedDict()
+
+
+def build_theory(statements: Iterable[Statement], reuse: bool = True) -> ODTheory:
+    """Assemble the query-scoped theory (bounded for big schemas).
+
+    ``reuse=True`` (the default) interns theories by statement tuple so the
+    oracle's result cache survives across queries; pass ``reuse=False`` for
+    a fresh, isolated instance (tests, one-off analyses).
+    """
+    key = tuple(statements)
+    if not reuse:
+        return ODTheory(key, max_attributes=20)
+    theory = _theory_cache.get(key)
+    if theory is None:
+        theory = ODTheory(key, max_attributes=20)
+        _theory_cache[key] = theory
+    else:
+        _theory_cache.move_to_end(key)
+    while len(_theory_cache) > _THEORY_CACHE_SIZE:
+        _theory_cache.popitem(last=False)
+    return theory
+
+
+def clear_theory_cache() -> None:
+    """Drop every interned theory (benchmarks use this for cold starts)."""
+    _theory_cache.clear()
+
+
+def theory_cache_len() -> int:
+    return len(_theory_cache)

@@ -28,8 +28,10 @@ from ..engine.operators import (
     Sort,
     SortedDistinct,
     StreamAggregate,
+    TopN,
 )
 from ..engine.stats import ColumnStats, TableStats
+from .properties import OrderSpec
 
 __all__ = ["PlanEstimate", "estimate_plan"]
 
@@ -146,7 +148,22 @@ def estimate_plan(database, op: Operator) -> PlanEstimate:
         return PlanEstimate(child.rows, child.cost + Cost(cpu=0.05 * child.rows))
     if isinstance(op, Sort):
         child = estimate_plan(database, op.child)
+        # Sort-avoidance priced from declared properties: when the child
+        # already provides the key order, the sort degenerates to a verify
+        # pass (the planner normally erases such sorts outright; a surviving
+        # one must not be billed the n·log n it will never pay).
+        if OrderSpec(op.child.ordering).starts_with(op.keys):
+            return PlanEstimate(child.rows, child.cost + Cost(cpu=0.1 * child.rows))
         return PlanEstimate(child.rows, child.cost + sort_cost(child.rows))
+    if isinstance(op, TopN):
+        child = estimate_plan(database, op.child)
+        kept = min(child.rows, float(op.count))
+        if OrderSpec(op.child.ordering).starts_with(op.keys):
+            extra = Cost(cpu=0.1 * child.rows)  # ordered input: plain limit
+        else:
+            # bounded heap: one touch per row plus a sort of the survivors
+            extra = Cost(cpu=0.2 * child.rows) + sort_cost(kept)
+        return PlanEstimate(kept, child.cost + extra)
     if isinstance(op, (HashAggregate, StreamAggregate)):
         child = estimate_plan(database, op.child)
         groups = (

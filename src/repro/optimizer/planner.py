@@ -13,16 +13,23 @@
 ``False → "fd"``; benchmarks flip this switch to regenerate each of the
 paper's comparisons.
 
-Order properties travel as a *provided order* of qualified column names plus
-a statement set; projections contribute renaming equivalences (``[d.month]
-↔ [month]``) and monotone-derived-column ODs (``[d.date] ↦ [yr]`` for
-``YEAR(d.date) AS yr`` — the [12] technique), so satisfaction checks reduce
-uniformly to oracle implications.
+Order properties travel as a :class:`~repro.optimizer.properties.PhysicalProperty`
+(an :class:`~repro.optimizer.properties.OrderSpec` each physical operator
+*declares* for its output) plus a statement set; projections contribute
+renaming equivalences (``[d.month] ↔ [month]``) and
+monotone-derived-column ODs (``[d.date] ↦ [yr]`` for ``YEAR(d.date) AS yr``
+— the [12] technique), so satisfaction checks reduce uniformly to oracle
+implications.  Query-scoped theories are interned
+(:func:`~repro.optimizer.context.build_theory`) and the oracle memoizes its
+answers, so repeated plannings of the same template short-circuit; the
+per-plan oracle activity (calls, cache hits, enumerations) is reported in
+:class:`PlanInfo` and surfaced by ``EXPLAIN``-style output
+(:meth:`PlanInfo.describe`).
 """
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.attrs import AttrList
 from ..core.dependency import OrderDependency, OrderEquivalence, Statement
@@ -60,12 +67,13 @@ from .context import (
     constant_statement,
     join_equivalence,
 )
-from .reduce_order import (
-    ordering_satisfies,
-    ordering_satisfies_fd,
-    reduce_order_fd,
-    reduce_order_od,
-    stream_groupable,
+from .properties import (
+    EMPTY_PROPERTY,
+    OrderSpec,
+    PhysicalProperty,
+    groupable,
+    reduce_keys,
+    satisfies,
 )
 from .rewrites import (
     NameResolver,
@@ -99,11 +107,26 @@ class Desired:
 
 @dataclass
 class _Planned:
-    """A physical subtree plus its reasoning context."""
+    """A physical subtree plus its reasoning context.
+
+    ``prop`` may be *richer* than ``op.provides()``: a projection's output
+    stream is still physically ordered by the (possibly hidden) child
+    columns, with renaming equivalences in ``statements`` connecting them
+    to output names — the planner keeps that knowledge even when the
+    operator's own declared spec truncates.
+    """
 
     op: Operator
     statements: List[Statement]
-    provided_order: Tuple[str, ...]
+    prop: PhysicalProperty
+
+    @property
+    def provided_order(self) -> OrderSpec:
+        return self.prop.order
+
+
+#: Integer oracle counters the planner attributes to a single plan.
+_ORACLE_KEYS = ("implies_calls", "fast_path", "cache_hits", "cache_misses", "enumerations")
 
 
 @dataclass
@@ -115,6 +138,39 @@ class PlanInfo:
     avoided_sorts: int = 0
     stream_aggregates: int = 0
     notes: List[str] = field(default_factory=list)
+    #: Oracle activity during this plan (diffed against interned theories).
+    oracle: Dict[str, int] = field(
+        default_factory=lambda: {key: 0 for key in _ORACLE_KEYS}
+    )
+
+    @property
+    def oracle_hit_rate(self) -> float:
+        """Result-cache hit rate over this plan's cached-path lookups."""
+        lookups = self.oracle["cache_hits"] + self.oracle["cache_misses"]
+        return self.oracle["cache_hits"] / lookups if lookups else 0.0
+
+    def describe(self) -> str:
+        """EXPLAIN-style report: which sorts/joins were eliminated and how
+        much oracle work was cached vs enumerated."""
+        lines = [f"plan mode: {self.mode}"]
+        for rewrite in self.date_rewrites:
+            lines.append(f"join eliminated: {rewrite.describe()}")
+        lines.append(f"sorts avoided: {self.avoided_sorts}")
+        lines.append(f"stream aggregates: {self.stream_aggregates}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        o = self.oracle
+        lines.append(
+            "oracle: {calls} calls ({fast} fast-path, {hits} cached, "
+            "{enum} enumerated), hit rate {rate:.0%}".format(
+                calls=o["implies_calls"],
+                fast=o["fast_path"],
+                hits=o["cache_hits"],
+                enum=o["enumerations"],
+                rate=self.oracle_hit_rate,
+            )
+        )
+        return "\n".join(lines)
 
 
 class Planner:
@@ -129,6 +185,9 @@ class Planner:
         self.mode = mode
         self.info = PlanInfo(mode=mode)
         self.resolver: Optional[NameResolver] = None
+        #: id(theory) -> (theory, stats snapshot at first acquisition); the
+        #: post-plan diff attributes interned-oracle work to this plan.
+        self._theories: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     def plan(self, logical: LogicalNode) -> Operator:
@@ -138,45 +197,47 @@ class Planner:
             logical = push_filters(logical, self.resolver)
         if self.mode == "od":
             logical, applied = apply_date_rewrite(
-                self.database, logical, self.resolver
+                self.database, logical, self.resolver, theory_source=self._theory
             )
             self.info.date_rewrites = applied
             if applied:
                 logical = push_filters(logical, self.resolver)
         planned = self._plan(logical, Desired())
+        self._finalize_oracle_stats()
         planned.op.plan_info = self.info  # type: ignore[attr-defined]
         return planned.op
 
     # ------------------------------------------------------------------
-    # Satisfaction tests per mode
+    # Property-framework access (theories interned, stats attributed)
     # ------------------------------------------------------------------
+    def _theory(self, statements):
+        theory = build_theory(statements)
+        if id(theory) not in self._theories:
+            self._theories[id(theory)] = (theory, theory.stats())
+        return theory
+
+    def _finalize_oracle_stats(self) -> None:
+        for theory, baseline in self._theories.values():
+            current = theory.stats()
+            for key in _ORACLE_KEYS:
+                self.info.oracle[key] += current[key] - baseline[key]
+
     def _order_ok(self, statements, provided, required) -> bool:
         if not required:
             return True
-        if self.mode == "naive":
-            return tuple(provided[: len(required)]) == tuple(required)
-        theory = build_theory(statements)
-        if self.mode == "fd":
-            return ordering_satisfies_fd(theory, provided, required)
-        return ordering_satisfies(theory, provided, required)
+        theory = None if self.mode == "naive" else self._theory(statements)
+        return satisfies(theory, provided, required, self.mode)
 
     def _partition_ok(self, statements, provided, group_columns) -> bool:
         if not group_columns:
             return True
         if self.mode == "naive":
             return False
-        theory = build_theory(statements)
-        return stream_groupable(
-            theory, provided, group_columns, od_reasoning=(self.mode == "od")
-        )
+        return groupable(self._theory(statements), provided, group_columns, self.mode)
 
     def _reduce(self, statements, keys) -> Tuple[str, ...]:
-        theory = build_theory(statements)
-        if self.mode == "od":
-            return reduce_order_od(theory, keys)
-        if self.mode == "fd":
-            return reduce_order_fd(theory, keys)
-        return tuple(dict.fromkeys(keys))
+        theory = None if self.mode == "naive" else self._theory(statements)
+        return reduce_keys(theory, keys, self.mode)
 
     # ------------------------------------------------------------------
     # Node dispatch
@@ -200,9 +261,7 @@ class Planner:
             if isinstance(node.child, LogicalSort) and self.mode != "naive":
                 return self._plan_topn(node.child, node.count, desired)
             child = self._plan(node.child, desired)
-            return _Planned(
-                Limit(child.op, node.count), child.statements, child.provided_order
-            )
+            return _Planned(Limit(child.op, node.count), child.statements, child.prop)
         raise TypeError(f"cannot plan {node!r}")
 
     def _plan_topn(self, sort_node: LogicalSort, count: int, desired: Desired) -> _Planned:
@@ -212,8 +271,10 @@ class Planner:
         top = planned.op
         if isinstance(top, Sort):
             fused = TopN(top.child, top.keys, count)
-            return _Planned(fused, planned.statements, fused.ordering)
-        return _Planned(Limit(top, count), planned.statements, planned.provided_order)
+            return _Planned(
+                fused, planned.statements, PhysicalProperty(fused.provides())
+            )
+        return _Planned(Limit(top, count), planned.statements, planned.prop)
 
     # ------------------------------------------------------------------
     # Scans (with optional local predicate for sargable ranges)
@@ -234,14 +295,14 @@ class Planner:
             chosen = self._choose_index(node, table, conjuncts, desired, statements)
         if chosen is None:
             op: Operator = SeqScan(table, node.alias)
-            provided: Tuple[str, ...] = ()
         else:
             index, low, high = chosen
             op = IndexScan(index, node.alias, low, high)
-            provided = op.ordering
         if predicate is not None:
             op = Filter(op, predicate)
-        return _Planned(op, statements, provided)
+        # Scans (and the preserving Filter above them) declare their own
+        # provided spec — the planner just reads it back.
+        return _Planned(op, statements, PhysicalProperty(op.provides()))
 
     def _constant_statements(self, alias: str, conjuncts) -> List[Statement]:
         out: List[Statement] = []
@@ -292,9 +353,7 @@ class Planner:
         statements = child.statements + self._constant_statements(
             "", split_conjuncts(node.predicate)
         )
-        return _Planned(
-            Filter(child.op, node.predicate), statements, child.provided_order
-        )
+        return _Planned(Filter(child.op, node.predicate), statements, child.prop)
 
     # ------------------------------------------------------------------
     def _plan_join(self, node: LogicalJoin, desired: Desired) -> _Planned:
@@ -309,14 +368,15 @@ class Planner:
             statements.append(join_equivalence(l, r))
 
         both_sorted = self.mode != "naive" and (
-            self._order_ok(left.statements, left.provided_order, left_keys)
-            and self._order_ok(right.statements, right.provided_order, right_keys)
+            self._order_ok(left.statements, left.prop.order, left_keys)
+            and self._order_ok(right.statements, right.prop.order, right_keys)
         )
         if both_sorted:
             op: Operator = MergeJoin(left.op, right.op, left_keys, right_keys)
         else:
             op = HashJoin(left.op, right.op, left_keys, right_keys)
-        return _Planned(op, statements, left.provided_order)
+        # Both joins preserve the probe (left) stream's properties.
+        return _Planned(op, statements, left.prop)
 
     # ------------------------------------------------------------------
     def _plan_aggregate(self, node: LogicalAggregate, desired: Desired) -> _Planned:
@@ -339,14 +399,14 @@ class Planner:
         resolved_group = tuple(
             child.op.schema.resolve(c) for c in node.group_columns
         )
-        if self._partition_ok(child.statements, child.provided_order, resolved_group):
+        if self._partition_ok(child.statements, child.prop.order, resolved_group):
             op: Operator = StreamAggregate(child.op, resolved_group, node.aggregates)
             self.info.stream_aggregates += 1
-            provided = child.provided_order
+            prop = child.prop
         else:
             op = HashAggregate(child.op, resolved_group, node.aggregates)
-            provided = ()
-        return _Planned(op, child.statements, provided)
+            prop = EMPTY_PROPERTY
+        return _Planned(op, child.statements, prop)
 
     # ------------------------------------------------------------------
     def _plan_project(self, node: LogicalProject, desired: Desired) -> _Planned:
@@ -371,19 +431,23 @@ class Planner:
             )
         # The stream is still physically ordered by the (possibly hidden)
         # child order; renaming equivalences connect it to output names.
-        return _Planned(op, statements, child.provided_order)
+        return _Planned(op, statements, child.prop)
 
     # ------------------------------------------------------------------
     def _plan_distinct(self, node: LogicalDistinct, desired: Desired) -> _Planned:
         child = self._plan(node.child, desired)
         columns = child.op.schema.names
         if self.mode != "naive" and self._partition_ok(
-            child.statements, child.provided_order, columns
+            child.statements, child.prop.order, columns
         ):
             op: Operator = SortedDistinct(child.op)
         else:
             op = HashDistinct(child.op)
-        return _Planned(op, child.statements, child.provided_order if isinstance(op, SortedDistinct) else ())
+        return _Planned(
+            op,
+            child.statements,
+            child.prop if isinstance(op, SortedDistinct) else EMPTY_PROPERTY,
+        )
 
     # ------------------------------------------------------------------
     def _plan_sort(self, node: LogicalSort, desired: Desired) -> _Planned:
@@ -401,11 +465,11 @@ class Planner:
                 )
                 return self._plan(lowered, desired)
             raise
-        if self._order_ok(child.statements, child.provided_order, required):
+        if self._order_ok(child.statements, child.prop.order, required):
             self.info.avoided_sorts += 1
             self.info.notes.append(
                 f"sort on [{', '.join(required)}] satisfied by existing order "
-                f"[{', '.join(child.provided_order)}]"
+                f"[{', '.join(child.prop.order)}]"
             )
             return child
         keys = self._reduce(child.statements, required)
@@ -418,7 +482,7 @@ class Planner:
             self.info.avoided_sorts += 1
             return child
         op = Sort(child.op, keys)
-        return _Planned(op, child.statements, op.ordering)
+        return _Planned(op, child.statements, PhysicalProperty(op.provides()))
 
 
 # ----------------------------------------------------------------------

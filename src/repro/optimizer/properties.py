@@ -1,0 +1,264 @@
+"""First-class order properties: the planner's physical-property IR.
+
+Classic optimizers (Simmen et al.'s FD-based order framework, the [17] the
+paper improves on) treat "the stream is sorted by ``X``" as a *physical
+property* that operators derive and enforcers (Sorts) establish.  The seed
+planner instead threaded bare ``Tuple[str, ...]`` column lists through
+``planner.py`` / ``rewrites.py`` / the operator layer, each re-deriving
+prefix/rename algebra ad hoc.  This module centralizes that algebra:
+
+* :class:`OrderSpec` — an immutable, hashable list of (qualified) column
+  names with the manipulations order propagation needs: normalization
+  (duplicate removal, sound by the paper's Normalization axiom), prefix
+  tests, rename application with truncation at dropped columns (projection
+  semantics), and restriction to an allowed column set (stream-aggregate
+  semantics).
+* :class:`PhysicalProperty` — the property record a planned subtree carries
+  (currently its provided order; the seam for future properties such as
+  partitioning or uniqueness).
+* Mode-dispatched satisfaction tests (:func:`satisfies`,
+  :func:`groupable`, :func:`reduce_keys`) so the ``naive`` / ``fd`` / ``od``
+  distinction lives in one place instead of being re-encoded per call site.
+
+Every oracle-backed test here funnels into
+:meth:`repro.core.inference.ODTheory.implies`, whose memoized result cache
+(see :mod:`repro.core.inference`) makes repeated planner probes over the
+same query template short-circuit without sign-vector enumeration.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..core.attrs import AttrList
+from ..core.dependency import OrderEquivalence
+from ..core.inference import ODTheory
+from .reduce_order import (
+    ordering_satisfies,
+    ordering_satisfies_fd,
+    reduce_order_fd,
+    reduce_order_od,
+    stream_groupable,
+)
+
+__all__ = [
+    "OrderSpec",
+    "PhysicalProperty",
+    "EMPTY_SPEC",
+    "EMPTY_PROPERTY",
+    "satisfies",
+    "groupable",
+    "reduce_keys",
+    "column_equivalent",
+]
+
+PLAN_MODES = ("naive", "fd", "od")
+
+
+class OrderSpec(tuple):
+    """An immutable lexicographic order specification: ``ORDER BY self``.
+
+    A thin ``tuple`` subclass over column-name strings, so instances hash
+    and compare cheaply (canonical hashing falls out of tuple identity
+    after :meth:`normalized`), key dictionaries, and interoperate with any
+    API expecting a ``Sequence[str]``.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, columns: Iterable[str] = ()) -> "OrderSpec":
+        columns = tuple(columns)
+        for column in columns:
+            if not isinstance(column, str) or not column:
+                raise TypeError(
+                    f"order columns must be non-empty strings, got {column!r}"
+                )
+        return super().__new__(cls, columns)
+
+    # ------------------------------------------------------------------
+    # Canonical form
+    # ------------------------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        return not self
+
+    def normalized(self) -> "OrderSpec":
+        """Drop repeated columns (sound by the Normalization axiom, OD3)."""
+        seen: set = set()
+        out = []
+        for column in self:
+            if column not in seen:
+                seen.add(column)
+                out.append(column)
+        return OrderSpec(out)
+
+    def canonical_key(self) -> Tuple[str, ...]:
+        """A hashable canonical form: the normalized column tuple."""
+        return tuple(self.normalized())
+
+    def attrlist(self) -> AttrList:
+        """The :class:`~repro.core.attrs.AttrList` view, for oracle calls."""
+        return AttrList(self)
+
+    # ------------------------------------------------------------------
+    # Prefix algebra
+    # ------------------------------------------------------------------
+    def is_prefix_of(self, other: Sequence[str]) -> bool:
+        return len(self) <= len(other) and tuple(other[: len(self)]) == tuple(self)
+
+    def starts_with(self, required: Sequence[str]) -> bool:
+        """Position-wise prefix satisfaction: a stream sorted by ``self`` is
+        sorted by ``required`` whenever ``required`` prefixes ``self``."""
+        required = tuple(required)
+        return len(required) <= len(self) and tuple(self[: len(required)]) == required
+
+    def common_prefix(self, other: Sequence[str]) -> "OrderSpec":
+        out = []
+        for a, b in zip(self, other):
+            if a != b:
+                break
+            out.append(a)
+        return OrderSpec(out)
+
+    def concat(self, other: Iterable[str]) -> "OrderSpec":
+        """``self ++ other`` with repeated columns normalized away."""
+        return OrderSpec(tuple(self) + tuple(other)).normalized()
+
+    # ------------------------------------------------------------------
+    # Derivation algebra (the per-operator propagation rules)
+    # ------------------------------------------------------------------
+    def rename(self, mapping: Mapping[str, str]) -> "OrderSpec":
+        """Apply a projection's pass-through renames.
+
+        The output is ordered by the longest prefix of ``self`` whose
+        columns survive (appear in ``mapping``); ordering beyond a dropped
+        column is lost — exactly ``Project``'s propagation rule.
+        """
+        out = []
+        for column in self:
+            renamed = mapping.get(column)
+            if renamed is None:
+                break
+            out.append(renamed)
+        return OrderSpec(out)
+
+    def restrict(self, allowed: Iterable[str]) -> "OrderSpec":
+        """The longest prefix of ``self`` inside ``allowed``.
+
+        A stream aggregate grouping by ``allowed`` preserves the input
+        order only up to the prefix made of grouping columns.
+        """
+        allowed = frozenset(allowed)
+        out = []
+        for column in self:
+            if column not in allowed:
+                break
+            out.append(column)
+        return OrderSpec(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OrderSpec[{', '.join(self)}]"
+
+
+#: The empty order specification (no ordering guarantee).
+EMPTY_SPEC = OrderSpec()
+
+
+@dataclass(frozen=True)
+class PhysicalProperty:
+    """The physical properties of a planned tuple stream.
+
+    Today that is the provided :class:`OrderSpec`; the dataclass is the
+    extension seam for future properties (partitioning, uniqueness,
+    distribution) without re-threading the planner.
+    """
+
+    order: OrderSpec = EMPTY_SPEC
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.order, OrderSpec):
+            object.__setattr__(self, "order", OrderSpec(self.order))
+
+    @property
+    def empty(self) -> bool:
+        return self.order.empty
+
+    def canonical_key(self) -> tuple:
+        return (self.order.canonical_key(),)
+
+    def renamed(self, mapping: Mapping[str, str]) -> "PhysicalProperty":
+        return PhysicalProperty(self.order.rename(mapping))
+
+    def restricted(self, allowed: Iterable[str]) -> "PhysicalProperty":
+        return PhysicalProperty(self.order.restrict(allowed))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PhysicalProperty(order={self.order!r})"
+
+
+#: A stream with no guaranteed properties.
+EMPTY_PROPERTY = PhysicalProperty()
+
+
+# ----------------------------------------------------------------------
+# Mode-dispatched property tests (the planner's satisfaction layer)
+# ----------------------------------------------------------------------
+def satisfies(
+    theory: Optional[ODTheory],
+    provided: Sequence[str],
+    required: Sequence[str],
+    mode: str = "od",
+) -> bool:
+    """Does a stream sorted by ``provided`` satisfy ``ORDER BY required``?
+
+    * ``naive`` — position-wise prefix match only (no theory needed);
+    * ``fd`` — [17]: FD-reduce the requirement, then prefix + renames;
+    * ``od`` — the paper: one oracle implication ``provided ↦ required``.
+    """
+    if not required:
+        return True
+    provided = provided if isinstance(provided, OrderSpec) else OrderSpec(provided)
+    if mode == "naive":
+        return provided.starts_with(required)
+    if theory is None:
+        raise ValueError(f"mode {mode!r} requires a theory")
+    if mode == "fd":
+        return ordering_satisfies_fd(theory, provided, required)
+    if mode == "od":
+        return ordering_satisfies(theory, provided, required)
+    raise ValueError(f"unknown planning mode {mode!r}")
+
+
+def groupable(
+    theory: Optional[ODTheory],
+    provided: Sequence[str],
+    group_columns: Sequence[str],
+    mode: str = "od",
+) -> bool:
+    """May a stream with this order feed a StreamAggregate on the columns?"""
+    if not group_columns:
+        return True
+    if mode == "naive":
+        return False
+    if theory is None:
+        raise ValueError(f"mode {mode!r} requires a theory")
+    return stream_groupable(theory, provided, group_columns, od_reasoning=(mode == "od"))
+
+
+def reduce_keys(
+    theory: Optional[ODTheory], keys: Sequence[str], mode: str = "od"
+) -> Tuple[str, ...]:
+    """Mode-dispatched ReduceOrder: drop provably redundant sort keys."""
+    if mode == "naive" or theory is None:
+        return tuple(OrderSpec(keys).normalized())
+    if mode == "fd":
+        return reduce_order_fd(theory, keys)
+    if mode == "od":
+        return reduce_order_od(theory, keys)
+    raise ValueError(f"unknown planning mode {mode!r}")
+
+
+def column_equivalent(theory: ODTheory, left: str, right: str) -> bool:
+    """Is ``[left] ↔ [right]`` implied — e.g. a surrogate key ordered like
+    its natural column (the date-rewrite guarantee)?"""
+    return theory.implies(OrderEquivalence(AttrList([left]), AttrList([right])))

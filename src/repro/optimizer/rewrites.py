@@ -16,8 +16,6 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..core.attrs import AttrList
-from ..core.dependency import OrderEquivalence
 from ..engine.expr import Between, BoolOp, Cmp, Col, Expr, Lit
 from ..engine.logical import (
     LogicalAggregate,
@@ -31,6 +29,7 @@ from ..engine.logical import (
     LogicalSort,
 )
 from .context import build_theory, alias_constraints
+from .properties import column_equivalent
 
 __all__ = [
     "split_conjuncts",
@@ -259,7 +258,7 @@ def _referenced_aliases(node: LogicalNode, resolver: NameResolver) -> Set[str]:
 
 
 def apply_date_rewrite(
-    database, node: LogicalNode, resolver: NameResolver
+    database, node: LogicalNode, resolver: NameResolver, theory_source=None
 ) -> Tuple[LogicalNode, List[DateRewrite]]:
     """Eliminate dimension joins used only to translate a natural-date range.
 
@@ -272,10 +271,14 @@ def apply_date_rewrite(
     4. no other part of the query references the dimension.
 
     Applies every eligible elimination; returns the rewritten tree plus a
-    :class:`DateRewrite` record per application.
+    :class:`DateRewrite` record per application.  ``theory_source`` lets the
+    caller (the planner) supply its interned, stats-attributed theories;
+    defaults to :func:`~repro.optimizer.context.build_theory`.
     """
     applied: List[DateRewrite] = []
-    rewritten = _rewrite_joins(database, node, node, resolver, applied)
+    if theory_source is None:
+        theory_source = build_theory
+    rewritten = _rewrite_joins(database, node, node, resolver, applied, theory_source)
     return rewritten, applied
 
 
@@ -285,10 +288,11 @@ def _rewrite_joins(
     node: LogicalNode,
     resolver: NameResolver,
     applied: List[DateRewrite],
+    theory_source,
 ) -> LogicalNode:
     if isinstance(node, LogicalJoin):
-        left = _rewrite_joins(database, root, node.left, resolver, applied)
-        right = _rewrite_joins(database, root, node.right, resolver, applied)
+        left = _rewrite_joins(database, root, node.left, resolver, applied, theory_source)
+        right = _rewrite_joins(database, root, node.right, resolver, applied, theory_source)
         node = dataclasses.replace(node, left=left, right=right)
         for dim_side, fact_side, dim_cols, fact_cols in (
             ("right", "left", node.right_columns, node.left_columns),
@@ -298,7 +302,7 @@ def _rewrite_joins(
             fact_node = getattr(node, fact_side)
             rewrite = _try_eliminate(
                 database, root, node, dim_node, fact_node,
-                dim_cols, fact_cols, resolver,
+                dim_cols, fact_cols, resolver, theory_source,
             )
             if rewrite is not None:
                 replacement, record = rewrite
@@ -307,12 +311,16 @@ def _rewrite_joins(
         return node
     return _rebuild(
         node,
-        [_rewrite_joins(database, root, c, resolver, applied) for c in node.children()],
+        [
+            _rewrite_joins(database, root, c, resolver, applied, theory_source)
+            for c in node.children()
+        ],
     )
 
 
 def _try_eliminate(
-    database, root, join, dim_node, fact_node, dim_cols, fact_cols, resolver
+    database, root, join, dim_node, fact_node, dim_cols, fact_cols, resolver,
+    theory_source,
 ):
     # 1. dimension side must be Filter(Scan) or Scan, with a single join key
     if len(dim_cols) != 1:
@@ -343,11 +351,10 @@ def _try_eliminate(
         return None  # leftover dim predicates would be lost
 
     # 3. the OD guarantee: surrogate ordered like the natural column
-    theory = build_theory(alias_constraints(database, dim_alias, dim_table))
-    guarantee = OrderEquivalence(
-        AttrList([f"{dim_alias}.{surrogate}"]), AttrList([f"{dim_alias}.{natural}"])
-    )
-    if not theory.implies(guarantee):
+    theory = theory_source(alias_constraints(database, dim_alias, dim_table))
+    if not column_equivalent(
+        theory, f"{dim_alias}.{surrogate}", f"{dim_alias}.{natural}"
+    ):
         return None
 
     # 4. the dimension feeds nothing but this join and its own range filter

@@ -1,0 +1,145 @@
+"""Oracle memoization: cached answers must be bit-identical to uncached
+ones (witnesses included), fast paths must be sound, caches must be bounded."""
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.dependency import equiv, od
+from repro.core.inference import ODTheory, TooManyAttributes
+from repro.workloads.random_instances import random_od, random_od_set
+
+NAMES = ("A", "B", "C", "D", "E")
+
+
+class TestCacheParity:
+    """Memoized implies()/counterexample() over a randomized theory corpus
+    agree exactly with a cache-disabled oracle — and with themselves when
+    asked twice (the second answer coming from the cache)."""
+
+    def test_randomized_corpus(self):
+        rng = random.Random(0x0D)
+        for trial in range(40):
+            premises = random_od_set(NAMES, count=rng.randint(0, 4), rng=rng)
+            cached = ODTheory(premises)
+            uncached = ODTheory(premises, result_cache_size=0)
+            goals = [random_od(NAMES, rng=rng) for _ in range(6)]
+            for goal in goals + goals:  # second pass: answers from the cache
+                assert cached.implies(goal) == uncached.implies(goal), (
+                    premises,
+                    goal,
+                )
+                cw = cached.counterexample(goal)
+                uw = uncached.counterexample(goal)
+                if cw is None:
+                    assert uw is None
+                else:
+                    assert uw is not None
+                    assert cw.attributes == uw.attributes
+                    assert cw.rows == uw.rows
+
+    def test_disabled_cache_never_stores(self):
+        theory = ODTheory([od("A", "B")], result_cache_size=0)
+        theory.implies(od("A", "C"))
+        theory.implies(od("A", "C"))
+        stats = theory.stats()
+        assert stats["cache_hits"] == 0 and stats["cache_misses"] == 0
+        assert stats["enumerations"] == 2
+        assert stats["result_cache_size"] == 0
+
+
+class TestCounters:
+    def test_repeat_query_hits(self):
+        theory = ODTheory([od("A", "B"), od("B", "C")])
+        goal = od("A", "C")
+        assert theory.implies(goal)
+        before = theory.stats()
+        assert theory.implies(goal)
+        after = theory.stats()
+        assert after["cache_hits"] == before["cache_hits"] + 1
+        assert after["enumerations"] == before["enumerations"]
+        assert after["hit_rate"] > 0
+
+    def test_canonicalization_shares_entries(self):
+        theory = ODTheory([od("A", "B")])
+        assert theory.implies(od("A", "A,B"))
+        before = theory.stats()
+        # normalization makes [A,A] |-> [A,A,B,B] the same canonical goal
+        assert theory.implies(od("A,A", "A,A,B,B"))
+        after = theory.stats()
+        assert after["cache_hits"] == before["cache_hits"] + 1
+
+    def test_trivial_fast_path(self):
+        theory = ODTheory([od("A", "B")])
+        before = theory.stats()
+        assert theory.implies(od("A,B", "A"))  # Reflexivity: rhs prefixes lhs
+        assert theory.implies(equiv("A,B,B", "A,B"))  # Normalization
+        after = theory.stats()
+        assert after["fast_path"] == before["fast_path"] + 2
+        assert after["enumerations"] == before["enumerations"]
+
+    def test_constant_fast_path_learns(self):
+        theory = ODTheory([od("", "A"), od("B", "C")])
+        assert theory.is_constant("A")  # enumerates once, learns A constant
+        before = theory.stats()
+        # [B] |-> [B, A]: dropping the known constant A leaves rhs = prefix
+        assert theory.implies(od("B", "B,A"))
+        after = theory.stats()
+        assert after["fast_path"] == before["fast_path"] + 1
+        assert after["enumerations"] == before["enumerations"]
+        assert after["known_constants"] >= 1
+
+    def test_reset_stats_keeps_cache(self):
+        theory = ODTheory([od("A", "B")])
+        theory.implies(od("B", "A"))
+        theory.reset_stats()
+        stats = theory.stats()
+        assert stats["implies_calls"] == 0
+        assert stats["result_cache_size"] == 1
+        theory.implies(od("B", "A"))
+        assert theory.stats()["cache_hits"] == 1
+
+
+class TestBoundedCaches:
+    def test_result_cache_is_lru_bounded(self):
+        theory = ODTheory([od("A", "B")], result_cache_size=4)
+        for i in range(10):
+            theory.implies(od("A", f"X{i}"))
+        assert theory.stats()["result_cache_size"] <= 4
+
+    def test_compiled_cache_is_lru_bounded(self):
+        # distinct attribute components -> distinct compiled-premise sets
+        premises = [od(f"a{i}", f"b{i}") for i in range(12)]
+        theory = ODTheory(premises, compiled_cache_size=4)
+        for i in range(12):
+            theory.implies(od(f"b{i}", f"a{i}"))
+        assert theory.stats()["compiled_cache_size"] <= 4
+
+    def test_budget_guard_still_raises_every_time(self):
+        premises = [od("a0", f"a{i}") for i in range(1, 12)]
+        theory = ODTheory(premises, max_attributes=5)
+        for _ in range(2):  # the raise must not be cached away
+            with pytest.raises(TooManyAttributes):
+                theory.implies(od("a0", "a1"))
+
+
+class TestWitnessSoundness:
+    """Cached witnesses stay genuine counterexamples."""
+
+    def test_witness_refutes_and_models_theory(self):
+        from repro.core.satisfaction import satisfies_naive
+
+        rng = random.Random(7)
+        for _ in range(20):
+            premises = random_od_set(NAMES, count=rng.randint(0, 3), rng=rng)
+            theory = ODTheory(premises)
+            goal = random_od(NAMES, rng=rng)
+            for _ in range(2):  # second call is served by the cache
+                witness = theory.counterexample(goal)
+                if witness is None:
+                    assert theory.implies(goal)
+                    continue
+                assert not satisfies_naive(witness, goal)
+                for premise in premises:
+                    assert satisfies_naive(witness, premise)

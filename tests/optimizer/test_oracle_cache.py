@@ -1,0 +1,91 @@
+"""Planner-level oracle memoization: repeated plannings of the same
+TPC-DS-lite template must hit the result cache, plan identically, and
+report their oracle activity through EXPLAIN."""
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dependency import od
+from repro.optimizer.context import build_theory, clear_theory_cache, theory_cache_len
+from repro.workloads.tpcds_lite import DATE_QUERIES, build_tpcds_lite
+
+REPEATS = 10
+
+
+@pytest.fixture(scope="module")
+def tpcds():
+    return build_tpcds_lite(days=120, sales_rows=3000)
+
+
+def _sql(workload, qid="Q9"):
+    lo, hi = workload.date_range(20, 25)
+    return dict(DATE_QUERIES)[qid].format(lo=lo, hi=hi)
+
+
+class TestTheoryInterning:
+    def test_same_statements_same_theory(self):
+        clear_theory_cache()
+        statements = (od("a", "b"), od("b", "c"))
+        assert build_theory(statements) is build_theory(list(statements))
+        assert theory_cache_len() == 1
+
+    def test_reuse_false_is_isolated(self):
+        statements = (od("a", "b"),)
+        interned = build_theory(statements)
+        fresh = build_theory(statements, reuse=False)
+        assert fresh is not interned
+
+
+class TestRepeatedTemplatePlanning:
+    def test_cache_hit_rate_above_half(self, tpcds):
+        clear_theory_cache()
+        db = tpcds.database
+        sql = _sql(tpcds)
+        infos = [db.plan(sql).plan_info for _ in range(REPEATS)]
+        total = {key: sum(info.oracle[key] for info in infos) for key in infos[0].oracle}
+        lookups = total["cache_hits"] + total["cache_misses"]
+        assert lookups > 0
+        hit_rate = total["cache_hits"] / lookups
+        assert hit_rate > 0.5, total
+        # a fully warmed plan does no sign-vector enumeration at all
+        assert infos[-1].oracle["enumerations"] == 0
+        assert infos[-1].oracle_hit_rate == 1.0
+
+    def test_memoized_plans_identical(self, tpcds):
+        clear_theory_cache()
+        db = tpcds.database
+        sql = _sql(tpcds, "Q3")
+        cold = db.plan(sql)
+        warm = db.plan(sql)
+        assert cold.explain() == warm.explain()
+        cold_rows, _ = cold.run()
+        warm_rows, _ = warm.run()
+        assert cold_rows == warm_rows
+
+    def test_results_match_unoptimized(self, tpcds):
+        db = tpcds.database
+        sql = _sql(tpcds, "Q4")
+        base = db.execute(sql, optimize=False)
+        for _ in range(3):
+            opt = db.execute(sql, optimize=True)
+            assert sorted(opt.rows) == sorted(base.rows)
+
+
+class TestExplainReporting:
+    def test_verbose_explain_reports_oracle_and_rewrites(self, tpcds):
+        db = tpcds.database
+        sql = _sql(tpcds, "Q1")
+        text = db.explain(sql, verbose=True)
+        assert "oracle:" in text
+        assert "join eliminated:" in text
+        assert "hit rate" in text
+        # non-verbose output stays exactly the plan tree
+        assert "oracle:" not in db.explain(sql)
+
+    def test_describe_reports_avoided_sorts(self, tpcds):
+        db = tpcds.database
+        sql = _sql(tpcds, "Q13")  # ORDER BY the clustered sk: sort vanishes
+        plan = db.plan(sql)
+        description = plan.plan_info.describe()
+        assert "sorts avoided:" in description
+        assert plan.plan_info.avoided_sorts >= 1

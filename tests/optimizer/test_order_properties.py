@@ -1,0 +1,138 @@
+"""The physical-property IR: OrderSpec / PhysicalProperty algebra and the
+mode-dispatched satisfaction layer."""
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dependency import fd, od
+from repro.core.inference import ODTheory
+from repro.optimizer.properties import (
+    EMPTY_PROPERTY,
+    EMPTY_SPEC,
+    OrderSpec,
+    PhysicalProperty,
+    column_equivalent,
+    groupable,
+    reduce_keys,
+    satisfies,
+)
+
+
+class TestOrderSpecAlgebra:
+    def test_construction_and_validation(self):
+        spec = OrderSpec(["a", "b"])
+        assert tuple(spec) == ("a", "b")
+        assert not spec.empty
+        assert EMPTY_SPEC.empty
+        with pytest.raises(TypeError):
+            OrderSpec(["a", ""])
+        with pytest.raises(TypeError):
+            OrderSpec([1, 2])  # type: ignore[list-item]
+
+    def test_normalized_drops_later_duplicates(self):
+        assert OrderSpec(["a", "b", "a", "c", "b"]).normalized() == OrderSpec(
+            ["a", "b", "c"]
+        )
+
+    def test_canonical_hashing(self):
+        a = OrderSpec(["x", "y", "x"])
+        b = OrderSpec(["x", "y"])
+        assert a.canonical_key() == b.canonical_key()
+        assert hash(a.normalized()) == hash(b)
+        assert {a.normalized(): 1}[b] == 1  # keys dictionaries canonically
+
+    def test_prefix_tests(self):
+        spec = OrderSpec(["a", "b", "c"])
+        assert OrderSpec(["a", "b"]).is_prefix_of(spec)
+        assert spec.starts_with(["a", "b"])
+        assert spec.starts_with([])
+        assert not spec.starts_with(["b"])
+        assert not spec.starts_with(["a", "b", "c", "d"])
+
+    def test_common_prefix_and_concat(self):
+        assert OrderSpec(["a", "b", "c"]).common_prefix(["a", "b", "x"]) == OrderSpec(
+            ["a", "b"]
+        )
+        assert OrderSpec(["a", "b"]).concat(["b", "c"]) == OrderSpec(["a", "b", "c"])
+
+    def test_rename_truncates_at_dropped_column(self):
+        spec = OrderSpec(["t.a", "t.b", "t.c"])
+        # t.b is not projected out: ordering beyond it is lost
+        assert spec.rename({"t.a": "a", "t.c": "c"}) == OrderSpec(["a"])
+        assert spec.rename({"t.a": "a", "t.b": "b", "t.c": "c"}) == OrderSpec(
+            ["a", "b", "c"]
+        )
+        assert spec.rename({}) == EMPTY_SPEC
+
+    def test_restrict_stops_at_first_outsider(self):
+        spec = OrderSpec(["g1", "g2", "v", "g3"])
+        assert spec.restrict({"g1", "g2", "g3"}) == OrderSpec(["g1", "g2"])
+        assert spec.restrict(set()) == EMPTY_SPEC
+
+    def test_attrlist_round_trip(self):
+        from repro.core.attrs import AttrList
+
+        assert OrderSpec(["a", "b"]).attrlist() == AttrList(["a", "b"])
+
+
+class TestPhysicalProperty:
+    def test_coercion_and_hashing(self):
+        prop = PhysicalProperty(("a", "b"))  # type: ignore[arg-type]
+        assert isinstance(prop.order, OrderSpec)
+        assert prop == PhysicalProperty(OrderSpec(["a", "b"]))
+        assert hash(prop) == hash(PhysicalProperty(OrderSpec(["a", "b"])))
+        assert EMPTY_PROPERTY.empty and not prop.empty
+
+    def test_renamed_and_restricted(self):
+        prop = PhysicalProperty(OrderSpec(["t.a", "t.b"]))
+        assert prop.renamed({"t.a": "a"}).order == OrderSpec(["a"])
+        assert prop.restricted({"t.a"}).order == OrderSpec(["t.a"])
+        assert prop.canonical_key() == (("t.a", "t.b"),)
+
+
+class TestModeDispatch:
+    @pytest.fixture
+    def theory(self):
+        return ODTheory([od("a", "b")])
+
+    def test_naive_is_positional(self, theory):
+        assert satisfies(None, ["a", "b"], ["a"], "naive")
+        assert not satisfies(None, ["a"], ["b"], "naive")
+        # no theory needed, OD reasoning unavailable
+        assert not satisfies(None, ["a"], ["a", "b"], "naive")
+
+    def test_od_uses_the_oracle(self):
+        # Left Eliminate territory: given d ↦ b, a stream sorted by [a, d]
+        # satisfies ORDER BY [a, b, d]; FDs alone cannot justify the drop.
+        theory = ODTheory([od("d", "b")])
+        assert satisfies(theory, ["a", "d"], ["a", "b", "d"], "od")
+        assert not satisfies(theory, ["a", "d"], ["a", "b", "d"], "fd")
+
+    def test_empty_requirement_always_satisfied(self):
+        assert satisfies(None, [], [], "od")
+
+    def test_mode_validation(self, theory):
+        with pytest.raises(ValueError):
+            satisfies(theory, ["a"], ["b"], "quantum")
+        with pytest.raises(ValueError):
+            satisfies(None, ["a"], ["b"], "od")
+
+    def test_groupable_dispatch(self):
+        theory = ODTheory([fd("g", "h")])
+        assert groupable(theory, ["g"], ["g", "h"], "fd")
+        assert not groupable(None, ["g"], ["g"], "naive")
+        assert groupable(None, ["g"], [], "naive")
+
+    def test_reduce_keys_dispatch(self):
+        theory = ODTheory([od("d", "b")])
+        # Left Eliminate: [a, b, d] -> [a, d] needs OD reasoning
+        assert reduce_keys(theory, ["a", "b", "d"], "od") == ("a", "d")
+        assert reduce_keys(theory, ["a", "b", "d"], "fd") == ("a", "b", "d")
+        assert reduce_keys(None, ["a", "a", "b"], "naive") == ("a", "b")
+
+    def test_column_equivalent(self):
+        from repro.core.dependency import equiv
+
+        theory = ODTheory([equiv("sk", "nat")])
+        assert column_equivalent(theory, "sk", "nat")
+        assert not column_equivalent(theory, "sk", "other")
