@@ -134,40 +134,41 @@ def test_topn_equals_sort_limit(benchmark, fact):
 PLAN_REPEATS = 10
 
 
-def _template_sql(workload, qid: str) -> str:
-    from repro.workloads.tpcds_lite import DATE_QUERIES
-
-    lo, hi = workload.date_range(100, 60)
-    return dict(DATE_QUERIES)[qid].format(lo=lo, hi=hi)
-
-
-def test_repeated_template_planning_cold(benchmark, tpcds):
+def test_repeated_template_planning_cold(benchmark, tpcds, template_sql):
     """Every round starts with cold caches — the seed planner's regime
     (fresh theories, no memoized implications)."""
     from repro.optimizer.context import clear_theory_cache
 
-    sql = _template_sql(tpcds, "Q9")
+    sql = template_sql(tpcds, "Q9")
 
     def run():
         for _ in range(PLAN_REPEATS):
             clear_theory_cache()  # per plan: every planning starts cold
-            plan = tpcds.database.plan(sql)
+            plan = tpcds.database.plan(sql, use_cache=False)
         return plan.plan_info
 
     info = benchmark(run)
     assert info.oracle["implies_calls"] > 0
 
 
-def test_repeated_template_planning_warm(benchmark, tpcds):
+def test_repeated_template_planning_warm(benchmark, tpcds, template_sql):
     """The same template planned PLAN_REPEATS times against interned
-    theories: the oracle result cache must absorb > 50% of lookups."""
+    theories: the oracle result cache must absorb > 50% of lookups.
+
+    ``use_cache=False`` keeps this a *planning* benchmark — the whole-plan
+    cache (measured separately in bench_plan_cache.py) would otherwise
+    absorb every round after the first.
+    """
     from repro.optimizer.context import clear_theory_cache
 
-    sql = _template_sql(tpcds, "Q9")
+    sql = template_sql(tpcds, "Q9")
     clear_theory_cache()
 
     def run():
-        infos = [tpcds.database.plan(sql).plan_info for _ in range(PLAN_REPEATS)]
+        infos = [
+            tpcds.database.plan(sql, use_cache=False).plan_info
+            for _ in range(PLAN_REPEATS)
+        ]
         return infos
 
     infos = benchmark(run)

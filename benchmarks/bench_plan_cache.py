@@ -1,0 +1,119 @@
+"""Whole-plan memoization benchmarks.
+
+The ROADMAP's heavy-traffic story: repeated query templates should skip
+planning entirely.  PR 1 got a warm repeated-template planning path of
+~5.6ms per 10 plannings (oracle memoization only, see bench_engine.py);
+the plan cache collapses that to two dict lookups plus a fingerprint —
+these cases pin the relative shape:
+
+* ``bypass`` — the pre-cache warm path (interned theories, no plan cache);
+* ``warm``  — every planning after the first is a cache hit, and must be
+  at least ~5× faster than ``bypass`` per round;
+* ``cold``  — miss + store churn: the overhead the cache adds when it
+  never hits (bounded at a few percent of planning cost);
+* ``execute`` — end-to-end: repeated execution of a small template, where
+  planning used to dominate.
+"""
+from __future__ import annotations
+
+PLAN_REPEATS = 10
+
+
+def test_repeated_template_plan_bypass(benchmark, tpcds, template_sql):
+    """Baseline: warm theories but no plan cache (use_cache=False)."""
+    sql = template_sql(tpcds, "Q9")
+    tpcds.database.plan(sql, use_cache=False)  # warm theories + oracle
+
+    def run():
+        for _ in range(PLAN_REPEATS):
+            plan = tpcds.database.plan(sql, use_cache=False)
+        return plan
+
+    plan = benchmark(run)
+    assert plan.plan_info.cache_state == "bypass"
+
+
+def test_repeated_template_plan_cache_warm(benchmark, tpcds, template_sql):
+    """Repeated plannings of one template: all hits after the first."""
+    sql = template_sql(tpcds, "Q9")
+    database = tpcds.database
+    database.plan(sql)  # fill the entry
+
+    def run():
+        for _ in range(PLAN_REPEATS):
+            plan = database.plan(sql)
+        return plan
+
+    plan = benchmark(run)
+    assert plan.plan_info.cache_state == "hit"
+    stats = database.plan_cache_stats()
+    assert stats["hits"] > stats["misses"]
+
+
+def test_repeated_template_plan_cache_cold(benchmark, tpcds, template_sql):
+    """Every round clears the cache: measures miss + store overhead."""
+    sql = template_sql(tpcds, "Q9")
+    database = tpcds.database
+
+    def run():
+        for _ in range(PLAN_REPEATS):
+            database.plan_cache.clear()
+            plan = database.plan(sql)
+        return plan
+
+    plan = benchmark(run)
+    assert plan.plan_info.cache_state == "miss"
+
+
+def test_template_sweep_cache_warm(benchmark, tpcds):
+    """All 13 rewrite templates planned back to back, cache warm — the
+    steady-state mix of a templated workload."""
+    from repro.workloads.tpcds_lite import DATE_QUERIES
+
+    lo, hi = tpcds.date_range(100, 60)
+    sqls = [sql.format(lo=lo, hi=hi) for _, sql in DATE_QUERIES]
+    database = tpcds.database
+    for sql in sqls:
+        database.plan(sql)
+
+    def run():
+        return [database.plan(sql) for sql in sqls]
+
+    plans = benchmark(run)
+    assert all(plan.plan_info.cache_state == "hit" for plan in plans)
+
+
+def test_execute_small_template_cache_warm(benchmark, tpcds, template_sql):
+    """End-to-end repeated execution of a narrow template (Q12): with the
+    plan cache, execution cost is the row work, not the planning."""
+    sql = template_sql(tpcds, "Q12")
+    database = tpcds.database
+    database.execute(sql)
+
+    def run():
+        return database.execute(sql)
+
+    result = benchmark(run)
+    assert result.plan.plan_info.cache_state == "hit"
+
+
+def test_plan_cache_speedup_sanity(tpcds, template_sql):
+    """Not a timed case: pin the headline ratio warm-hit vs bypass ≥ 5×."""
+    import time
+
+    sql = template_sql(tpcds, "Q9")
+    database = tpcds.database
+    database.plan(sql)
+
+    def best_of(fn, rounds: int = 5) -> float:
+        times = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for _ in range(PLAN_REPEATS):
+                fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    bypass = best_of(lambda: database.plan(sql, use_cache=False))
+    warm = best_of(lambda: database.plan(sql))
+    assert warm * 5 < bypass, f"warm={warm:.6f}s bypass={bypass:.6f}s"

@@ -53,6 +53,21 @@ def pytest_sessionfinish(session, exitstatus):
         pass
 
 
+@pytest.fixture(scope="session")
+def template_sql():
+    """One of the thirteen TPC-DS-lite templates, instantiated with a
+    natural-date range — shared by every planning benchmark so they all
+    measure the same queries."""
+
+    def make(workload, qid: str, first_day: int = 100, length: int = 60) -> str:
+        from repro.workloads.tpcds_lite import DATE_QUERIES
+
+        lo, hi = workload.date_range(first_day, length)
+        return dict(DATE_QUERIES)[qid].format(lo=lo, hi=hi)
+
+    return make
+
+
 def _warm(database):
     """Build every index up front so benchmarks measure query work, not the
     one-time lazy index construction."""

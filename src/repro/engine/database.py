@@ -12,7 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from collections import OrderedDict
+
 from ..core.dependency import Statement
+from .epoch import bump_epoch, current_epoch
 from .index import SortedIndex
 from .operators.base import Metrics, Operator
 from .schema import Schema
@@ -50,11 +53,25 @@ class QueryResult:
 class Database:
     """An in-memory database instance."""
 
-    def __init__(self, name: str = "db") -> None:
+    #: Bound on the SQL-text → logical-tree memo (parse/bind fast path).
+    _LOGICAL_MEMO_SIZE = 512
+
+    def __init__(self, name: str = "db", plan_cache_capacity: int = 128) -> None:
+        from ..optimizer.plan_cache import PlanCache  # lazy: avoids import cycle
+
         self.name = name
         self.tables: Dict[str, Table] = {}
         self.indexes: Dict[str, SortedIndex] = {}
         self._stats: Dict[str, TableStats] = {}
+        #: Whole-plan memoization: logical fingerprint + mode → physical
+        #: plan, invalidated by catalog-epoch mismatch (see
+        #: :mod:`repro.optimizer.plan_cache`).
+        self.plan_cache = PlanCache(capacity=plan_cache_capacity)
+        #: SQL text → (bound logical tree, canonical fingerprint).  Both
+        #: are catalog-independent (names resolve at physical planning),
+        #: so entries never go stale; the memo spares repeated templates
+        #: the parse/bind/fingerprint work.
+        self._logical_memo: "OrderedDict[str, object]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Catalog
@@ -64,6 +81,7 @@ class Database:
             raise ValueError(f"table {name!r} already exists")
         table = Table(name, schema)
         self.tables[name] = table
+        bump_epoch("create-table")
         return table
 
     def table(self, name: str) -> Table:
@@ -83,6 +101,7 @@ class Database:
             raise ValueError(f"index {name!r} already exists")
         index = SortedIndex(name, self.table(table_name), key_columns, clustered)
         self.indexes[name] = index
+        bump_epoch("create-index")
         return index
 
     def indexes_on(self, table_name: str) -> List[SortedIndex]:
@@ -107,30 +126,92 @@ class Database:
     # ------------------------------------------------------------------
     # Query entry points
     # ------------------------------------------------------------------
-    def plan(self, sql: str, optimize: bool = True) -> Operator:
-        """Parse, bind, optimize (optionally) and return the physical plan."""
-        from ..optimizer.planner import Planner  # lazy: avoids import cycle
+    def _bind(self, sql: str):
+        """Parse + bind with a bounded memo on the raw SQL text.
 
+        Returns ``(logical tree, fingerprint)``.  The fingerprint is a
+        pure function of the tree, so it is memoized alongside it — a
+        warm ``plan()`` is then genuinely two dict lookups, with no tree
+        walk or hashing.
+        """
+        entry = self._logical_memo.get(sql)
+        if entry is not None:
+            self._logical_memo.move_to_end(sql)
+            return entry
+        from ..optimizer.plan_cache import fingerprint
         from .logical import bind
         from .sql.parser import parse
 
         logical = bind(parse(sql))
-        return Planner(self, optimize=optimize).plan(logical)
+        entry = (logical, fingerprint(logical))
+        self._logical_memo[sql] = entry
+        while len(self._logical_memo) > self._LOGICAL_MEMO_SIZE:
+            self._logical_memo.popitem(last=False)
+        return entry
 
-    def execute(self, sql: str, optimize: bool = True) -> QueryResult:
+    def plan(self, sql: str, optimize: bool = True, use_cache: bool = True) -> Operator:
+        """Parse, bind, optimize (optionally) and return the physical plan.
+
+        With ``use_cache=True`` (the default) the plan cache is consulted
+        first: the logical tree is fingerprinted and, if an entry exists
+        for (fingerprint, mode) at the current catalog epoch, the memoized
+        physical plan is returned without re-planning.  ``use_cache=False``
+        neither reads nor fills the cache (benchmarks use it to measure
+        the uncached path; its plans report ``cache_state="bypass"``).
+        """
+        from ..optimizer.planner import Planner  # lazy: avoids import cycle
+
+        logical, fp = self._bind(sql)
+        if not use_cache:
+            plan = Planner(self, optimize=optimize).plan(logical)
+            plan.plan_info.cache_state = "bypass"
+            return plan
+
+        mode = "od" if optimize else "fd"
+        epoch = current_epoch()
+        entry = self.plan_cache.lookup(fp, mode, epoch)
+        if entry is not None:
+            info = entry.plan.plan_info  # type: ignore[attr-defined]
+            info.cache_state = "hit"
+            info.cache_serves = entry.serves
+            return entry.plan
+        plan = Planner(self, optimize=optimize).plan(logical)
+        info = plan.plan_info  # type: ignore[attr-defined]
+        info.fingerprint = fp
+        info.epoch = epoch
+        info.cache_state = "miss"
+        self.plan_cache.store(fp, mode, epoch, plan)
+        return plan
+
+    def plan_cache_stats(self) -> Dict[str, object]:
+        """Plan-cache counters: hits, misses, stores, evictions,
+        stale_invalidations, size, capacity, hit_rate."""
+        return self.plan_cache.stats()
+
+    def execute(
+        self, sql: str, optimize: bool = True, use_cache: bool = True
+    ) -> QueryResult:
         """Run a query to completion."""
-        plan = self.plan(sql, optimize=optimize)
+        plan = self.plan(sql, optimize=optimize, use_cache=use_cache)
         rows, metrics = plan.run()
         return QueryResult(plan.schema.names, rows, metrics, plan)
 
-    def explain(self, sql: str, optimize: bool = True, verbose: bool = False) -> str:
+    def explain(
+        self,
+        sql: str,
+        optimize: bool = True,
+        verbose: bool = False,
+        use_cache: bool = True,
+    ) -> str:
         """The physical plan as text.
 
         ``verbose=True`` appends the planner's decision log — which
-        sorts/joins were eliminated and how much oracle work was answered
-        from the memoized result cache vs enumerated.
+        sorts/joins were eliminated, how much oracle work was answered
+        from the memoized result cache vs enumerated, and whether this
+        plan was a plan-cache hit, miss, or bypass (with its fingerprint
+        prefix and catalog epoch).
         """
-        plan = self.plan(sql, optimize=optimize)
+        plan = self.plan(sql, optimize=optimize, use_cache=use_cache)
         text = plan.explain()
         info = getattr(plan, "plan_info", None)
         if verbose and info is not None:

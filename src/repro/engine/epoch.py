@@ -1,0 +1,61 @@
+"""The catalog epoch: one monotone counter behind every optimizer cache.
+
+Whole-plan memoization (and the interned query-scoped theories backing it)
+is only sound while the facts planning consumed stay true.  In this engine
+those facts are:
+
+* the **catalog** — which tables and indexes exist (index choice is baked
+  into a physical plan);
+* the **constraint registry** — declared ODs/FDs drive sort elimination,
+  join elimination, and stream-aggregate selection;
+* the **data**, in one narrow but important way: the Section 2.3 date
+  rewrite translates a natural-date range into *surrogate-key bounds read
+  from the dimension's rows*, so a cached plan embeds data-derived
+  literals.
+
+Every mutation of any of the three bumps the global epoch.  Caches stamp
+entries with the epoch current when they were filled and treat a stamp
+mismatch as a miss — so the plan cache and the theory cache invalidate
+from the *same* clock and can never disagree about what is stale.
+
+The counter is deliberately global (not per-database): cross-database
+bumps only cost a spurious re-plan, never a stale answer, and a single
+clock keeps the invalidation contract trivial to reason about.
+"""
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["current_epoch", "bump_epoch", "epoch_log", "reset_epoch_log"]
+
+_epoch: int = 0
+#: Per-reason bump counts, for tests and diagnostics.
+_bumps: Dict[str, int] = {}
+
+
+def current_epoch() -> int:
+    """The current catalog/constraint/data epoch."""
+    return _epoch
+
+
+def bump_epoch(reason: str = "unspecified") -> int:
+    """Advance the epoch (invalidating every epoch-stamped cache entry).
+
+    ``reason`` is a short tag (``"create-table"``, ``"declare"``, ...)
+    recorded in :func:`epoch_log` so tests can assert *which* mutations
+    invalidate.
+    """
+    global _epoch
+    _epoch += 1
+    _bumps[reason] = _bumps.get(reason, 0) + 1
+    return _epoch
+
+
+def epoch_log() -> Dict[str, int]:
+    """Per-reason bump counts since process start (or the last reset)."""
+    return dict(_bumps)
+
+
+def reset_epoch_log() -> None:
+    """Zero the per-reason counts (the epoch itself never rewinds)."""
+    _bumps.clear()

@@ -14,6 +14,7 @@ from ..core.attrs import AttrList
 from ..core.dependency import Statement
 from ..core.relation import Relation
 from ..core.satisfaction import explain_violation, satisfies
+from .epoch import bump_epoch
 from .schema import Schema
 from .types import validate_value
 
@@ -48,6 +49,9 @@ class Table:
             for value, column in zip(row, self.schema)
         )
         self.rows.append(validated)
+        # Cached plans may embed data-derived literals (the date rewrite's
+        # surrogate-key bounds), so data changes invalidate like DDL does.
+        bump_epoch("insert")
 
     def load(self, rows: Iterable[Sequence[Any]], check: bool = True) -> "Table":
         """Bulk insert; validates declared constraints afterwards."""
@@ -77,6 +81,7 @@ class Table:
                 f"{self.name}: {explain_violation(self.as_relation(), statement)}"
             )
         self.constraints.append(statement)
+        bump_epoch("declare")
         return self
 
     def check_constraints(self) -> None:

@@ -25,9 +25,13 @@ order, bottom-up):
   ``fd`` / ``od`` modes; attributes per-plan oracle activity (cache hits
   vs enumerations) to :class:`~repro.optimizer.planner.PlanInfo` for
   ``EXPLAIN``-style reporting.
+* :mod:`repro.optimizer.plan_cache` — whole-plan memoization: canonical
+  logical-tree fingerprints, a bounded LRU of physical plans, and the
+  catalog-epoch invalidation contract shared with the interned theories.
 """
 from .context import build_theory, clear_theory_cache, qualify_statement
 from .costing import PlanEstimate, estimate_plan
+from .plan_cache import PlanCache, PlanCacheEntry, canonical_tuple, fingerprint
 from .planner import Desired, Planner, PlanInfo
 from .properties import (
     EMPTY_PROPERTY,
@@ -75,6 +79,10 @@ __all__ = [
     "build_theory",
     "clear_theory_cache",
     "qualify_statement",
+    "PlanCache",
+    "PlanCacheEntry",
+    "canonical_tuple",
+    "fingerprint",
     "estimate_plan",
     "PlanEstimate",
 ]

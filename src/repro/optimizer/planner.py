@@ -139,9 +139,26 @@ class PlanInfo:
     stream_aggregates: int = 0
     notes: List[str] = field(default_factory=list)
     #: Oracle activity during this plan (diffed against interned theories).
+    #: On a cached plan these counters are the work done when the entry was
+    #: *built* — serving a hit does no oracle work, and ``describe()`` says
+    #: so rather than pretending the work happened again.
     oracle: Dict[str, int] = field(
         default_factory=lambda: {key: 0 for key in _ORACLE_KEYS}
     )
+    #: Plan-cache provenance, filled in by ``Database.plan``:
+    #: ``fingerprint`` — SHA-256 of the canonical logical tree (None when
+    #: planned outside the caching entry point); ``epoch`` — the catalog
+    #: epoch the plan was built under; ``cache_state`` — "miss" (planned
+    #: and stored), "hit" (served from cache), or "bypass"
+    #: (``use_cache=False``); ``cache_serves`` — times this entry has been
+    #: served since it was stored.  One PlanInfo is shared by every caller
+    #: holding the cached plan, so ``cache_state``/``cache_serves`` always
+    #: reflect the *most recent* acquisition — sample them at serve time,
+    #: or use ``Database.plan_cache_stats()`` deltas for per-call facts.
+    fingerprint: Optional[str] = None
+    epoch: Optional[int] = None
+    cache_state: str = "uncached"
+    cache_serves: int = 0
 
     @property
     def oracle_hit_rate(self) -> float:
@@ -170,6 +187,19 @@ class PlanInfo:
                 rate=self.oracle_hit_rate,
             )
         )
+        if self.fingerprint is not None:
+            # Entry-centric phrasing: one PlanInfo is shared by everyone
+            # holding the cached plan, so describe the entry's history
+            # (planned once, served N times) — true whenever it is read —
+            # rather than any single caller's hit/miss perspective.
+            line = (
+                f"plan cache: entry {self.fingerprint[:12]} (epoch "
+                f"{self.epoch}): planned once, served {self.cache_serves}x "
+                "from cache"
+            )
+            if self.cache_serves:
+                line += "; oracle counters above are from the initial planning"
+            lines.append(line)
         return "\n".join(lines)
 
 

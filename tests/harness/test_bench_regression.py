@@ -1,0 +1,141 @@
+"""Benchmark-trajectory regression gate (ROADMAP "Benchmark trajectory").
+
+The benchmark harness dumps per-case timings to committed
+``BENCH_<module>.json`` files.  This test re-times cheap, data-independent
+proxies for a few headline cases and fails if they regress beyond a
+*generous* tolerance of the committed baseline — wide enough that CI-host
+variance never trips it, tight enough that an accidental O(n) → O(n²) on
+a hot path does.
+
+Only planning- and inference-time cases are checked: they are independent
+of data volume, so tiny fixtures reproduce the baseline's regime.
+"""
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+#: Allowed slowdown over the committed mean.  Generous on purpose: the
+#: baselines were recorded on one laptop; CI machines differ by small
+#: integer factors, real regressions by large ones.
+TOLERANCE = 12.0
+
+
+def _baseline(module: str, case: str) -> float:
+    path = ROOT / f"BENCH_{module}.json"
+    if not path.exists():
+        pytest.skip(f"no committed baseline {path.name}")
+    entries = json.loads(path.read_text())
+    if case not in entries or entries[case].get("mean_s") is None:
+        pytest.skip(f"{path.name} has no timing for {case}")
+    return float(entries[case]["mean_s"])
+
+
+def _best_of(fn, rounds: int = 5) -> float:
+    """Minimum wall time of ``fn()`` over several rounds (noise floor)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _check(measured: float, baseline: float, label: str) -> None:
+    limit = baseline * TOLERANCE
+    assert measured <= limit, (
+        f"{label}: {measured * 1e3:.3f}ms vs baseline {baseline * 1e3:.3f}ms "
+        f"(limit {limit * 1e3:.3f}ms, tolerance {TOLERANCE}x) — "
+        "a hot path regressed"
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_tpcds():
+    from repro.workloads.tpcds_lite import build_tpcds_lite
+
+    # Planning time does not depend on row counts, only on the catalog.
+    return build_tpcds_lite(days=90, sales_rows=300, items=20, stores=4)
+
+
+def _q9(workload) -> str:
+    from repro.workloads.tpcds_lite import DATE_QUERIES
+
+    lo, hi = workload.date_range(20, 30)
+    return dict(DATE_QUERIES)["Q9"].format(lo=lo, hi=hi)
+
+
+def test_warm_template_planning_not_regressed(tiny_tpcds):
+    """Proxy for bench_engine::test_repeated_template_planning_warm."""
+    baseline = _baseline("bench_engine", "test_repeated_template_planning_warm")
+    sql = _q9(tiny_tpcds)
+    database = tiny_tpcds.database
+    database.plan(sql, use_cache=False)  # warm the theories first
+
+    measured = _best_of(
+        lambda: [database.plan(sql, use_cache=False) for _ in range(10)]
+    )
+    _check(measured, baseline, "warm repeated-template planning (10 plans)")
+
+
+def test_plan_cache_warm_not_regressed(tiny_tpcds):
+    """Proxy for bench_plan_cache::test_repeated_template_plan_cache_warm,
+    plus the tentpole claim itself: cached planning beats uncached warm
+    planning by a wide margin."""
+    baseline = _baseline("bench_plan_cache", "test_repeated_template_plan_cache_warm")
+    sql = _q9(tiny_tpcds)
+    database = tiny_tpcds.database
+    database.plan(sql)
+
+    measured = _best_of(lambda: [database.plan(sql) for _ in range(10)])
+    _check(measured, baseline, "plan-cache warm repeated planning (10 plans)")
+
+    uncached = _best_of(lambda: [database.plan(sql, use_cache=False) for _ in range(10)])
+    assert measured * 5 < uncached, (
+        f"plan cache lost its edge: warm {measured * 1e3:.3f}ms vs "
+        f"uncached {uncached * 1e3:.3f}ms"
+    )
+
+
+def test_oracle_chain_implication_not_regressed():
+    """Proxy for bench_inference::test_implication_scaling_chain[8]."""
+    from repro.core.dependency import od
+    from repro.core.inference import ODTheory
+
+    baseline = _baseline("bench_inference", "test_implication_scaling_chain[8]")
+    theory = ODTheory(
+        [od(f"c{i}", f"c{i + 1}") for i in range(7)], max_attributes=40
+    )
+    goal = od("c0", "c7")
+    assert theory.implies(goal)
+
+    iterations = 200
+    measured = _best_of(
+        lambda: [theory.implies(goal) for _ in range(iterations)]
+    ) / iterations
+    _check(measured, baseline, "chain implication (width 8)")
+
+
+def test_memoized_oracle_repeats_not_regressed():
+    """Proxy for bench_inference::test_memoized_repeat_queries[8]."""
+    from repro.core.dependency import od
+    from repro.core.inference import ODTheory
+
+    baseline = _baseline("bench_inference", "test_memoized_repeat_queries[8]")
+    theory = ODTheory(
+        [od(f"c{i}", f"c{i + 1}") for i in range(7)], max_attributes=40
+    )
+    goals = [od("c0", f"c{i}") for i in range(1, 8)]
+
+    def run():
+        for goal in goals:
+            assert theory.implies(goal)
+
+    run()  # fill the result cache, as the benchmark's warm rounds do
+    measured = _best_of(run)
+    _check(measured, baseline, "memoized repeated oracle probes (width 8)")

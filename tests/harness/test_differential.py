@@ -1,0 +1,318 @@
+"""Differential correctness harness: optimized vs unoptimized, cached vs not.
+
+Every query in every workload (taxes, datedim, tpcds_lite, and databases
+built from random_instances) is executed four ways:
+
+* ``baseline`` — ``optimize=False`` with the plan cache bypassed (the
+  [17]-style FD planner, freshly planned every time);
+* ``cold``     — ``optimize=True`` against a just-cleared plan cache
+  (a miss: full OD planning, entry stored);
+* ``warm``     — ``optimize=True`` again (a hit: the memoized physical
+  plan re-executed);
+* ``fd_cold`` / ``fd_warm`` — ``optimize=False`` through the cache twice:
+  the second must hit the fd-mode entry, and neither may ever be the od
+  plan (modes never share plans).
+
+The contract asserted for each:
+
+* warm results are **bit-identical** to cold results (same rows, same
+  order — a cached plan is the same operator tree re-run);
+* every optimized result has the same columns and the same row multiset
+  as the baseline, and respects the query's ORDER BY;
+* the warm run really was a cache hit and the cold run a miss;
+* after a catalog mutation the cached plan is never served again
+  (the acceptance criterion: no stale plan across an epoch change).
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dependency import fd, od
+from repro.engine.database import Database
+from repro.engine.schema import Schema
+from repro.engine.types import DataType
+from repro.workloads.datedim import build_date_dim
+from repro.workloads.random_instances import relation_satisfying
+from repro.workloads.taxes import build_taxes
+from repro.workloads.tpcds_lite import DATE_QUERIES, build_tpcds_lite
+
+# ----------------------------------------------------------------------
+# The harness core
+# ----------------------------------------------------------------------
+def _multiset(rows):
+    return sorted(rows, key=repr)
+
+
+def _assert_respects_order(result, order_keys, label):
+    """The output must be non-decreasing on the ORDER BY keys.
+
+    Only the prefix of keys present in the output columns is checkable
+    (SQL permits ordering by columns the select list drops); trailing
+    keys after a dropped one constrain only rows tied on the visible
+    prefix, which multiset equality already covers.
+    """
+    positions = []
+    for key in order_keys:
+        if key not in result.columns:
+            break
+        positions.append(result.columns.index(key))
+    values = [tuple(row[p] for p in positions) for row in result.rows]
+    assert values == sorted(values), f"{label}: ORDER BY {order_keys} violated"
+
+
+def run_differential(database, sql, order_keys=()):
+    """Run one query all four ways and enforce the differential contract."""
+    database.plan_cache.clear()
+    baseline = database.execute(sql, optimize=False, use_cache=False)
+    cold = database.execute(sql, optimize=True)
+    # cache_state lives on the (shared) cached plan's PlanInfo, so sample
+    # it at serve time — the warm serve below overwrites it with "hit".
+    assert cold.plan.plan_info.cache_state == "miss"
+    warm = database.execute(sql, optimize=True)
+    assert warm.plan.plan_info.cache_state == "hit"
+    assert warm.plan is cold.plan  # the memoized operator tree itself
+    fd_cold = database.execute(sql, optimize=False)
+    assert fd_cold.plan is not cold.plan, "modes must never share plans"
+    assert fd_cold.plan.plan_info.cache_state == "miss"
+    fd_warm = database.execute(sql, optimize=False)
+    assert fd_warm.plan is fd_cold.plan  # warm fd hit on the fd entry
+    assert fd_warm.plan.plan_info.cache_state == "hit"
+
+    # Bit-identical across the cache: same plan, same execution.
+    assert warm.columns == cold.columns
+    assert warm.rows == cold.rows
+
+    for label, result in (
+        ("cold", cold),
+        ("warm", warm),
+        ("fd_cold", fd_cold),
+        ("fd_warm", fd_warm),
+    ):
+        assert result.columns == baseline.columns, f"{label}: column mismatch"
+        assert _multiset(result.rows) == _multiset(baseline.rows), (
+            f"{label}: row multiset differs from unoptimized baseline"
+        )
+        _assert_respects_order(result, order_keys, label)
+    _assert_respects_order(baseline, order_keys, "baseline")
+    return baseline, cold, warm
+
+
+def assert_no_stale_serving(database, sql, mutate):
+    """A cached plan must never survive the catalog mutation ``mutate``."""
+    before = database.plan(sql)
+    hit = database.plan(sql)
+    assert hit is before and hit.plan_info.cache_state == "hit"
+    stale_before = database.plan_cache.stats()["stale_invalidations"]
+    mutate()
+    after = database.plan(sql)
+    assert after is not before, "stale plan served across an epoch change"
+    assert after.plan_info.cache_state == "miss"
+    assert database.plan_cache.stats()["stale_invalidations"] == stale_before + 1
+
+
+# ----------------------------------------------------------------------
+# Workload fixtures (module-scoped, laptop-tiny)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tax_db():
+    database = Database("difftax")
+    build_taxes(database, rows=2_000)
+    return database
+
+
+@pytest.fixture(scope="module")
+def date_db():
+    database = Database("diffdate")
+    build_date_dim(database, days=500)
+    return database
+
+
+@pytest.fixture(scope="module")
+def tpcds():
+    return build_tpcds_lite(days=180, sales_rows=5_000, items=40, stores=6)
+
+
+def _random_db(seed: int) -> Database:
+    """A database over a rejection-sampled relation satisfying fixed ODs."""
+    statements = [od("a", "b"), od("b", "c"), fd("a", "b,c")]
+    relation = relation_satisfying(
+        statements, ("a", "b", "c", "d"), rows=40, domain=6, rng=seed
+    )
+    assert relation is not None
+    database = Database(f"diffrand{seed}")
+    table = database.create_table(
+        "r",
+        Schema.of(
+            ("a", DataType.INT),
+            ("b", DataType.INT),
+            ("c", DataType.INT),
+            ("d", DataType.INT),
+        ),
+    )
+    table.load(relation.rows)
+    for statement in statements:
+        database.declare("r", statement)
+    database.create_index("r_a", "r", ["a"], clustered=True)
+    return database
+
+
+# ----------------------------------------------------------------------
+# Query suites: (name, sql, order_keys)
+# ----------------------------------------------------------------------
+TAXES_QUERIES = (
+    ("count", "SELECT COUNT(*) AS n FROM taxes", ()),
+    (
+        "example5_order",
+        "SELECT income, bracket, payable FROM taxes ORDER BY bracket, payable",
+        ("bracket", "payable"),
+    ),
+    (
+        "group_bracket",
+        "SELECT bracket, COUNT(*) AS n FROM taxes GROUP BY bracket ORDER BY bracket",
+        ("bracket",),
+    ),
+    (
+        "range_sum",
+        "SELECT SUM(payable) AS total FROM taxes WHERE income BETWEEN 50000 AND 150000",
+        (),
+    ),
+    (
+        "topn",
+        "SELECT taxpayer_id, income FROM taxes ORDER BY income LIMIT 25",
+        ("income",),
+    ),
+    ("distinct", "SELECT DISTINCT bracket FROM taxes ORDER BY bracket", ("bracket",)),
+)
+
+DATEDIM_QUERIES = (
+    (
+        "example1",
+        "SELECT d_year, d_qoy, d_moy, COUNT(*) AS days FROM date_dim d "
+        "GROUP BY d_year, d_qoy, d_moy ORDER BY d_year, d_qoy, d_moy",
+        ("d_year", "d_qoy", "d_moy"),
+    ),
+    (
+        "order_by_path",
+        "SELECT d_date, d_year, d_moy, d_dom FROM date_dim d "
+        "ORDER BY d_year, d_moy, d_dom",
+        ("d_year", "d_moy", "d_dom"),
+    ),
+    (
+        "range_count",
+        "SELECT COUNT(*) AS n FROM date_dim d WHERE d_year = 1998",
+        (),
+    ),
+    (
+        "distinct_months",
+        "SELECT DISTINCT d_moy FROM date_dim d ORDER BY d_moy",
+        ("d_moy",),
+    ),
+    (
+        "weeks",
+        "SELECT d_week_seq, COUNT(*) AS days FROM date_dim d "
+        "GROUP BY d_week_seq ORDER BY d_week_seq LIMIT 20",
+        ("d_week_seq",),
+    ),
+)
+
+RANDOM_QUERIES = (
+    ("order_abc", "SELECT a, b, c FROM r ORDER BY a, b, c", ("a", "b", "c")),
+    ("order_b", "SELECT a, b, d FROM r ORDER BY b", ("b",)),
+    ("group_a", "SELECT a, COUNT(*) AS n FROM r GROUP BY a ORDER BY a", ("a",)),
+    ("distinct_b", "SELECT DISTINCT b FROM r ORDER BY b", ("b",)),
+    ("filtered", "SELECT c, d FROM r WHERE a >= 2 ORDER BY c", ("c",)),
+)
+
+
+def _tpcds_order_keys(sql: str):
+    if "ORDER BY" not in sql:
+        return ()
+    tail = sql.split("ORDER BY", 1)[1]
+    return tuple(part.strip() for part in tail.split("\n")[0].split(","))
+
+
+# ----------------------------------------------------------------------
+# The differential matrix
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name,sql,keys", TAXES_QUERIES, ids=[q[0] for q in TAXES_QUERIES])
+def test_taxes_differential(tax_db, name, sql, keys):
+    run_differential(tax_db, sql, keys)
+
+
+@pytest.mark.parametrize(
+    "name,sql,keys", DATEDIM_QUERIES, ids=[q[0] for q in DATEDIM_QUERIES]
+)
+def test_datedim_differential(date_db, name, sql, keys):
+    run_differential(date_db, sql, keys)
+
+
+@pytest.mark.parametrize("qid", [qid for qid, _ in DATE_QUERIES])
+def test_tpcds_differential(tpcds, qid):
+    template = dict(DATE_QUERIES)[qid]
+    lo, hi = tpcds.date_range(30, 45)
+    sql = template.format(lo=lo, hi=hi)
+    run_differential(tpcds.database, sql, _tpcds_order_keys(template))
+
+
+def test_tpcds_differential_empty_range(tpcds):
+    """The rewrite's no-qualifying-dates path (predicate folds to FALSE)."""
+    template = dict(DATE_QUERIES)["Q3"]
+    lo, hi = "1901-01-01", "1901-02-01"
+    sql = template.format(lo=lo, hi=hi)
+    run_differential(tpcds.database, sql, ("ss_store_sk",))
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_random_instances_differential(seed):
+    database = _random_db(seed)
+    for name, sql, keys in RANDOM_QUERIES:
+        run_differential(database, sql, keys)
+
+
+# ----------------------------------------------------------------------
+# The acceptance criterion: no cached plan across an epoch change
+# ----------------------------------------------------------------------
+def test_taxes_no_stale_plan_after_index(tax_db):
+    assert_no_stale_serving(
+        tax_db,
+        "SELECT income, bracket FROM taxes ORDER BY bracket",
+        lambda: tax_db.create_index("taxes_bracket_diff", "taxes", ["bracket"]),
+    )
+
+
+def test_datedim_no_stale_plan_after_declare(date_db):
+    assert_no_stale_serving(
+        date_db,
+        "SELECT d_year, d_moy FROM date_dim d ORDER BY d_year, d_moy",
+        lambda: date_db.declare("date_dim", od("d_date_sk", "d_year")),
+    )
+
+
+def test_tpcds_no_stale_plan_after_data_load(tpcds):
+    """Data changes invalidate too: the rewrite bakes surrogate bounds
+    read from date_dim rows into the plan."""
+    lo, hi = tpcds.date_range(30, 45)
+    sql = dict(DATE_QUERIES)["Q1"].format(lo=lo, hi=hi)
+    fact = tpcds.database.table("store_sales")
+
+    def mutate():
+        fact.insert((tpcds.sk_base + 31, 1, 1, 1, 1, 9.99, 1.0))
+
+    assert_no_stale_serving(tpcds.database, sql, mutate)
+    # Restore the fixture's data — through the epoch, like any mutation,
+    # so no plan cached against the inserted row can outlive it.
+    from repro.engine.epoch import bump_epoch
+
+    fact.rows.pop()
+    bump_epoch("test-restore")
+
+
+def test_random_no_stale_plan_after_table():
+    database = _random_db(21)
+    assert_no_stale_serving(
+        database,
+        "SELECT a, b FROM r ORDER BY a, b",
+        lambda: database.create_table(
+            "unrelated", Schema.of(("x", DataType.INT))
+        ),
+    )

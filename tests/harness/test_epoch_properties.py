@@ -1,0 +1,134 @@
+"""Property tests (seeded) for the catalog-epoch invalidation contract.
+
+Random sequences of catalog/constraint/data mutations are applied to a
+live database while a query template is planned between every step.  The
+invariants, for every seed and every mutation order:
+
+* **every** mutation strictly bumps the global epoch;
+* a query planned after a mutation is never answered with a plan object
+  built before it (no stale serving, ever);
+* re-planning with no intervening mutation *is* answered from cache;
+* `build_theory` interning obeys the same clock: identical statement
+  lists intern to one ``ODTheory`` within an epoch and never across one.
+"""
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.dependency import fd, od
+from repro.engine.database import Database
+from repro.engine.epoch import current_epoch, epoch_log
+from repro.engine.schema import Schema
+from repro.engine.types import DataType
+from repro.optimizer.context import build_theory
+
+SQL = "SELECT a, b FROM t ORDER BY a, b"
+
+
+def _fresh_db(tag: str) -> Database:
+    database = Database(f"prop_{tag}")
+    table = database.create_table(
+        "t", Schema.of(("a", DataType.INT), ("b", DataType.INT), ("c", DataType.INT))
+    )
+    table.load([(i, i * 2, i % 3) for i in range(30)])
+    database.declare("t", od("a", "b"))
+    database.create_index("t_a", "t", ["a"], clustered=True)
+    return database
+
+
+def _mutations(database: Database, rng: random.Random, counter: list):
+    """The pool of randomly applicable catalog/constraint/data mutations."""
+
+    def create_table():
+        counter[0] += 1
+        database.create_table(
+            f"side{counter[0]}", Schema.of(("x", DataType.INT))
+        )
+
+    def create_index():
+        counter[0] += 1
+        database.create_index(f"ix{counter[0]}", "t", ["b"])
+
+    def declare_constraint():
+        # re-declarable: holds in the generated data by construction
+        database.declare("t", fd("a", "b,c"))
+
+    def insert_row():
+        counter[0] += 1
+        database.table("t").insert((1000 + counter[0], 2000 + counter[0], 0))
+
+    return [create_table, create_index, declare_constraint, insert_row]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_mutations_always_bump_epoch_and_invalidate(seed):
+    rng = random.Random(seed)
+    database = _fresh_db(f"m{seed}")
+    counter = [0]
+    pool = _mutations(database, rng, counter)
+
+    previous_plan = database.plan(SQL)
+    assert database.plan(SQL) is previous_plan  # no mutation → cache hit
+
+    for step in range(12):
+        mutation = rng.choice(pool)
+        epoch_before = current_epoch()
+        mutation()
+        assert current_epoch() > epoch_before, (
+            f"seed {seed} step {step}: {mutation.__name__} did not bump"
+        )
+        fresh = database.plan(SQL)
+        assert fresh is not previous_plan, (
+            f"seed {seed} step {step}: pre-mutation plan served after "
+            f"{mutation.__name__}"
+        )
+        assert fresh.plan_info.cache_state == "miss"
+        assert fresh.plan_info.epoch == current_epoch()
+        # and the re-plan with no further mutation hits the new entry
+        assert database.plan(SQL) is fresh
+        previous_plan = fresh
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_mutation_reasons_are_logged(seed):
+    rng = random.Random(100 + seed)
+    database = _fresh_db(f"log{seed}")
+    counter = [0]
+    pool = _mutations(database, rng, counter)
+    expected = {
+        "create_table": "create-table",
+        "create_index": "create-index",
+        "declare_constraint": "declare",
+        "insert_row": "insert",
+    }
+    for _ in range(6):
+        mutation = rng.choice(pool)
+        reason = expected[mutation.__name__]
+        before = epoch_log().get(reason, 0)
+        mutation()
+        assert epoch_log()[reason] > before
+
+
+# ----------------------------------------------------------------------
+# The build_theory half of the contract.  The interning-identity pins
+# themselves live in tests/optimizer/test_context.py (TestInterningEpoch);
+# here we check the harness-level property that both caches move together.
+# ----------------------------------------------------------------------
+class TestTheoryInterningEpoch:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_theory_and_plan_cache_share_the_clock(self, seed):
+        """After any random mutation, *both* caches refuse their old
+        entries — they can never disagree about staleness."""
+        rng = random.Random(200 + seed)
+        database = _fresh_db(f"clock{seed}")
+        counter = [0]
+        pool = _mutations(database, rng, counter)
+        statements = (od(f"s{seed}", f"t{seed}"),)
+
+        plan_before = database.plan(SQL)
+        theory_before = build_theory(statements)
+        rng.choice(pool)()
+        assert database.plan(SQL) is not plan_before
+        assert build_theory(statements) is not theory_before

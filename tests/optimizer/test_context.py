@@ -63,6 +63,40 @@ class TestBuildingBlocks:
         assert statements == [od("x.a", "x.b")]
 
 
+class TestInterningEpoch:
+    """``build_theory(reuse=True)`` interning is epoch-invalidated: the
+    theory cache and the plan cache share the catalog clock, so they can
+    never disagree about which cached reasoning is stale."""
+
+    def test_same_epoch_interns_same_instance(self):
+        from repro.optimizer.context import clear_theory_cache
+
+        clear_theory_cache()
+        statements = (od("ctx_a", "ctx_b"),)
+        assert build_theory(statements) is build_theory(statements)
+
+    def test_epoch_bump_invalidates_interning(self):
+        from repro.engine.epoch import bump_epoch
+        from repro.optimizer.context import clear_theory_cache
+
+        clear_theory_cache()
+        statements = (od("ctx_a", "ctx_b"),)
+        stale = build_theory(statements)
+        bump_epoch("test-context")
+        assert build_theory(statements) is not stale
+
+    def test_catalog_mutation_invalidates_interning(self):
+        """The end-to-end contract: a DDL statement, not a manual bump."""
+        from repro.engine.database import Database
+        from repro.engine.schema import Schema
+        from repro.engine.types import DataType
+
+        statements = (od("ctx_c", "ctx_d"),)
+        stale = build_theory(statements)
+        Database().create_table("ctx_t", Schema.of(("x", DataType.INT)))
+        assert build_theory(statements) is not stale
+
+
 class TestComposedTheory:
     def test_join_equivalence_transfers_constraints(self):
         """The scenario behind the date rewrite: a constraint on the

@@ -37,11 +37,18 @@ class TestTheoryInterning:
 
 
 class TestRepeatedTemplatePlanning:
+    """``use_cache=False`` throughout: these tests exercise the *oracle*
+    memoization layer, which only runs when planning actually happens —
+    the whole-plan cache above it is covered by test_plan_cache.py and
+    the differential harness."""
+
     def test_cache_hit_rate_above_half(self, tpcds):
         clear_theory_cache()
         db = tpcds.database
         sql = _sql(tpcds)
-        infos = [db.plan(sql).plan_info for _ in range(REPEATS)]
+        infos = [
+            db.plan(sql, use_cache=False).plan_info for _ in range(REPEATS)
+        ]
         total = {key: sum(info.oracle[key] for info in infos) for key in infos[0].oracle}
         lookups = total["cache_hits"] + total["cache_misses"]
         assert lookups > 0
@@ -55,8 +62,8 @@ class TestRepeatedTemplatePlanning:
         clear_theory_cache()
         db = tpcds.database
         sql = _sql(tpcds, "Q3")
-        cold = db.plan(sql)
-        warm = db.plan(sql)
+        cold = db.plan(sql, use_cache=False)
+        warm = db.plan(sql, use_cache=False)
         assert cold.explain() == warm.explain()
         cold_rows, _ = cold.run()
         warm_rows, _ = warm.run()

@@ -1,0 +1,231 @@
+"""Unit tests for whole-plan memoization: fingerprints, LRU, stats,
+epoch invalidation, and the Database threading."""
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dependency import od
+from repro.engine.database import Database
+from repro.engine.epoch import bump_epoch, current_epoch
+from repro.engine.schema import Schema
+from repro.engine.types import DataType
+from repro.optimizer.plan_cache import PlanCache, canonical_tuple, fingerprint
+
+
+def _db() -> Database:
+    database = Database("pc")
+    table = database.create_table(
+        "t",
+        Schema.of(("a", DataType.INT), ("b", DataType.INT), ("c", DataType.INT)),
+    )
+    table.load([(i, i * 3, (i * 7) % 13) for i in range(20)])
+    database.declare("t", od("a", "b"))
+    database.create_index("t_a", "t", ["a"], clustered=True)
+    return database
+
+
+def _logical(sql: str):
+    from repro.engine.logical import bind
+    from repro.engine.sql.parser import parse
+
+    return bind(parse(sql))
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_deterministic(self):
+        sql = "SELECT a, b FROM t ORDER BY a"
+        assert fingerprint(_logical(sql)) == fingerprint(_logical(sql))
+
+    def test_whitespace_and_case_insensitive(self):
+        """Different SQL text, same logical tree, same fingerprint."""
+        a = _logical("SELECT a, b FROM t ORDER BY a")
+        b = _logical("select  a,\n b  from t order by a")
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_literal_sensitive(self):
+        a = _logical("SELECT a FROM t WHERE b = 1")
+        b = _logical("SELECT a FROM t WHERE b = 2")
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_alias_sensitive(self):
+        a = _logical("SELECT x.a FROM t x ORDER BY x.a")
+        b = _logical("SELECT y.a FROM t y ORDER BY y.a")
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_structure_sensitive(self):
+        plain = _logical("SELECT a FROM t")
+        distinct = _logical("SELECT DISTINCT a FROM t")
+        limited = _logical("SELECT a FROM t LIMIT 5")
+        sorted_ = _logical("SELECT a FROM t ORDER BY a")
+        prints = {fingerprint(n) for n in (plain, distinct, limited, sorted_)}
+        assert len(prints) == 4
+
+    def test_canonical_tuple_round_trips_all_nodes(self):
+        sql = (
+            "SELECT DISTINCT x.a AS g, COUNT(*) AS n FROM t x "
+            "JOIN t y ON x.a = y.a WHERE x.b >= 3 "
+            "GROUP BY g ORDER BY g LIMIT 7"
+        )
+        shape = canonical_tuple(_logical(sql))
+        assert isinstance(shape, tuple) and shape[0] in ("limit",)
+
+    def test_rejects_junk(self):
+        with pytest.raises(TypeError):
+            canonical_tuple("not a logical node")
+
+
+# ----------------------------------------------------------------------
+# The cache data structure
+# ----------------------------------------------------------------------
+class TestPlanCache:
+    def test_miss_then_hit(self):
+        cache = PlanCache(capacity=4)
+        assert cache.lookup("f1", "od", 0) is None
+        cache.store("f1", "od", 0, plan="P")
+        entry = cache.lookup("f1", "od", 0)
+        assert entry is not None and entry.plan == "P" and entry.serves == 1
+
+    def test_modes_do_not_share_entries(self):
+        cache = PlanCache(capacity=4)
+        cache.store("f1", "od", 0, plan="od-plan")
+        assert cache.lookup("f1", "fd", 0) is None
+
+    def test_epoch_mismatch_invalidates(self):
+        cache = PlanCache(capacity=4)
+        cache.store("f1", "od", 0, plan="P")
+        assert cache.lookup("f1", "od", 1) is None
+        assert cache.stats()["stale_invalidations"] == 1
+        assert len(cache) == 0  # dropped, not shadowed
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.store("f1", "od", 0, plan="a")
+        cache.store("f2", "od", 0, plan="b")
+        cache.lookup("f1", "od", 0)  # f1 most recent
+        cache.store("f3", "od", 0, plan="c")
+        assert cache.lookup("f2", "od", 0) is None  # evicted
+        assert cache.lookup("f1", "od", 0) is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_stats_shape(self):
+        cache = PlanCache(capacity=3)
+        cache.store("f1", "od", 0, plan="a")
+        cache.lookup("f1", "od", 0)
+        cache.lookup("f2", "od", 0)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["stores"] == 1 and stats["size"] == 1
+        assert stats["capacity"] == 3 and stats["hit_rate"] == 0.5
+
+    def test_clear_keeps_counters(self):
+        cache = PlanCache(capacity=3)
+        cache.store("f1", "od", 0, plan="a")
+        cache.clear()
+        assert len(cache) == 0 and cache.stats()["stores"] == 1
+
+
+# ----------------------------------------------------------------------
+# Database threading
+# ----------------------------------------------------------------------
+class TestDatabaseIntegration:
+    def test_repeat_plan_is_identical_object(self):
+        database = _db()
+        sql = "SELECT a, b FROM t ORDER BY a"
+        assert database.plan(sql) is database.plan(sql)
+
+    def test_different_sql_same_tree_shares_plan(self):
+        database = _db()
+        first = database.plan("SELECT a, b FROM t ORDER BY a")
+        second = database.plan("select a,  b from t order by a")
+        assert second is first
+
+    def test_modes_cached_separately(self):
+        database = _db()
+        sql = "SELECT a, b FROM t ORDER BY a, b"
+        od_plan = database.plan(sql, optimize=True)
+        fd_plan = database.plan(sql, optimize=False)
+        assert od_plan is not fd_plan
+        assert database.plan(sql, optimize=True) is od_plan
+        assert database.plan(sql, optimize=False) is fd_plan
+
+    def test_bypass_neither_reads_nor_fills(self):
+        database = _db()
+        sql = "SELECT a FROM t"
+        plan = database.plan(sql, use_cache=False)
+        assert plan.plan_info.cache_state == "bypass"
+        assert database.plan_cache_stats()["stores"] == 0
+        cached = database.plan(sql)
+        assert cached is not plan
+
+    def test_ddl_invalidates(self):
+        # c is covered by no OD, so before the index the plan must sort
+        database = _db()
+        sql = "SELECT a, c FROM t ORDER BY c"
+        before = database.plan(sql)
+        assert "Sort" in before.explain()
+        database.create_index("t_c", "t", ["c"])
+        after = database.plan(sql)
+        assert after is not before
+        # the new catalog is actually used: index on c replaces the sort
+        assert "IndexScan(t_c" in after.explain()
+        assert "Sort" not in after.explain()
+
+    def test_plan_cache_stats_exposed(self):
+        database = _db()
+        sql = "SELECT a FROM t"
+        database.plan(sql)
+        database.plan(sql)
+        stats = database.plan_cache_stats()
+        assert stats["hits"] == 1 and stats["stores"] == 1
+
+    def test_describe_reports_cache_lines(self):
+        database = _db()
+        sql = "SELECT a, b FROM t ORDER BY a"
+        stored = database.explain(sql, verbose=True)
+        assert "plan cache: entry " in stored
+        assert "served 0x from cache" in stored
+        served = database.explain(sql, verbose=True)
+        assert "served 1x from cache" in served
+        assert "from the initial planning" in served
+        bypass = database.explain(sql, verbose=True, use_cache=False)
+        assert "plan cache" not in bypass  # no fingerprint → no cache line
+
+    def test_cached_oracle_stats_preserved(self):
+        """Per-entry attribution: a hit reports the oracle work that built
+        the entry, not zeros."""
+        database = _db()
+        sql = "SELECT a, b FROM t ORDER BY a, b"
+        built = database.plan(sql).plan_info.oracle.copy()
+        assert built["implies_calls"] > 0
+        served = database.plan(sql).plan_info.oracle
+        assert served == built
+
+    def test_reexecution_of_cached_plan_is_stable(self):
+        database = _db()
+        sql = "SELECT a, b FROM t WHERE a >= 5 ORDER BY a"
+        first = database.execute(sql)
+        second = database.execute(sql)
+        assert second.plan is first.plan
+        assert second.rows == first.rows
+
+    def test_logical_memo_bounded(self):
+        database = _db()
+        for i in range(database._LOGICAL_MEMO_SIZE + 40):
+            database._bind(f"SELECT a FROM t WHERE b = {i}")
+        assert len(database._logical_memo) == database._LOGICAL_MEMO_SIZE
+
+    def test_epoch_stamp_recorded_on_plan_info(self):
+        database = _db()
+        plan = database.plan("SELECT a FROM t")
+        assert plan.plan_info.epoch == current_epoch()
+        bump_epoch("test")
+        replanned = database.plan("SELECT a FROM t")
+        assert replanned is not plan
+        assert replanned.plan_info.epoch == current_epoch()
