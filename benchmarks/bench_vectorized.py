@@ -1,0 +1,171 @@
+"""Row vs vectorized throughput (the tentpole claim of the batch mode).
+
+Two pipeline shapes, each executed row-at-a-time and at batch sizes
+1/64/1024:
+
+* **scan → filter → aggregate** — the shape the ROADMAP's "Vectorized
+  batches" item names: a full scan, a range predicate, and a grouped
+  COUNT+SUM.  The acceptance bar is ≥5× rows/sec at batch_size=1024.
+* **join → aggregate** — the TPC-DS-lite shape (fact ⋈ dim, grouped sum),
+  where the probe loop keeps more per-row work in Python.
+
+Each case records ``rows_per_sec`` in ``extra_info`` (dumped to
+``BENCH_bench_vectorized.json`` alongside the timings), so the committed
+baseline documents the throughput claim, and
+``tests/harness/test_bench_regression.py`` re-checks a cheap proxy of the
+speedup on every CI run.
+
+batch_size=1 is included deliberately: it prices the batch machinery's
+fixed overhead (one kernel call + one metrics charge per single-row
+batch) — the reason ``DEFAULT_BATCH_SIZE`` is 1024, not 1.
+"""
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.engine.expr import Between, Col, Lit
+from repro.engine.operators import (
+    AggSpec,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    SeqScan,
+)
+from repro.engine.schema import Schema
+from repro.engine.table import Table
+from repro.engine.types import DataType
+
+# Same knob conftest.py uses; resolved here so the module imports cleanly
+# outside the pytest rootdir too.
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+ROWS = max(1, int(120_000 * _SCALE))
+GROUPS = 40
+BATCH_SIZES = (1, 64, 1024)
+
+
+@pytest.fixture(scope="module")
+def fact():
+    rng = random.Random(11)
+    table = Table(
+        "fact",
+        Schema.of(
+            ("income", DataType.INT),
+            ("bracket", DataType.INT),
+            ("payable", DataType.FLOAT),
+        ),
+    )
+    rows = []
+    for _ in range(ROWS):
+        income = rng.randint(0, 400_000)
+        rows.append((income, income // 10_000, round(income * 0.21, 2)))
+    table.load(rows, check=False)
+    table.columnar()  # build the columnar cache up front, like indexes
+    return table
+
+
+@pytest.fixture(scope="module")
+def dim():
+    table = Table(
+        "dim", Schema.of(("k", DataType.INT), ("label", DataType.STR))
+    )
+    table.load([(i, f"bracket-{i}") for i in range(GROUPS + 1)], check=False)
+    table.columnar()
+    return table
+
+
+def scan_filter_aggregate(fact):
+    scan = SeqScan(fact)
+    filtered = Filter(
+        scan, Between(Col("income"), Lit(50_000), Lit(250_000))
+    )
+    return HashAggregate(
+        filtered,
+        ["bracket"],
+        [AggSpec("COUNT", None, "n"), AggSpec("SUM", Col("payable"), "total")],
+    )
+
+
+def join_aggregate(fact, dim):
+    join = HashJoin(SeqScan(fact), SeqScan(dim), ["fact.bracket"], ["dim.k"])
+    return HashAggregate(
+        join,
+        ["dim.label"],
+        [AggSpec("COUNT", None, "n"), AggSpec("SUM", Col("payable"), "total")],
+    )
+
+
+def _record_rate(benchmark, rows):
+    mean = getattr(getattr(benchmark, "stats", None), "stats", None)
+    mean_s = getattr(mean, "mean", None)
+    if mean_s:
+        benchmark.extra_info["rows_per_sec"] = round(rows / mean_s)
+
+
+# ----------------------------------------------------------------------
+# scan → filter → aggregate
+# ----------------------------------------------------------------------
+def test_scan_filter_aggregate_row(benchmark, fact):
+    result = benchmark(lambda: scan_filter_aggregate(fact).run())
+    assert len(result[0]) > 0
+    _record_rate(benchmark, ROWS)
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_scan_filter_aggregate_batch(benchmark, fact, batch_size):
+    result = benchmark(
+        lambda: scan_filter_aggregate(fact).run_batches(batch_size)
+    )
+    assert len(result[0]) > 0
+    _record_rate(benchmark, ROWS)
+
+
+# ----------------------------------------------------------------------
+# join → aggregate
+# ----------------------------------------------------------------------
+def test_join_aggregate_row(benchmark, fact, dim):
+    result = benchmark(lambda: join_aggregate(fact, dim).run())
+    assert len(result[0]) > 0
+    _record_rate(benchmark, ROWS)
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_join_aggregate_batch(benchmark, fact, dim, batch_size):
+    result = benchmark(lambda: join_aggregate(fact, dim).run_batches(batch_size))
+    assert len(result[0]) > 0
+    _record_rate(benchmark, ROWS)
+
+
+# ----------------------------------------------------------------------
+# The acceptance claim, asserted where the baseline is recorded
+# ----------------------------------------------------------------------
+def test_vectorized_speedup_claim(benchmark, fact):
+    """batch_size=1024 must beat the row path ≥5× on scan→filter→aggregate
+    (and produce identical results while doing it)."""
+
+    def best_of(fn, rounds=3):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def measure():
+        row_rows, row_metrics = scan_filter_aggregate(fact).run()
+        batch_rows, batch_metrics = scan_filter_aggregate(fact).run_batches(1024)
+        assert batch_rows == row_rows
+        assert batch_metrics.counters == row_metrics.counters
+        row_s = best_of(lambda: scan_filter_aggregate(fact).run())
+        batch_s = best_of(lambda: scan_filter_aggregate(fact).run_batches(1024))
+        return row_s / batch_s
+
+    speedup = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert speedup >= 5.0, (
+        f"vectorized scan→filter→aggregate only {speedup:.2f}x over the row "
+        "path at batch_size=1024 (acceptance bar: 5x)"
+    )

@@ -38,13 +38,19 @@ def pytest_sessionfinish(session, exitstatus):
             module = pathlib.Path(fullname.split("::")[0]).stem or "unknown"
             stats = getattr(bench, "stats", None)
             inner = getattr(stats, "stats", stats)
-            per_module[module][getattr(bench, "name", fullname)] = {
+            entry = {
                 "mean_s": getattr(inner, "mean", None),
                 "stddev_s": getattr(inner, "stddev", None),
                 "min_s": getattr(inner, "min", None),
                 "rounds": getattr(inner, "rounds", None),
                 "scale": SCALE,
             }
+            # e.g. rows_per_sec from bench_vectorized: throughput claims
+            # travel with the timing they were derived from.
+            extra = getattr(bench, "extra_info", None)
+            if extra:
+                entry["extra_info"] = dict(extra)
+            per_module[module][getattr(bench, "name", fullname)] = entry
         root = pathlib.Path(str(session.config.rootdir))
         for module, entries in sorted(per_module.items()):
             path = root / f"BENCH_{module}.json"

@@ -4,6 +4,7 @@ The substrate standing in for the paper's IBM DB2 prototype: real executable
 plans whose work metrics make "this rewrite removed a sort / a join"
 measurable.  See ``DESIGN.md`` §2 (S9–S10) for the substitution rationale.
 """
+from .batch import DEFAULT_BATCH_SIZE, ColumnBatch
 from .database import Database, QueryResult
 from .index import SortedIndex
 from .schema import Column, Schema
@@ -21,4 +22,6 @@ __all__ = [
     "DataType",
     "SortedIndex",
     "collect_stats",
+    "ColumnBatch",
+    "DEFAULT_BATCH_SIZE",
 ]

@@ -33,6 +33,8 @@ class QueryResult:
     rows: List[tuple]
     metrics: Metrics
     plan: Operator
+    #: Vectorized-execution chunk size, ``None`` for the row path.
+    batch_size: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -189,12 +191,34 @@ class Database:
         return self.plan_cache.stats()
 
     def execute(
-        self, sql: str, optimize: bool = True, use_cache: bool = True
+        self,
+        sql: str,
+        optimize: bool = True,
+        use_cache: bool = True,
+        batch_size: Optional[int] = None,
     ) -> QueryResult:
-        """Run a query to completion."""
+        """Run a query to completion.
+
+        ``batch_size=None`` (default) executes row-at-a-time.  Any
+        positive ``batch_size`` selects the vectorized mode: operators
+        stream :class:`~repro.engine.batch.ColumnBatch` chunks of that
+        capacity through compiled expression kernels.  Results and
+        ``Metrics`` counter totals are identical between modes (gated by
+        the differential harness); only the speed differs.
+        """
         plan = self.plan(sql, optimize=optimize, use_cache=use_cache)
-        rows, metrics = plan.run()
-        return QueryResult(plan.schema.names, rows, metrics, plan)
+        info = getattr(plan, "plan_info", None)
+        if batch_size is not None:
+            if batch_size < 1:
+                raise ValueError(f"batch_size must be positive, got {batch_size}")
+            rows, metrics = plan.run_batches(batch_size)
+            if info is not None:
+                info.execution = f"vectorized (batch size {batch_size})"
+        else:
+            rows, metrics = plan.run()
+            if info is not None:
+                info.execution = "row (iterator)"
+        return QueryResult(plan.schema.names, rows, metrics, plan, batch_size)
 
     def explain(
         self,
@@ -202,18 +226,24 @@ class Database:
         optimize: bool = True,
         verbose: bool = False,
         use_cache: bool = True,
+        batch_size: Optional[int] = None,
     ) -> str:
         """The physical plan as text.
 
         ``verbose=True`` appends the planner's decision log — which
         sorts/joins were eliminated, how much oracle work was answered
-        from the memoized result cache vs enumerated, and whether this
-        plan was a plan-cache hit, miss, or bypass (with its fingerprint
-        prefix and catalog epoch).
+        from the memoized result cache vs enumerated, whether this plan
+        was a plan-cache hit, miss, or bypass (with its fingerprint
+        prefix and catalog epoch), and which execution mode the given
+        ``batch_size`` selects (row iterators vs vectorized batches).
         """
         plan = self.plan(sql, optimize=optimize, use_cache=use_cache)
         text = plan.explain()
         info = getattr(plan, "plan_info", None)
         if verbose and info is not None:
+            if batch_size is not None:
+                info.execution = f"vectorized (batch size {batch_size})"
+            else:
+                info.execution = "row (iterator)"
             text = f"{text}\n{info.describe()}"
         return text

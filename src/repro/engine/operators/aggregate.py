@@ -5,11 +5,22 @@ stream already ordered compatibly with the grouping columns runs *on the
 fly* (:class:`StreamAggregate` — group boundaries are found in the stream),
 while an unordered input needs a partitioning operation
 (:class:`HashAggregate`) or an explicit sort.
+
+Both also have vectorized paths: :class:`HashAggregate` folds whole
+batches into per-aggregate accumulator dicts (``Counter`` for the shared
+row counts — also the first-seen emission order — plus one dict per
+SUM/AVG/MIN/MAX), :class:`StreamAggregate` splits each batch into
+contiguous key runs and folds each run in one ``update_many`` step.  Both
+reproduce the row path's results bit-for-bit (same per-group fold order,
+same float associativity).
 """
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence, Tuple
+from collections import Counter, defaultdict
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..batch import DEFAULT_BATCH_SIZE, ColumnBatch
+from ..expr import vectorized_kernel
 from ..schema import Column, Schema
 from ..types import DataType
 from .base import AggSpec, Metrics, Operator
@@ -56,9 +67,50 @@ class _AggregateBase(Operator):
             spec.expr.compile_against(child.schema) if spec.expr is not None else None
             for spec in self.aggregates
         ]
+        self._agg_kernels: Optional[list] = None  # compiled on first batch
 
     def children(self) -> Sequence[Operator]:
         return (self.child,)
+
+    def _kernels(self) -> list:
+        """Vectorized argument evaluators, one per aggregate (``None``
+        for ``COUNT(*)``)."""
+        kernels = self._agg_kernels
+        if kernels is None:
+            child_schema = self.child.schema
+            kernels = self._agg_kernels = [
+                vectorized_kernel(spec.expr, child_schema)
+                if spec.expr is not None
+                else None
+                for spec in self.aggregates
+            ]
+        return kernels
+
+    def _batch_keys(self, batch: ColumnBatch):
+        """The grouping-key vector for one batch: the bare column for a
+        single grouping column, row tuples otherwise."""
+        positions = self._group_positions
+        if len(positions) == 1:
+            return batch.columns[positions[0]]
+        return list(zip(*(batch.columns[p] for p in positions)))
+
+    def _global_batches(
+        self, metrics: Metrics, batch_size: int, counter: Optional[str]
+    ) -> Iterator[ColumnBatch]:
+        """The no-grouping-columns case shared by both aggregates: every
+        row lands in one group, which SQL emits even over zero rows."""
+        kernels = self._kernels()
+        states = self._fresh_states()
+        for batch in self.child.execute_batches(metrics, batch_size):
+            length = len(batch)
+            if counter is not None:
+                metrics.add(counter, length)
+            for state, kernel in zip(states, kernels):
+                state.update_many(
+                    kernel(batch.columns, length) if kernel is not None else None,
+                    length,
+                )
+        yield ColumnBatch.from_rows(self.schema, [self._emit((), states)])
 
     def _key(self, row: tuple) -> tuple:
         return tuple(row[i] for i in self._group_positions)
@@ -107,6 +159,73 @@ class HashAggregate(_AggregateBase):
         for key, states in groups.items():
             yield self._emit(key, states)
 
+    def execute_batches(
+        self, metrics: Metrics, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """Fold batches into per-aggregate accumulator dicts.
+
+        The shared ``Counter`` of group row counts serves COUNT and AVG
+        *and* fixes the emission order (dicts keep first-insertion order,
+        so iteration reproduces the row path's first-seen group order);
+        SUM/AVG accumulate per key in row order, keeping float results
+        bit-identical to the incremental row-mode states.
+        """
+        if not self.group_columns:
+            yield from self._global_batches(metrics, batch_size, "hash_build_rows")
+            return
+        kernels = self._kernels()
+        single = len(self._group_positions) == 1
+        counts: Counter = Counter()
+        # per-aggregate accumulators (COUNT/AVG share ``counts``)
+        folds: List[tuple] = [
+            (spec.func, kernel, defaultdict(int) if spec.func in ("SUM", "AVG") else {})
+            for spec, kernel in zip(self.aggregates, kernels)
+        ]
+        for batch in self.child.execute_batches(metrics, batch_size):
+            length = len(batch)
+            metrics.add("hash_build_rows", length)
+            keys = self._batch_keys(batch)
+            counts.update(keys)
+            for func, kernel, accumulator in folds:
+                if func == "COUNT":
+                    continue
+                values = kernel(batch.columns, length)
+                if func in ("SUM", "AVG"):
+                    for key, value in zip(keys, values):
+                        accumulator[key] += value
+                elif func == "MIN":
+                    get = accumulator.get
+                    for key, value in zip(keys, values):
+                        current = get(key)
+                        if current is None or value < current:
+                            accumulator[key] = value
+                else:  # MAX
+                    get = accumulator.get
+                    for key, value in zip(keys, values):
+                        current = get(key)
+                        if current is None or value > current:
+                            accumulator[key] = value
+
+        out: List[tuple] = []
+        schema = self.schema
+        for key in counts:
+            results = []
+            for func, _, accumulator in folds:
+                if func == "COUNT":
+                    results.append(counts[key])
+                elif func == "SUM":
+                    results.append(accumulator[key])
+                elif func == "AVG":
+                    results.append(accumulator[key] / counts[key])
+                else:
+                    results.append(accumulator[key])
+            out.append(((key,) if single else key) + tuple(results))
+            if len(out) >= batch_size:
+                yield ColumnBatch.from_rows(schema, out)
+                out = []
+        if out:
+            yield ColumnBatch.from_rows(schema, out)
+
 
 class StreamAggregate(_AggregateBase):
     """Group-by over a stream ordered compatibly with the grouping columns.
@@ -140,3 +259,58 @@ class StreamAggregate(_AggregateBase):
         elif not self.group_columns:
             # SQL semantics for a global aggregate over zero rows.
             yield self._emit((), self._fresh_states())
+
+    def execute_batches(
+        self, metrics: Metrics, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """Split each batch into contiguous key runs and fold each run in
+        one ``update_many`` step (bit-identical to the per-row fold).  A
+        run spanning a batch boundary keeps accumulating into the carried
+        states — the operator's contiguity precondition guarantees the key
+        never reappears later."""
+        if not self.group_columns:
+            yield from self._global_batches(metrics, batch_size, None)
+            return
+        kernels = self._kernels()
+        single = len(self._group_positions) == 1
+        current_key = None
+        states = None
+        out: List[tuple] = []
+        schema = self.schema
+        for batch in self.child.execute_batches(metrics, batch_size):
+            length = len(batch)
+            if not length:
+                continue
+            keys = self._batch_keys(batch)
+            vectors = [
+                kernel(batch.columns, length) if kernel is not None else None
+                for kernel in kernels
+            ]
+            start = 0
+            while start < length:
+                key = keys[start]
+                stop = start + 1
+                while stop < length and keys[stop] == key:
+                    stop += 1
+                if states is None:
+                    current_key, states = key, self._fresh_states()
+                elif key != current_key:
+                    out.append(
+                        self._emit(
+                            (current_key,) if single else current_key, states
+                        )
+                    )
+                    current_key, states = key, self._fresh_states()
+                for state, vector in zip(states, vectors):
+                    state.update_many(
+                        vector[start:stop] if vector is not None else None,
+                        stop - start,
+                    )
+                start = stop
+            while len(out) >= batch_size:
+                yield ColumnBatch.from_rows(schema, out[:batch_size])
+                del out[:batch_size]
+        if states is not None:
+            out.append(self._emit((current_key,) if single else current_key, states))
+        if out:
+            yield ColumnBatch.from_rows(schema, out)

@@ -10,6 +10,10 @@ Every physical operator exposes
   planner as :meth:`Operator.provides`;
 * ``execute(metrics)`` — a generator of rows, charging its work to the
   shared :class:`Metrics`;
+* ``execute_batches(metrics, batch_size)`` — the vectorized mode: a
+  generator of :class:`~repro.engine.batch.ColumnBatch` chunks, charging
+  the *same counter totals* per batch (with row counts) so ``work`` stays
+  comparable across modes;
 * ``explain_lines()`` — the pretty plan tree.
 
 ``Metrics`` totals are what the benchmark harness compares across plans:
@@ -17,24 +21,33 @@ the OD rewrites show up as sorts and joins that simply never run.
 """
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..batch import DEFAULT_BATCH_SIZE, ColumnBatch, batches_from_rows
 from ..expr import Expr
 from ..schema import Schema
 
 __all__ = ["Metrics", "Operator", "AggSpec", "order_spec"]
 
+#: Memoized :class:`~repro.optimizer.properties.OrderSpec` class — imported
+#: on first use (never at module import) so the engine layer has no
+#: import-time dependency on the optimizer package (which itself imports
+#: the engine's operators), without paying the import-machinery lookup on
+#: every ``provides()`` call.
+_ORDER_SPEC_CLS = None
+
 
 def order_spec(columns: Sequence[str] = ()) -> "Any":
-    """Build an :class:`~repro.optimizer.properties.OrderSpec`.
+    """Build an :class:`~repro.optimizer.properties.OrderSpec`."""
+    global _ORDER_SPEC_CLS
+    if _ORDER_SPEC_CLS is None:
+        from ...optimizer.properties import OrderSpec
 
-    Imported lazily so the engine layer has no import-time dependency on
-    the optimizer package (which itself imports the engine's operators).
-    """
-    from ...optimizer.properties import OrderSpec
-
-    return OrderSpec(columns)
+        _ORDER_SPEC_CLS = OrderSpec
+    return _ORDER_SPEC_CLS(columns)
 
 
 @dataclass
@@ -53,8 +66,6 @@ class Metrics:
     def work(self) -> float:
         """A single scalar summary: rows touched, with sorts and probes
         weighted as in :mod:`repro.engine.cost`."""
-        import math
-
         total = 0.0
         total += self.get("rows_scanned")
         total += 4.0 * self.get("index_probes")
@@ -87,6 +98,19 @@ class Operator:
     def execute(self, metrics: Metrics) -> Iterator[tuple]:
         raise NotImplementedError
 
+    def execute_batches(
+        self, metrics: Metrics, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """Vectorized execution: yield :class:`ColumnBatch` chunks.
+
+        The batch stream carries the same :attr:`ordering` guarantee as
+        the row stream (batches in stream order, rows in order within
+        each batch) and charges the same counter *totals* to ``metrics``.
+        This default adapts the row path (exact metrics parity by
+        construction); operators with columnar fast paths override it.
+        """
+        yield from batches_from_rows(self.schema, self.execute(metrics), batch_size)
+
     def children(self) -> Sequence["Operator"]:
         return ()
 
@@ -107,6 +131,17 @@ class Operator:
         """Execute to completion, returning (rows, metrics)."""
         metrics = Metrics()
         rows = list(self.execute(metrics))
+        return rows, metrics
+
+    def run_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> "tuple[List[tuple], Metrics]":
+        """Execute in vectorized mode to completion, flattening batches
+        back to row tuples — bit-identical to :meth:`run`."""
+        metrics = Metrics()
+        rows: List[tuple] = []
+        for batch in self.execute_batches(metrics, batch_size):
+            rows.extend(batch.rows())
         return rows, metrics
 
 
@@ -159,6 +194,31 @@ class _AggState:
         elif self.func == "MAX":
             if self.maximum is None or value > self.maximum:
                 self.maximum = value
+
+    def update_many(self, values: Optional[Sequence[Any]], count: int) -> None:
+        """Fold ``count`` rows in one step (``values`` is the evaluated
+        argument vector, ``None`` for ``COUNT(*)``).
+
+        Bit-identical to ``count`` sequential :meth:`update` calls:
+        ``sum(values, start)`` adds left-to-right from the running total
+        (same float associativity), and min/max comparisons keep the
+        earlier element on ties exactly as the incremental loop does.
+        """
+        if not count:
+            return
+        self.count += count
+        if values is None:
+            return
+        if self.func in ("SUM", "AVG"):
+            self.total = sum(values, self.total)
+        elif self.func == "MIN":
+            smallest = min(values)
+            if self.minimum is None or smallest < self.minimum:
+                self.minimum = smallest
+        elif self.func == "MAX":
+            largest = max(values)
+            if self.maximum is None or largest > self.maximum:
+                self.maximum = largest
 
     def result(self) -> Any:
         if self.func == "COUNT":

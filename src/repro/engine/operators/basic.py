@@ -1,14 +1,17 @@
-"""Row-at-a-time operators: Filter, Project, Limit, Distinct.
+"""Streaming operators: Filter, Project, Limit, Distinct.
 
 Each documents how it transforms the *order property* of its input — the
 bookkeeping that lets the optimizer know when a downstream sort is
-unnecessary.
+unnecessary — and provides both a row-at-a-time ``execute`` and a
+vectorized ``execute_batches`` (Filter/Project evaluate expressions
+through the fused kernels of :mod:`repro.engine.expr`).
 """
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
-from ..expr import Col, Expr
+from ..batch import DEFAULT_BATCH_SIZE, ColumnBatch
+from ..expr import Col, Expr, vectorized_kernel
 from ..schema import Column, Schema
 from ..types import DataType
 from .base import Metrics, Operator
@@ -25,6 +28,7 @@ class Filter(Operator):
         self.schema = child.schema
         self.ordering = child.ordering  # order-preserving: same spec as input
         self._compiled = predicate.compile_against(child.schema)
+        self._kernel = None  # vectorized predicate, compiled on first batch
 
     def children(self) -> Sequence[Operator]:
         return (self.child,)
@@ -35,6 +39,23 @@ class Filter(Operator):
             metrics.add("rows_filtered")
             if compiled(row):
                 yield row
+
+    def execute_batches(
+        self, metrics: Metrics, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """One kernel call builds the selection mask for a whole batch;
+        surviving rows keep their relative (stream) order."""
+        kernel = self._kernel
+        if kernel is None:
+            kernel = self._kernel = vectorized_kernel(
+                self.predicate, self.child.schema
+            )
+        for batch in self.child.execute_batches(metrics, batch_size):
+            length = len(batch)
+            metrics.add("rows_filtered", length)
+            out = batch.filter(kernel(batch.columns, length))
+            if len(out):
+                yield out
 
     def label(self) -> str:
         return f"Filter({self.predicate.render()})"
@@ -64,6 +85,7 @@ class Project(Operator):
             for name, expr in zip(self.names, self.exprs)
         )
         self._compiled = [expr.compile_against(child.schema) for expr in self.exprs]
+        self._kernels = None  # vectorized outputs, compiled on first batch
         self.ordering = self._propagate_ordering()
 
     def _propagate_ordering(self) -> Tuple[str, ...]:
@@ -83,6 +105,27 @@ class Project(Operator):
         compiled = self._compiled
         for row in self.child.execute(metrics):
             yield tuple(fn(row) for fn in compiled)
+
+    def execute_batches(
+        self, metrics: Metrics, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """One kernel call per output column per batch (pass-through
+        columns are shared, not copied)."""
+        kernels = self._kernels
+        if kernels is None:
+            child_schema = self.child.schema
+            kernels = self._kernels = [
+                vectorized_kernel(expr, child_schema) for expr in self.exprs
+            ]
+        schema = self.schema
+        for batch in self.child.execute_batches(metrics, batch_size):
+            length = len(batch)
+            if not length:
+                continue
+            columns = batch.columns
+            yield ColumnBatch(
+                schema, [kernel(columns, length) for kernel in kernels], length
+            )
 
     def label(self) -> str:
         parts = ", ".join(
@@ -124,7 +167,15 @@ def _infer_dtype(expr: Expr, schema: Schema) -> DataType:
 
 
 class Limit(Operator):
-    """First ``n`` rows; preserves ordering."""
+    """First ``n`` rows; preserves ordering.
+
+    Deliberately has **no native batch path**: the base-class adapter runs
+    the subtree in row mode.  Limit is the one operator that stops pulling
+    its child early, and a columnar child would charge whole batches of
+    scan work the row path never does — the adapter keeps early-
+    termination (and therefore metrics parity between modes) exact, and a
+    LIMIT plan's output is bounded anyway.
+    """
 
     def __init__(self, child: Operator, count: int) -> None:
         self.child = child
@@ -166,6 +217,23 @@ class HashDistinct(Operator):
                 seen.add(row)
                 yield row
 
+    def execute_batches(
+        self, metrics: Metrics, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        seen: set = set()
+        add = seen.add
+        schema = self.schema
+        for batch in self.child.execute_batches(metrics, batch_size):
+            metrics.add("hash_probe_rows", len(batch))
+            out: List[tuple] = []
+            append = out.append
+            for row in batch.rows():
+                if row not in seen:
+                    add(row)
+                    append(row)
+            if out:
+                yield ColumnBatch.from_rows(schema, out)
+
     def label(self) -> str:
         return "HashDistinct"
 
@@ -192,6 +260,21 @@ class SortedDistinct(Operator):
             if row != previous:
                 yield row
                 previous = row
+
+    def execute_batches(
+        self, metrics: Metrics, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        previous: Optional[tuple] = None  # carried across batch boundaries
+        schema = self.schema
+        for batch in self.child.execute_batches(metrics, batch_size):
+            out: List[tuple] = []
+            append = out.append
+            for row in batch.rows():
+                if row != previous:
+                    append(row)
+                    previous = row
+            if out:
+                yield ColumnBatch.from_rows(schema, out)
 
     def label(self) -> str:
         return "SortedDistinct"

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Sequence, Tuple
 
+from ..batch import DEFAULT_BATCH_SIZE, ColumnBatch
 from ..schema import Schema
 from .base import Metrics, Operator
 
@@ -39,6 +40,19 @@ class _JoinBase(Operator):
 
     def children(self) -> Sequence[Operator]:
         return (self.left, self.right)
+
+    def _materialize(self, side: Operator, metrics: Metrics, batch_size: int):
+        """All of one input's rows via its batch path (both merge and
+        nested-loop joins consume a side wholesale)."""
+        rows: List[tuple] = []
+        for batch in side.execute_batches(metrics, batch_size):
+            rows.extend(batch.rows())
+        return rows
+
+    def _emit_batches(self, rows: List[tuple], batch_size: int):
+        schema = self.schema
+        for start in range(0, len(rows), batch_size):
+            yield ColumnBatch.from_rows(schema, rows[start:start + batch_size])
 
     def label(self) -> str:
         condition = " AND ".join(
@@ -71,6 +85,56 @@ class HashJoin(_JoinBase):
                 metrics.add("join_rows")
                 yield row + match
 
+    def execute_batches(
+        self, metrics: Metrics, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """Build from right batches, probe left batch-wise.  Single-column
+        joins (every date rewrite's shape) key on the bare value instead
+        of a 1-tuple.  Probe order — and therefore the declared left
+        ordering — is preserved; counters charge per batch."""
+        single = len(self._right_positions) == 1
+        table: Dict = {}
+        setdefault = table.setdefault
+        for batch in self.right.execute_batches(metrics, batch_size):
+            metrics.add("hash_build_rows", len(batch))
+            if single:
+                position = self._right_positions[0]
+                for row in batch.rows():
+                    setdefault(row[position], []).append(row)
+            else:
+                positions = self._right_positions
+                for row in batch.rows():
+                    setdefault(tuple(row[i] for i in positions), []).append(row)
+
+        get = table.get
+        out: List[tuple] = []
+        for batch in self.left.execute_batches(metrics, batch_size):
+            metrics.add("hash_probe_rows", len(batch))
+            produced = 0
+            if single:
+                position = self._left_positions[0]
+                for row in batch.rows():
+                    matches = get(row[position])
+                    if matches:
+                        produced += len(matches)
+                        for match in matches:
+                            out.append(row + match)
+            else:
+                positions = self._left_positions
+                for row in batch.rows():
+                    matches = get(tuple(row[i] for i in positions))
+                    if matches:
+                        produced += len(matches)
+                        for match in matches:
+                            out.append(row + match)
+            if produced:
+                metrics.add("join_rows", produced)
+            while len(out) >= batch_size:
+                yield ColumnBatch.from_rows(self.schema, out[:batch_size])
+                del out[:batch_size]
+        if out:
+            yield ColumnBatch.from_rows(self.schema, out)
+
 
 class MergeJoin(_JoinBase):
     """Sort-merge join.  **Precondition**: both inputs ordered by their join
@@ -83,12 +147,27 @@ class MergeJoin(_JoinBase):
         super().__init__(left, right, left_keys, right_keys)
         self.ordering = left.ordering  # preserves the probe side's spec
 
-    def execute(self, metrics: Metrics) -> Iterator[tuple]:
-        left_rows = list(self.left.execute(metrics))
-        right_rows = list(self.right.execute(metrics))
+    def _merge(
+        self,
+        left_rows: List[tuple],
+        right_rows: List[tuple],
+        metrics: Metrics,
+        batched: bool,
+    ) -> Iterator[tuple]:
+        """The two-pointer merge shared by both execution modes.
+
+        ``batched=False`` charges ``merge_steps``/``join_rows`` one at a
+        time as the row path always has (so an early-stopping consumer
+        sees partial counts); ``batched=True`` accumulates and charges
+        the totals once at exhaustion — same totals, one dict op.
+        """
+        steps = joined = 0
         i = j = 0
         while i < len(left_rows) and j < len(right_rows):
-            metrics.add("merge_steps")
+            if batched:
+                steps += 1
+            else:
+                metrics.add("merge_steps")
             left_key = tuple(left_rows[i][p] for p in self._left_positions)
             right_key = tuple(right_rows[j][p] for p in self._right_positions)
             if left_key < right_key:
@@ -106,10 +185,33 @@ class MergeJoin(_JoinBase):
                     left_rows[i][p] for p in self._left_positions
                 ) == left_key:
                     for k in range(j, j_end):
-                        metrics.add("join_rows")
+                        if batched:
+                            joined += 1
+                        else:
+                            metrics.add("join_rows")
                         yield left_rows[i] + right_rows[k]
                     i += 1
                 j = j_end
+        if steps:
+            metrics.add("merge_steps", steps)
+        if joined:
+            metrics.add("join_rows", joined)
+
+    def execute(self, metrics: Metrics) -> Iterator[tuple]:
+        left_rows = list(self.left.execute(metrics))
+        right_rows = list(self.right.execute(metrics))
+        yield from self._merge(left_rows, right_rows, metrics, batched=False)
+
+    def execute_batches(
+        self, metrics: Metrics, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """The identical merge over inputs materialized batch-wise;
+        counters are charged once with the totals the row path
+        accumulates one at a time."""
+        left_rows = self._materialize(self.left, metrics, batch_size)
+        right_rows = self._materialize(self.right, metrics, batch_size)
+        out = list(self._merge(left_rows, right_rows, metrics, batched=True))
+        yield from self._emit_batches(out, batch_size)
 
 
 class NestedLoopJoin(_JoinBase):
@@ -130,3 +232,29 @@ class NestedLoopJoin(_JoinBase):
                 ):
                     metrics.add("join_rows")
                     yield row + other
+
+    def execute_batches(
+        self, metrics: Metrics, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        right_rows = self._materialize(self.right, metrics, batch_size)
+        right_keys = [
+            tuple(other[i] for i in self._right_positions) for other in right_rows
+        ]
+        out: List[tuple] = []
+        for batch in self.left.execute_batches(metrics, batch_size):
+            produced = 0
+            for row in batch.rows():
+                left_key = tuple(row[i] for i in self._left_positions)
+                for other_key, other in zip(right_keys, right_rows):
+                    if left_key == other_key:
+                        out.append(row + other)
+                        produced += 1
+            if right_rows:  # row path never touches the counter otherwise
+                metrics.add("nl_comparisons", len(batch) * len(right_rows))
+            if produced:
+                metrics.add("join_rows", produced)
+            while len(out) >= batch_size:
+                yield ColumnBatch.from_rows(self.schema, out[:batch_size])
+                del out[:batch_size]
+        if out:
+            yield ColumnBatch.from_rows(self.schema, out)

@@ -6,8 +6,9 @@ reproduction ultimately compares plans with and without a Sort node.
 """
 from __future__ import annotations
 
-from typing import Iterator, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
+from ..batch import DEFAULT_BATCH_SIZE, ColumnBatch
 from .base import Metrics, Operator, order_spec
 
 __all__ = ["Sort"]
@@ -42,6 +43,22 @@ class Sort(Operator):
         rows.sort(key=lambda row: tuple(row[i] for i in positions))
         for row in rows:
             yield row
+
+    def execute_batches(
+        self, metrics: Metrics, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """Materialize the child's batches, run the identical stable sort
+        (same key, same input order → same output), re-emit in chunks."""
+        rows: List[tuple] = []
+        for batch in self.child.execute_batches(metrics, batch_size):
+            rows.extend(batch.rows())
+        metrics.add("sorts")
+        metrics.add("sort_rows", len(rows))
+        positions = self._positions
+        rows.sort(key=lambda row: tuple(row[i] for i in positions))
+        schema = self.schema
+        for start in range(0, len(rows), batch_size):
+            yield ColumnBatch.from_rows(schema, rows[start:start + batch_size])
 
     def label(self) -> str:
         return f"Sort({', '.join(self.keys)})"

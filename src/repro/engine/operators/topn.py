@@ -11,6 +11,7 @@ from __future__ import annotations
 import heapq
 from typing import Iterator, List, Sequence, Tuple
 
+from ..batch import DEFAULT_BATCH_SIZE, ColumnBatch
 from .base import Metrics, Operator, order_spec
 
 __all__ = ["TopN"]
@@ -59,6 +60,35 @@ class TopN(Operator):
         ordered = sorted(heap, key=lambda entry: entry[0].value)
         for _, row in ordered:
             yield row
+
+    def execute_batches(
+        self, metrics: Metrics, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """The same bounded heap fed batch-wise; arrival order (the
+        stable tiebreak) is counted globally across batches."""
+        if self.count == 0:
+            # as in the row path: no need to touch the child at all
+            return
+        positions = self._positions
+        heap: List[tuple] = []
+        arrival = 0
+        for batch in self.child.execute_batches(metrics, batch_size):
+            metrics.add("topn_rows", len(batch))
+            for row in batch.rows():
+                key = tuple(row[i] for i in positions)
+                entry = (_Reverse((key, arrival)), row)
+                if len(heap) < self.count:
+                    heapq.heappush(heap, entry)
+                elif (key, arrival) < heap[0][0].value:
+                    heapq.heapreplace(heap, entry)
+                arrival += 1
+        metrics.add("sorts")
+        metrics.add("sort_rows", len(heap))  # only the heap contents sort
+        ordered = sorted(heap, key=lambda entry: entry[0].value)
+        rows = [row for _, row in ordered]
+        schema = self.schema
+        for start in range(0, len(rows), batch_size):
+            yield ColumnBatch.from_rows(schema, rows[start:start + batch_size])
 
     def label(self) -> str:
         return f"TopN({', '.join(self.keys)}; {self.count})"

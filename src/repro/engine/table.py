@@ -33,6 +33,8 @@ class Table:
         self.schema = schema
         self.rows: List[tuple] = []
         self.constraints: List[Statement] = []
+        self._columnar: Optional[List[list]] = None
+        self._columnar_row_count = -1
 
     # ------------------------------------------------------------------
     # Data manipulation
@@ -68,6 +70,22 @@ class Table:
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    def columnar(self) -> List[list]:
+        """A cached column-major view of the rows (one list per column).
+
+        The vectorized scan path slices these vectors directly instead of
+        transposing row tuples per batch.  Rebuilt lazily whenever the
+        row count changes (the same staleness rule ``SortedIndex`` uses);
+        treat the returned lists as read-only.
+        """
+        if self._columnar_row_count != len(self.rows):
+            if self.rows:
+                self._columnar = [list(column) for column in zip(*self.rows)]
+            else:
+                self._columnar = [[] for _ in self.schema]
+            self._columnar_row_count = len(self.rows)
+        return self._columnar
 
     # ------------------------------------------------------------------
     # Constraints (the paper's OD check constraints)

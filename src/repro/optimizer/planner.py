@@ -159,6 +159,12 @@ class PlanInfo:
     epoch: Optional[int] = None
     cache_state: str = "uncached"
     cache_serves: int = 0
+    #: How the plan was last *executed* (an execution-time fact, set by
+    #: ``Database.execute``/``explain``): ``"row (iterator)"`` or
+    #: ``"vectorized (batch size N)"``.  Like ``cache_state``, one
+    #: PlanInfo is shared by every holder of a cached plan — sample it
+    #: right after the execution you care about.
+    execution: str = "row (iterator)"
 
     @property
     def oracle_hit_rate(self) -> float:
@@ -170,6 +176,7 @@ class PlanInfo:
         """EXPLAIN-style report: which sorts/joins were eliminated and how
         much oracle work was cached vs enumerated."""
         lines = [f"plan mode: {self.mode}"]
+        lines.append(f"execution: {self.execution}")
         for rewrite in self.date_rewrites:
             lines.append(f"join eliminated: {rewrite.describe()}")
         lines.append(f"sorts avoided: {self.avoided_sorts}")

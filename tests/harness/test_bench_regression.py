@@ -7,8 +7,12 @@ proxies for a few headline cases and fails if they regress beyond a
 variance never trips it, tight enough that an accidental O(n) → O(n²) on
 a hot path does.
 
-Only planning- and inference-time cases are checked: they are independent
-of data volume, so tiny fixtures reproduce the baseline's regime.
+Planning- and inference-time cases are checked against their committed
+absolute timings: they are independent of data volume, so tiny fixtures
+reproduce the baseline's regime.  The vectorized-execution case is
+volume-dependent, so its proxy checks the *ratio* (batch vs row rows/sec
+on a small fixture) instead of an absolute time — ratios survive CI-host
+speed differences — plus the committed baseline's own recorded ratio.
 """
 from __future__ import annotations
 
@@ -119,6 +123,67 @@ def test_oracle_chain_implication_not_regressed():
         lambda: [theory.implies(goal) for _ in range(iterations)]
     ) / iterations
     _check(measured, baseline, "chain implication (width 8)")
+
+
+def test_vectorized_throughput_not_regressed():
+    """Proxy for bench_vectorized::test_scan_filter_aggregate_*.
+
+    Two gates: (1) the committed baseline must still document the ≥5×
+    batch-vs-row claim at batch_size=1024 (the file is the acceptance
+    record — a refresh that loses the edge should fail loudly); (2) a
+    small live fixture must reproduce a conservative 2.5× of it here, so
+    an accidental de-vectorization (e.g. an operator falling back to the
+    row adapter) trips CI even on slow, noisy hosts.
+    """
+    row_baseline = _baseline("bench_vectorized", "test_scan_filter_aggregate_row")
+    batch_baseline = _baseline(
+        "bench_vectorized", "test_scan_filter_aggregate_batch[1024]"
+    )
+    assert row_baseline >= 5.0 * batch_baseline, (
+        f"committed baseline lost the vectorized edge: row "
+        f"{row_baseline * 1e3:.1f}ms vs batch[1024] "
+        f"{batch_baseline * 1e3:.1f}ms (< 5x)"
+    )
+
+    import random
+
+    from repro.engine.expr import Between, Col, Lit
+    from repro.engine.operators import AggSpec, Filter, HashAggregate, SeqScan
+    from repro.engine.schema import Schema
+    from repro.engine.table import Table
+    from repro.engine.types import DataType
+
+    rng = random.Random(23)
+    table = Table(
+        "fact",
+        Schema.of(
+            ("income", DataType.INT),
+            ("bracket", DataType.INT),
+            ("payable", DataType.FLOAT),
+        ),
+    )
+    rows = []
+    for _ in range(20_000):
+        income = rng.randint(0, 400_000)
+        rows.append((income, income // 10_000, round(income * 0.21, 2)))
+    table.load(rows, check=False)
+    table.columnar()
+
+    def pipeline():
+        return HashAggregate(
+            Filter(SeqScan(table), Between(Col("income"), Lit(50_000), Lit(250_000))),
+            ["bracket"],
+            [AggSpec("COUNT", None, "n"), AggSpec("SUM", Col("payable"), "total")],
+        )
+
+    assert pipeline().run_batches(1024)[0] == pipeline().run()[0]
+    row_s = _best_of(lambda: pipeline().run())
+    batch_s = _best_of(lambda: pipeline().run_batches(1024))
+    assert batch_s * 2.5 < row_s, (
+        f"vectorized execution lost its edge: batch[1024] "
+        f"{batch_s * 1e3:.2f}ms vs row {row_s * 1e3:.2f}ms "
+        f"({row_s / batch_s:.2f}x, gate 2.5x)"
+    )
 
 
 def test_memoized_oracle_repeats_not_regressed():

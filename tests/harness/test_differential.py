@@ -1,4 +1,5 @@
-"""Differential correctness harness: optimized vs unoptimized, cached vs not.
+"""Differential correctness harness: optimized vs unoptimized, cached vs
+not, row-at-a-time vs vectorized.
 
 Every query in every workload (taxes, datedim, tpcds_lite, and databases
 built from random_instances) is executed four ways:
@@ -22,8 +23,18 @@ The contract asserted for each:
 * the warm run really was a cache hit and the cold run a miss;
 * after a catalog mutation the cached plan is never served again
   (the acceptance criterion: no stale plan across an epoch change).
+
+On top of the cache matrix, every query also runs **vectorized**
+(``batch_size=N``) both plan-cache-warm and plan-cache-cold, at every
+size in ``REPRO_DIFF_BATCH_SIZES`` (default ``7,256`` — a small odd size
+to stress batch-boundary carry logic, a large one for the production
+shape; CI adds ``1`` and ``1024``).  Batch results must be bit-identical
+to the row-mode rows — including ORDER BY prefixes — and the ``Metrics``
+row counters must match the row path's totals exactly.
 """
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -60,6 +71,15 @@ def _assert_respects_order(result, order_keys, label):
     assert values == sorted(values), f"{label}: ORDER BY {order_keys} violated"
 
 
+#: Vectorized-mode chunk sizes the harness exercises; override with a
+#: comma-separated ``REPRO_DIFF_BATCH_SIZES`` (CI runs a second, wider set).
+BATCH_SIZES = tuple(
+    int(size)
+    for size in os.environ.get("REPRO_DIFF_BATCH_SIZES", "7,256").split(",")
+    if size.strip()
+)
+
+
 def run_differential(database, sql, order_keys=()):
     """Run one query all four ways and enforce the differential contract."""
     database.plan_cache.clear()
@@ -94,6 +114,40 @@ def run_differential(database, sql, order_keys=()):
         )
         _assert_respects_order(result, order_keys, label)
     _assert_respects_order(baseline, order_keys, "baseline")
+
+    # Vectorized mode, plan-cache-warm: the same memoized operator tree
+    # executed through execute_batches must be indistinguishable from the
+    # row path — bit-identical rows (ORDER BY prefixes included, since the
+    # rows are identical in order) and identical Metrics counter totals.
+    for batch_size in BATCH_SIZES:
+        batch_warm = database.execute(sql, optimize=True, batch_size=batch_size)
+        label = f"batch_warm[{batch_size}]"
+        assert batch_warm.plan is cold.plan, f"{label}: not the cached plan"
+        assert batch_warm.columns == cold.columns, f"{label}: column mismatch"
+        assert batch_warm.rows == cold.rows, (
+            f"{label}: vectorized rows differ from row-mode rows"
+        )
+        assert batch_warm.metrics.counters == cold.metrics.counters, (
+            f"{label}: counters differ (batch {batch_warm.metrics.counters} "
+            f"vs row {cold.metrics.counters})"
+        )
+
+    # Vectorized mode, plan-cache-cold: a freshly planned tree, first
+    # executed in batch mode, must produce the same bits too.  (An empty
+    # REPRO_DIFF_BATCH_SIZES disables the vectorized matrix entirely.)
+    if BATCH_SIZES:
+        database.plan_cache.clear()
+        batch_cold = database.execute(
+            sql, optimize=True, batch_size=BATCH_SIZES[0]
+        )
+        assert batch_cold.plan.plan_info.cache_state == "miss"
+        assert batch_cold.columns == cold.columns, "batch_cold: column mismatch"
+        assert batch_cold.rows == cold.rows, (
+            "batch_cold: vectorized rows differ from row-mode rows"
+        )
+        assert batch_cold.metrics.counters == cold.metrics.counters, (
+            "batch_cold: counters differ"
+        )
     return baseline, cold, warm
 
 
