@@ -1,0 +1,149 @@
+"""Parallel vs serial batch throughput (the tentpole claim of PR 4).
+
+The same two pipeline shapes as :mod:`bench_vectorized` — **scan → filter
+→ aggregate** and **join → aggregate** — executed at batch_size=1024
+serially and behind exchanges at workers 1/2/4.  Each case records
+``rows_per_sec`` plus the host's parallel capability in ``extra_info``
+(dumped to ``BENCH_bench_parallel.json``), so the committed baseline
+documents what the recording host could *honestly* deliver.
+
+Honesty note, load-bearing: CPython threads only run Python bytecode
+concurrently on a **free-threaded build** (PEP 703, ``python3.13t+``)
+with **more than one core available**.  On a stock-GIL or single-core
+host — including the container this baseline was recorded on — the
+worker pool adds bounded overhead instead of speedup, and the only
+defensible claims are (a) bit-identical results, (b) counter-identical
+metrics, and (c) that overhead stays small.  ``parallel_capable`` in
+``extra_info`` records which regime the baseline measured;
+``test_parallel_scaling_claim`` asserts the ≥1.5× workers=4 bar only in
+the capable regime and the ≥0.5× overhead floor otherwise, and
+``tests/harness/test_bench_regression.py`` re-checks the same
+capability-aware gate as a cheap proxy on every CI run.
+"""
+from __future__ import annotations
+
+import time
+
+import pytest
+
+# Shared fixtures (fact/dim) come from conftest.py; the pipeline shapes
+# and scaled size from repro.workloads.microbench — one workload
+# definition for this module, bench_vectorized, and the regression proxies.
+from repro.engine.parallel import host_capability, insert_exchanges
+from repro.workloads.microbench import (
+    BENCH_ROWS as ROWS,
+    join_aggregate,
+    scan_filter_aggregate,
+)
+
+BATCH_SIZE = 1024
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _record(benchmark, rows: int) -> None:
+    mean = getattr(getattr(benchmark, "stats", None), "stats", None)
+    mean_s = getattr(mean, "mean", None)
+    if mean_s:
+        benchmark.extra_info["rows_per_sec"] = round(rows / mean_s)
+    benchmark.extra_info.update(host_capability())
+
+
+# ----------------------------------------------------------------------
+# scan → filter → aggregate
+# ----------------------------------------------------------------------
+def test_scan_filter_aggregate_serial(benchmark, fact):
+    result = benchmark(
+        lambda: scan_filter_aggregate(fact).run_batches(BATCH_SIZE)
+    )
+    assert len(result[0]) > 0
+    _record(benchmark, ROWS)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_scan_filter_aggregate_parallel(benchmark, fact, workers):
+    result = benchmark(
+        lambda: insert_exchanges(
+            scan_filter_aggregate(fact), workers
+        ).run_batches(BATCH_SIZE)
+    )
+    assert len(result[0]) > 0
+    _record(benchmark, ROWS)
+
+
+# ----------------------------------------------------------------------
+# join → aggregate
+# ----------------------------------------------------------------------
+def test_join_aggregate_serial(benchmark, fact, dim):
+    result = benchmark(lambda: join_aggregate(fact, dim).run_batches(BATCH_SIZE))
+    assert len(result[0]) > 0
+    _record(benchmark, ROWS)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_join_aggregate_parallel(benchmark, fact, dim, workers):
+    result = benchmark(
+        lambda: insert_exchanges(join_aggregate(fact, dim), workers).run_batches(
+            BATCH_SIZE
+        )
+    )
+    assert len(result[0]) > 0
+    _record(benchmark, ROWS)
+
+
+# ----------------------------------------------------------------------
+# The acceptance claim, asserted where the baseline is recorded
+# ----------------------------------------------------------------------
+def test_parallel_scaling_claim(benchmark, fact):
+    """workers=4 vs workers=1 on scan→filter→aggregate.
+
+    Always asserted: bit-identical rows, counter-identical metrics, and
+    the ≥0.5× overhead floor (the pool must never *halve* throughput).
+    On a parallel-capable host (multi-core free-threaded build) the
+    acceptance bar is ≥1.5×; with the GIL or one core that speedup is a
+    physical impossibility for pure-Python work, so the bar is recorded
+    as not applicable rather than faked.
+    """
+    capability = host_capability()
+
+    def best_of(fn, rounds=3):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def measure():
+        serial_rows, serial_metrics = scan_filter_aggregate(fact).run_batches(
+            BATCH_SIZE
+        )
+        for workers in (1, 4):
+            rows, metrics = insert_exchanges(
+                scan_filter_aggregate(fact), workers
+            ).run_batches(BATCH_SIZE)
+            assert rows == serial_rows
+            assert metrics.counters == serial_metrics.counters
+        one = best_of(
+            lambda: insert_exchanges(scan_filter_aggregate(fact), 1).run_batches(
+                BATCH_SIZE
+            )
+        )
+        four = best_of(
+            lambda: insert_exchanges(scan_filter_aggregate(fact), 4).run_batches(
+                BATCH_SIZE
+            )
+        )
+        return one / four
+
+    speedup = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["speedup_workers4_vs_1"] = round(speedup, 3)
+    benchmark.extra_info.update(capability)
+    assert speedup >= 0.5, (
+        f"parallel overhead out of bounds: workers=4 is {speedup:.2f}x of "
+        "workers=1 (floor 0.5x)"
+    )
+    if capability["parallel_capable"]:
+        assert speedup >= 1.5, (
+            f"parallel scan→filter→aggregate only {speedup:.2f}x at workers=4 "
+            "on a parallel-capable host (acceptance bar: 1.5x)"
+        )

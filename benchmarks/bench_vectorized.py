@@ -21,82 +21,20 @@ batch) — the reason ``DEFAULT_BATCH_SIZE`` is 1024, not 1.
 """
 from __future__ import annotations
 
-import os
-import random
 import time
 
 import pytest
 
-from repro.engine.expr import Between, Col, Lit
-from repro.engine.operators import (
-    AggSpec,
-    Filter,
-    HashAggregate,
-    HashJoin,
-    SeqScan,
+# Shared fixtures (fact/dim) come from conftest.py; the pipeline shapes
+# and scaled size from repro.workloads.microbench — one workload
+# definition for this module, bench_parallel, and the regression proxies.
+from repro.workloads.microbench import (
+    BENCH_ROWS as ROWS,
+    join_aggregate,
+    scan_filter_aggregate,
 )
-from repro.engine.schema import Schema
-from repro.engine.table import Table
-from repro.engine.types import DataType
 
-# Same knob conftest.py uses; resolved here so the module imports cleanly
-# outside the pytest rootdir too.
-_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
-
-ROWS = max(1, int(120_000 * _SCALE))
-GROUPS = 40
 BATCH_SIZES = (1, 64, 1024)
-
-
-@pytest.fixture(scope="module")
-def fact():
-    rng = random.Random(11)
-    table = Table(
-        "fact",
-        Schema.of(
-            ("income", DataType.INT),
-            ("bracket", DataType.INT),
-            ("payable", DataType.FLOAT),
-        ),
-    )
-    rows = []
-    for _ in range(ROWS):
-        income = rng.randint(0, 400_000)
-        rows.append((income, income // 10_000, round(income * 0.21, 2)))
-    table.load(rows, check=False)
-    table.columnar()  # build the columnar cache up front, like indexes
-    return table
-
-
-@pytest.fixture(scope="module")
-def dim():
-    table = Table(
-        "dim", Schema.of(("k", DataType.INT), ("label", DataType.STR))
-    )
-    table.load([(i, f"bracket-{i}") for i in range(GROUPS + 1)], check=False)
-    table.columnar()
-    return table
-
-
-def scan_filter_aggregate(fact):
-    scan = SeqScan(fact)
-    filtered = Filter(
-        scan, Between(Col("income"), Lit(50_000), Lit(250_000))
-    )
-    return HashAggregate(
-        filtered,
-        ["bracket"],
-        [AggSpec("COUNT", None, "n"), AggSpec("SUM", Col("payable"), "total")],
-    )
-
-
-def join_aggregate(fact, dim):
-    join = HashJoin(SeqScan(fact), SeqScan(dim), ["fact.bracket"], ["dim.k"])
-    return HashAggregate(
-        join,
-        ["dim.label"],
-        [AggSpec("COUNT", None, "n"), AggSpec("SUM", Col("payable"), "total")],
-    )
 
 
 def _record_rate(benchmark, rows):

@@ -23,6 +23,28 @@ def scaled(n: int) -> int:
     return max(1, int(n * SCALE))
 
 
+# ----------------------------------------------------------------------
+# Shared execution-mode fixtures: one fact/dim pair, used by
+# bench_vectorized (row vs batch) and bench_parallel (serial vs workers)
+# so the baselines test_bench_regression.py compares can never
+# desynchronize.  The builders and pipeline shapes live in
+# repro.workloads.microbench — the regression proxies import the same
+# ones.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def fact():
+    from repro.workloads.microbench import BENCH_ROWS, build_fact
+
+    return build_fact(BENCH_ROWS)
+
+
+@pytest.fixture(scope="session")
+def dim():
+    from repro.workloads.microbench import build_dim
+
+    return build_dim()
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Dump per-benchmark timings to ``BENCH_<module>.json``.
 

@@ -7,6 +7,7 @@ measurable.  See ``DESIGN.md`` §2 (S9–S10) for the substitution rationale.
 from .batch import DEFAULT_BATCH_SIZE, ColumnBatch
 from .database import Database, QueryResult
 from .index import SortedIndex
+from .parallel import MergeExchange, UnionExchange, insert_exchanges
 from .schema import Column, Schema
 from .stats import collect_stats
 from .table import ConstraintViolation, Table
@@ -24,4 +25,7 @@ __all__ = [
     "collect_stats",
     "ColumnBatch",
     "DEFAULT_BATCH_SIZE",
+    "MergeExchange",
+    "UnionExchange",
+    "insert_exchanges",
 ]

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from collections import OrderedDict
 
 from ..core.dependency import Statement
+from .batch import DEFAULT_BATCH_SIZE
 from .epoch import bump_epoch, current_epoch
 from .index import SortedIndex
 from .operators.base import Metrics, Operator
@@ -35,6 +36,8 @@ class QueryResult:
     plan: Operator
     #: Vectorized-execution chunk size, ``None`` for the row path.
     batch_size: Optional[int] = None
+    #: Parallel worker count, ``None`` for serial execution.
+    workers: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -151,7 +154,13 @@ class Database:
             self._logical_memo.popitem(last=False)
         return entry
 
-    def plan(self, sql: str, optimize: bool = True, use_cache: bool = True) -> Operator:
+    def plan(
+        self,
+        sql: str,
+        optimize: bool = True,
+        use_cache: bool = True,
+        workers: Optional[int] = None,
+    ) -> Operator:
         """Parse, bind, optimize (optionally) and return the physical plan.
 
         With ``use_cache=True`` (the default) the plan cache is consulted
@@ -160,16 +169,26 @@ class Database:
         physical plan is returned without re-planning.  ``use_cache=False``
         neither reads nor fills the cache (benchmarks use it to measure
         the uncached path; its plans report ``cache_state="bypass"``).
+
+        ``workers=K`` asks the planner to place exchange operators over
+        the plan's partitionable chains (see :mod:`repro.engine.parallel`);
+        parallel plans are cached under their own mode key
+        (``"od+w4"``), so serial and parallel plannings of one template
+        never serve each other's trees.
         """
         from ..optimizer.planner import Planner  # lazy: avoids import cycle
 
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
         logical, fp = self._bind(sql)
         if not use_cache:
-            plan = Planner(self, optimize=optimize).plan(logical)
+            plan = Planner(self, optimize=optimize, workers=workers).plan(logical)
             plan.plan_info.cache_state = "bypass"
             return plan
 
         mode = "od" if optimize else "fd"
+        if workers is not None:
+            mode = f"{mode}+w{workers}"
         epoch = current_epoch()
         entry = self.plan_cache.lookup(fp, mode, epoch)
         if entry is not None:
@@ -177,7 +196,7 @@ class Database:
             info.cache_state = "hit"
             info.cache_serves = entry.serves
             return entry.plan
-        plan = Planner(self, optimize=optimize).plan(logical)
+        plan = Planner(self, optimize=optimize, workers=workers).plan(logical)
         info = plan.plan_info  # type: ignore[attr-defined]
         info.fingerprint = fp
         info.epoch = epoch
@@ -190,35 +209,65 @@ class Database:
         stale_invalidations, size, capacity, hit_rate."""
         return self.plan_cache.stats()
 
+    @staticmethod
+    def _resolve_batch(
+        batch_size: Optional[int], workers: Optional[int]
+    ) -> Optional[int]:
+        """Validate and default the execution-mode arguments — shared by
+        ``execute`` and ``explain`` so they can never disagree about
+        which mode a (batch_size, workers) pair selects.  Parallel
+        execution is batch execution: ``workers`` without a
+        ``batch_size`` gets the default chunk capacity."""
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if workers is not None and batch_size is None:
+            return DEFAULT_BATCH_SIZE
+        return batch_size
+
+    @staticmethod
+    def _execution_desc(batch_size: Optional[int], workers: Optional[int]) -> str:
+        if workers is not None:
+            return f"parallel ({workers} workers, batch size {batch_size})"
+        if batch_size is not None:
+            return f"vectorized (batch size {batch_size})"
+        return "row (iterator)"
+
     def execute(
         self,
         sql: str,
         optimize: bool = True,
         use_cache: bool = True,
         batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> QueryResult:
         """Run a query to completion.
 
         ``batch_size=None`` (default) executes row-at-a-time.  Any
         positive ``batch_size`` selects the vectorized mode: operators
         stream :class:`~repro.engine.batch.ColumnBatch` chunks of that
-        capacity through compiled expression kernels.  Results and
-        ``Metrics`` counter totals are identical between modes (gated by
-        the differential harness); only the speed differs.
+        capacity through compiled expression kernels.  ``workers=K``
+        additionally partitions the plan's partitionable chains across a
+        worker pool behind order-preserving exchanges (parallel execution
+        is batch execution — an unspecified ``batch_size`` defaults to
+        :data:`~repro.engine.batch.DEFAULT_BATCH_SIZE`).  Results and
+        ``Metrics`` counter totals are identical across all three modes
+        (gated by the mode-matrix differential harness); only the speed
+        differs.
         """
-        plan = self.plan(sql, optimize=optimize, use_cache=use_cache)
+        batch_size = self._resolve_batch(batch_size, workers)
+        plan = self.plan(
+            sql, optimize=optimize, use_cache=use_cache, workers=workers
+        )
         info = getattr(plan, "plan_info", None)
         if batch_size is not None:
-            if batch_size < 1:
-                raise ValueError(f"batch_size must be positive, got {batch_size}")
             rows, metrics = plan.run_batches(batch_size)
-            if info is not None:
-                info.execution = f"vectorized (batch size {batch_size})"
         else:
             rows, metrics = plan.run()
-            if info is not None:
-                info.execution = "row (iterator)"
-        return QueryResult(plan.schema.names, rows, metrics, plan, batch_size)
+        if info is not None:
+            info.execution = self._execution_desc(batch_size, workers)
+        return QueryResult(
+            plan.schema.names, rows, metrics, plan, batch_size, workers
+        )
 
     def explain(
         self,
@@ -227,23 +276,27 @@ class Database:
         verbose: bool = False,
         use_cache: bool = True,
         batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> str:
         """The physical plan as text.
 
-        ``verbose=True`` appends the planner's decision log — which
-        sorts/joins were eliminated, how much oracle work was answered
-        from the memoized result cache vs enumerated, whether this plan
-        was a plan-cache hit, miss, or bypass (with its fingerprint
-        prefix and catalog epoch), and which execution mode the given
-        ``batch_size`` selects (row iterators vs vectorized batches).
+        With ``workers=K`` the tree shows the placed exchange operators
+        (merge or union) over their partitioned chains.  ``verbose=True``
+        appends the planner's decision log — which sorts/joins were
+        eliminated, each exchange's kind / partition count / ordering
+        keys, how much oracle work was answered from the memoized result
+        cache vs enumerated, whether this plan was a plan-cache hit,
+        miss, or bypass (with its fingerprint prefix and catalog epoch),
+        and which execution mode the given ``batch_size``/``workers``
+        select (row iterators, vectorized batches, or parallel batches).
         """
-        plan = self.plan(sql, optimize=optimize, use_cache=use_cache)
+        batch_size = self._resolve_batch(batch_size, workers)
+        plan = self.plan(
+            sql, optimize=optimize, use_cache=use_cache, workers=workers
+        )
         text = plan.explain()
         info = getattr(plan, "plan_info", None)
         if verbose and info is not None:
-            if batch_size is not None:
-                info.execution = f"vectorized (batch size {batch_size})"
-            else:
-                info.execution = "row (iterator)"
+            info.execution = self._execution_desc(batch_size, workers)
             text = f"{text}\n{info.describe()}"
         return text

@@ -19,6 +19,7 @@ two ways:
 from __future__ import annotations
 
 import datetime
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, List, Sequence, Tuple
@@ -486,6 +487,12 @@ def _literal_signature(expr: Expr) -> tuple:
 #: every execution of a cached plan — compile exactly once.
 _KERNEL_CACHE: "OrderedDict[tuple, Callable]" = OrderedDict()
 _KERNEL_CACHE_CAPACITY = 1024
+#: Parallel partitions compile kernels from worker threads; the lock keeps
+#: the get/move_to_end/evict sequence atomic (an eviction racing a
+#: ``move_to_end`` would otherwise KeyError).  Uncontended cost is one
+#: lock per *operator construction*, not per batch — kernels are cached
+#: on the operator instance after the first call.
+_KERNEL_CACHE_LOCK = threading.Lock()
 
 
 def vectorized_kernel(
@@ -499,14 +506,17 @@ def vectorized_kernel(
     """
     try:
         key = (expr, _literal_signature(expr), schema.names)
-        cached = _KERNEL_CACHE.get(key)
+        with _KERNEL_CACHE_LOCK:
+            cached = _KERNEL_CACHE.get(key)
+            if cached is not None:
+                _KERNEL_CACHE.move_to_end(key)
     except TypeError:  # unhashable literal somewhere: compile uncached
         return _build_kernel(expr, schema)
     if cached is not None:
-        _KERNEL_CACHE.move_to_end(key)
         return cached
     kernel = _build_kernel(expr, schema)
-    _KERNEL_CACHE[key] = kernel
-    while len(_KERNEL_CACHE) > _KERNEL_CACHE_CAPACITY:
-        _KERNEL_CACHE.popitem(last=False)
+    with _KERNEL_CACHE_LOCK:
+        _KERNEL_CACHE[key] = kernel
+        while len(_KERNEL_CACHE) > _KERNEL_CACHE_CAPACITY:
+            _KERNEL_CACHE.popitem(last=False)
     return kernel

@@ -68,6 +68,37 @@ class SortedIndex:
     # ------------------------------------------------------------------
     # Probes and scans
     # ------------------------------------------------------------------
+    def range_positions(
+        self,
+        low: Optional[tuple] = None,
+        high: Optional[tuple] = None,
+    ) -> Tuple[int, int]:
+        """Entry positions ``[start, stop)`` whose key-prefix lies in
+        ``low ≤ key ≤ high`` — the seam partitioned index scans slice."""
+        self._ensure_built()
+        keys = self._keys
+        start = 0
+        stop = len(keys)
+        if low is not None:
+            start = bisect.bisect_left(keys, tuple(low))
+        if high is not None:
+            # Append a maximal sentinel so prefix bounds include all
+            # extensions of the bound value.
+            stop = bisect.bisect_right(keys, tuple(high) + (_Top(),))
+        return start, max(start, stop)
+
+    def scan_positions(
+        self, start: int, stop: int, reverse: bool = False
+    ) -> Iterator[tuple]:
+        """Yield table rows for the entry positions ``[start, stop)`` in
+        key order (reversed when asked)."""
+        self._ensure_built()
+        entries = self._entries[start:stop]
+        if reverse:
+            entries = reversed(entries)
+        for _, rowid in entries:
+            yield self.table.rows[rowid]
+
     def range_scan(
         self,
         low: Optional[tuple] = None,
@@ -80,21 +111,8 @@ class SortedIndex:
         ``None`` leaves that end unbounded.  The scan is inclusive at both
         ends, matching SQL ``BETWEEN``.
         """
-        self._ensure_built()
-        keys = self._keys
-        start = 0
-        stop = len(keys)
-        if low is not None:
-            start = bisect.bisect_left(keys, tuple(low))
-        if high is not None:
-            # Append a maximal sentinel so prefix bounds include all
-            # extensions of the bound value.
-            stop = bisect.bisect_right(keys, tuple(high) + (_Top(),))
-        entries = self._entries[start:stop]
-        if reverse:
-            entries = reversed(entries)
-        for _, rowid in entries:
-            yield self.table.rows[rowid]
+        start, stop = self.range_positions(low, high)
+        yield from self.scan_positions(start, stop, reverse)
 
     def probe_min(
         self, low: tuple, value_column: str

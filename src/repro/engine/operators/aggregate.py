@@ -48,6 +48,14 @@ def _output_schema(
 
 
 class _AggregateBase(Operator):
+    """Aggregates are not partition-transparent (``partition_kind`` stays
+    ``None``): a two-phase partial/final split would re-associate float
+    SUM/AVG folds — ``(a+b)+(c+d)`` is not bit-identical to
+    ``((a+b)+c)+d`` — and HashAggregate's first-seen emission order is a
+    whole-stream fact.  Exchange placement therefore parallelizes the
+    *input* chain and keeps the fold serial, preserving the exact
+    bit-for-bit results the differential harness demands."""
+
     def __init__(
         self,
         child: Operator,

@@ -89,11 +89,61 @@ class Operator:
     #: subclass *declares* this from its input's spec — the planner reads
     #: it back via :meth:`provides` instead of re-deriving it.
     ordering: Tuple[str, ...] = ()
+    #: How this operator participates in partitioned (parallel) execution
+    #: — the hook :func:`repro.engine.parallel.insert_exchanges` reads:
+    #:
+    #: * ``"source"`` — a leaf that can split itself into contiguous
+    #:   partitions (implements :meth:`partition_clone`);
+    #: * ``"transparent"`` — a unary operator that preserves per-row
+    #:   independence and relative order, so it can be cloned above each
+    #:   partition (implements :meth:`partition_through`);
+    #: * ``"barrier"`` — parallelism must not be introduced anywhere in
+    #:   this operator's subtree (``Limit``: early termination);
+    #: * ``None`` — not partitionable itself; exchange placement recurses
+    #:   into the children instead.
+    partition_kind: Optional[str] = None
 
     def provides(self) -> "Any":
         """The :class:`~repro.optimizer.properties.OrderSpec` this
         operator's output stream is guaranteed sorted by."""
         return order_spec(self.ordering)
+
+    # ------------------------------------------------------------------
+    # Partitioned-execution hooks (see :mod:`repro.engine.parallel`)
+    # ------------------------------------------------------------------
+    def partition_clone(self, index: int, count: int) -> "Optional[Operator]":
+        """``"source"`` hook: this operator, restricted to its ``index``-th
+        of ``count`` contiguous partitions.  The partition streams must
+        concatenate (in index order) to exactly this operator's stream,
+        each must honor the declared :attr:`ordering`, and their metrics
+        charges must *sum* to this operator's (per-execute charges belong
+        to partition 0 alone)."""
+        return None
+
+    def partition_through(self, child: "Operator") -> "Optional[Operator]":
+        """``"transparent"`` hook: rebuild this unary operator over a
+        partition of its child.  Sound only for operators that decide each
+        row independently and preserve relative order — then clone streams
+        concatenate to the serial stream and charges stay row-linear."""
+        return None
+
+    def replace_child(self, old: "Operator", new: "Operator") -> None:
+        """Rewire one direct child in place (physical transforms such as
+        exchange placement).  Sound only when ``new`` has the same schema
+        and ordering as ``old`` — parents precompile against the child
+        schema at construction."""
+        for name, value in vars(self).items():
+            if value is old:
+                setattr(self, name, new)
+                return
+        raise ValueError(f"{self.label()}: {old.label()} is not a child")
+
+    def prepare_parallel(self) -> None:
+        """Build lazily-cached shared state (columnar views, index arrays,
+        compiled kernels) *before* worker threads start pulling, so the
+        caches are written single-threaded.  Default: recurse."""
+        for child in self.children():
+            child.prepare_parallel()
 
     def execute(self, metrics: Metrics) -> Iterator[tuple]:
         raise NotImplementedError

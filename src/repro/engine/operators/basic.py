@@ -20,7 +20,15 @@ __all__ = ["Filter", "Project", "Limit", "HashDistinct", "SortedDistinct"]
 
 
 class Filter(Operator):
-    """Predicate filter; preserves input ordering."""
+    """Predicate filter; preserves input ordering.
+
+    Partition-transparent: the predicate decides each row independently
+    and survivors keep their relative order, so a clone above each
+    contiguous partition concatenates to the serial stream with
+    row-linear (``rows_filtered``) charges that sum exactly.
+    """
+
+    partition_kind = "transparent"
 
     def __init__(self, child: Operator, predicate: Expr) -> None:
         self.child = child
@@ -29,6 +37,14 @@ class Filter(Operator):
         self.ordering = child.ordering  # order-preserving: same spec as input
         self._compiled = predicate.compile_against(child.schema)
         self._kernel = None  # vectorized predicate, compiled on first batch
+
+    def partition_through(self, child: Operator) -> "Filter":
+        return Filter(child, self.predicate)
+
+    def prepare_parallel(self) -> None:
+        if self._kernel is None:
+            self._kernel = vectorized_kernel(self.predicate, self.child.schema)
+        self.child.prepare_parallel()
 
     def children(self) -> Sequence[Operator]:
         return (self.child,)
@@ -67,7 +83,13 @@ class Project(Operator):
     Ordering propagation: the output is ordered by the longest prefix of the
     input ordering whose columns survive as pass-through ``Col`` outputs
     (renamed accordingly).
+
+    Partition-transparent: output expressions are pure row-wise functions,
+    so a clone above each contiguous partition concatenates to the serial
+    stream (Project charges no counters at all).
     """
+
+    partition_kind = "transparent"
 
     def __init__(
         self,
@@ -87,6 +109,17 @@ class Project(Operator):
         self._compiled = [expr.compile_against(child.schema) for expr in self.exprs]
         self._kernels = None  # vectorized outputs, compiled on first batch
         self.ordering = self._propagate_ordering()
+
+    def partition_through(self, child: Operator) -> "Project":
+        return Project(child, self.exprs, self.names)
+
+    def prepare_parallel(self) -> None:
+        if self._kernels is None:
+            child_schema = self.child.schema
+            self._kernels = [
+                vectorized_kernel(expr, child_schema) for expr in self.exprs
+            ]
+        self.child.prepare_parallel()
 
     def _propagate_ordering(self) -> Tuple[str, ...]:
         rename: dict = {}
@@ -175,7 +208,13 @@ class Limit(Operator):
     scan work the row path never does — the adapter keeps early-
     termination (and therefore metrics parity between modes) exact, and a
     LIMIT plan's output is bounded anyway.
+
+    For the same reason Limit is a parallelism **barrier**: exchange
+    placement never descends into its subtree — eagerly drained partitions
+    would charge scan work the early-terminating serial path never does.
     """
+
+    partition_kind = "barrier"
 
     def __init__(self, child: Operator, count: int) -> None:
         self.child = child
@@ -199,7 +238,13 @@ class Limit(Operator):
 
 
 class HashDistinct(Operator):
-    """Duplicate elimination via hashing; destroys ordering."""
+    """Duplicate elimination via hashing; destroys ordering.
+
+    Not partition-transparent (``partition_kind`` stays ``None``): which
+    duplicate survives depends on cross-partition state (the first
+    occurrence in the *whole* stream), so exchange placement parallelizes
+    below it, never through it.
+    """
 
     def __init__(self, child: Operator) -> None:
         self.child = child
@@ -244,6 +289,10 @@ class SortedDistinct(Operator):
     Requires the input ordered by (at least) all output columns; valid when
     the optimizer can prove it via order properties, exactly the "distinct
     is exchangeable with group-by" observation of Section 2.3.
+
+    Not partition-transparent: run suppression carries state across rows
+    (a run spanning a partition boundary would emit twice), so exchange
+    placement parallelizes below it, never through it.
     """
 
     def __init__(self, child: Operator) -> None:

@@ -17,6 +17,14 @@ __all__ = ["HashJoin", "MergeJoin", "NestedLoopJoin"]
 
 
 class _JoinBase(Operator):
+    """Joins are not partition-transparent (``partition_kind`` stays
+    ``None``): they combine two streams, so exchange placement recurses
+    into each side instead — either input may itself be a parallelized
+    chain, since all three joins drain their inputs wholesale in batch
+    mode.  (Partitioning the *probe* loop against a shared built table is
+    the natural next step; it needs a build-once barrier the current
+    exchange does not model.)"""
+
     def __init__(
         self,
         left: Operator,

@@ -26,16 +26,48 @@ def qualified_schema(table: Table, alias: str) -> Schema:
 
 
 class SeqScan(Operator):
-    """Full sequential scan.  No ordering guarantee."""
+    """Full sequential scan.  No ordering guarantee.
 
-    def __init__(self, table: Table, alias: Optional[str] = None) -> None:
+    A partitionable source: partition ``i`` of ``k`` is the contiguous row
+    range ``[i*N//k, (i+1)*N//k)``, resolved against the table's row count
+    at *execution* time (plans never bake in a length the epoch clock
+    would have to guard).
+    """
+
+    partition_kind = "source"
+
+    def __init__(
+        self,
+        table: Table,
+        alias: Optional[str] = None,
+        partition: Optional[tuple] = None,
+    ) -> None:
         self.table = table
         self.alias = alias or table.name
         self.schema = qualified_schema(table, self.alias)
         self.ordering = ()
+        self.partition = partition  # (index, count) or None
+
+    def partition_clone(self, index: int, count: int) -> "SeqScan":
+        return SeqScan(self.table, self.alias, partition=(index, count))
+
+    def prepare_parallel(self) -> None:
+        self.table.columnar()  # build the shared view before threads race
+
+    def _bounds(self) -> "tuple[int, int]":
+        total = len(self.table.rows)
+        if self.partition is None:
+            return 0, total
+        index, count = self.partition
+        return (index * total) // count, ((index + 1) * total) // count
 
     def execute(self, metrics: Metrics) -> Iterator[tuple]:
-        for row in self.table.rows:
+        if self.partition is None:
+            rows = self.table.rows
+        else:
+            start, stop = self._bounds()
+            rows = self.table.rows[start:stop]
+        for row in rows:
             metrics.add("rows_scanned")
             yield row
 
@@ -44,19 +76,23 @@ class SeqScan(Operator):
     ) -> Iterator[ColumnBatch]:
         """Slice the table's cached columnar view; ``rows_scanned`` is
         charged once per batch with the batch length (same total as the
-        per-row charges of the row path)."""
+        per-row charges of the row path — and partition totals sum to the
+        unpartitioned scan's)."""
         columns = self.table.columnar()
-        total = len(self.table.rows)
+        first, last = self._bounds()
         schema = self.schema
-        for start in range(0, total, batch_size):
-            stop = min(start + batch_size, total)
+        for start in range(first, last, batch_size):
+            stop = min(start + batch_size, last)
             metrics.add("rows_scanned", stop - start)
             yield ColumnBatch(
                 schema, [column[start:stop] for column in columns], stop - start
             )
 
     def label(self) -> str:
-        return f"SeqScan({self.table.name} AS {self.alias})"
+        suffix = ""
+        if self.partition is not None:
+            suffix = f" [part {self.partition[0] + 1}/{self.partition[1]}]"
+        return f"SeqScan({self.table.name} AS {self.alias}{suffix})"
 
 
 class IndexScan(Operator):
@@ -65,7 +101,15 @@ class IndexScan(Operator):
     Output is guaranteed ordered by the (qualified) index key columns — the
     order property every OD rewrite trades on.  ``low``/``high`` are
     inclusive key-prefix bounds.
+
+    A partitionable source: the matched entry range splits into ``k``
+    contiguous position slices (each sorted by the key, slices in key
+    order — the shape :class:`~repro.engine.parallel.MergeExchange`
+    reassembles).  The per-execute ``index_probes`` charge belongs to
+    partition 0 alone so partition totals equal the serial scan's.
     """
+
+    partition_kind = "source"
 
     def __init__(
         self,
@@ -73,6 +117,7 @@ class IndexScan(Operator):
         alias: Optional[str] = None,
         low: Optional[tuple] = None,
         high: Optional[tuple] = None,
+        partition: Optional[tuple] = None,
     ) -> None:
         self.index = index
         self.table = index.table
@@ -83,10 +128,29 @@ class IndexScan(Operator):
         self.ordering = tuple(
             order_spec(f"{self.alias}.{column}" for column in index.key_columns)
         )
+        self.partition = partition  # (index, count) or None
+
+    def partition_clone(self, index: int, count: int) -> "IndexScan":
+        return IndexScan(
+            self.index, self.alias, self.low, self.high, partition=(index, count)
+        )
+
+    def prepare_parallel(self) -> None:
+        len(self.index)  # force the sorted-array build before threads race
+
+    def _position_bounds(self) -> "tuple[int, int]":
+        start, stop = self.index.range_positions(self.low, self.high)
+        if self.partition is None:
+            return start, stop
+        index, count = self.partition
+        width = max(0, stop - start)
+        return start + (index * width) // count, start + ((index + 1) * width) // count
 
     def execute(self, metrics: Metrics) -> Iterator[tuple]:
-        metrics.add("index_probes")
-        for row in self.index.range_scan(self.low, self.high):
+        if self.partition is None or self.partition[0] == 0:
+            metrics.add("index_probes")
+        start, stop = self._position_bounds()
+        for row in self.index.scan_positions(start, stop):
             metrics.add("rows_scanned")
             yield row
 
@@ -96,8 +160,10 @@ class IndexScan(Operator):
         """Chunk the key-ordered range scan and transpose each chunk;
         one ``index_probes`` plus per-batch ``rows_scanned`` charges, the
         same totals as the row path.  Key order carries batch-to-batch."""
-        metrics.add("index_probes")
-        scan = self.index.range_scan(self.low, self.high)
+        if self.partition is None or self.partition[0] == 0:
+            metrics.add("index_probes")
+        start, stop = self._position_bounds()
+        scan = self.index.scan_positions(start, stop)
         schema = self.schema
         while True:
             chunk = list(islice(scan, batch_size))
@@ -110,7 +176,10 @@ class IndexScan(Operator):
         bounds = ""
         if self.low is not None or self.high is not None:
             bounds = f" [{self.low} .. {self.high}]"
+        suffix = ""
+        if self.partition is not None:
+            suffix = f" [part {self.partition[0] + 1}/{self.partition[1]}]"
         return (
             f"IndexScan({self.index.name} ON {self.table.name} AS "
-            f"{self.alias}{bounds})"
+            f"{self.alias}{bounds}{suffix})"
         )

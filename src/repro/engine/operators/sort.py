@@ -20,7 +20,14 @@ class Sort(Operator):
     Charges ``sort_rows`` (and one ``sorts`` event) to the metrics; the
     shared :class:`~repro.engine.operators.base.Metrics.work` summary
     weights these at ``n·log2(n)``.
-    """
+
+    Not partition-transparent (``partition_kind`` stays ``None``): a
+    per-partition sort would charge K ``sorts`` events where the serial
+    plan charges one, breaking counter parity — and the whole point of
+    the paper is that provable orders make the Sort disappear, at which
+    point the chain below *is* parallelizable and the merge-exchange
+    preserves its order for free.  Exchange placement parallelizes the
+    input chain instead."""
 
     def __init__(self, child: Operator, keys: Sequence[str]) -> None:
         self.child = child

@@ -22,7 +22,12 @@ class TopN(Operator):
 
     Output is emitted in key order.  Ties are broken by input arrival order
     (stable, matching what ``Sort`` + ``Limit`` would produce).
-    """
+
+    Not partition-transparent (``partition_kind`` stays ``None``): like
+    ``Sort`` it charges a single ``sorts`` event, and its stable tiebreak
+    is a whole-stream arrival fact.  Unlike ``Limit`` it is no *barrier*
+    — TopN drains its child completely (no early termination), so the
+    input chain below it parallelizes safely."""
 
     def __init__(self, child: Operator, keys: Sequence[str], count: int) -> None:
         if count < 0:

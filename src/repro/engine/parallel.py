@@ -1,0 +1,432 @@
+"""Parallel batch execution: partitioned pipelines + order-preserving exchanges.
+
+The :class:`~repro.engine.batch.ColumnBatch` stream of PR 3 is the natural
+*exchange granule* for parallelism: a partitionable leaf (a scan) is split
+into contiguous partitions, the order/row-preserving chain above it
+(filters, projections) is cloned per partition, the per-partition pipelines
+run on a thread pool (with a deterministic single-threaded fallback), and a
+single **exchange** operator reassembles the partition streams into one
+batch stream for the serial remainder of the plan.
+
+Two exchange kinds, chosen by the planner from the physical property the
+subtree already declares (see
+:func:`repro.optimizer.properties.exchange_kind`):
+
+* :class:`MergeExchange` — when the subtree declares a non-empty
+  :class:`~repro.optimizer.properties.OrderSpec`: a k-way merge on the
+  ordering prefix interleaves the per-partition streams **without ever
+  introducing a sort** — the parallel form of the paper's whole program
+  (orders you can prove, you never re-establish).  The merge is stable
+  across partitions (ties go to the lower partition index), so over the
+  contiguous partitions the planner builds it reproduces the serial stream
+  bit-for-bit.
+* :class:`UnionExchange` — when the subtree declares no ordering: the
+  cheaper exchange, emitting partition streams in partition-index order
+  (deterministic; over contiguous partitions this *is* the serial stream).
+
+The execution contract — enforced query-by-query in the mode-matrix
+differential (``tests/harness/test_differential.py``) and property-tested
+in ``tests/engine/test_parallel.py``:
+
+* **bit-identical rows**: a parallel execution emits exactly the serial
+  batch path's rows in exactly the serial order, at every worker count;
+* **counter-identical metrics**: every partition charges a private
+  :class:`~repro.engine.operators.base.Metrics`, merged into the shared
+  one in partition order; per-execute charges (an ``index_probes`` probe)
+  are charged by partition 0 only, so totals equal the serial path's
+  exactly — exchanges themselves charge nothing, because the serial plan
+  has no exchange;
+* **determinism**: results never depend on thread scheduling — partitions
+  are fixed at plan time, drained to completion, and reassembled in a
+  fixed order.
+
+``LIMIT`` subtrees are never parallelized (``partition_kind ==
+"barrier"``): Limit stops pulling its child early, and an eager partition
+drain would charge scan work the serial path never does.
+
+Scheduling note: partitions are materialized (each worker drains its
+pipeline to a list of batches) rather than streamed through bounded
+queues — the same memory regime as ``Sort``/``MergeJoin``, with no
+abandoned-consumer deadlock risk.  Morsel-style streaming exchange and a
+process-pool backend are the ROADMAP follow-ons.
+"""
+from __future__ import annotations
+
+import heapq
+import os
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from itertools import islice
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .batch import DEFAULT_BATCH_SIZE, ColumnBatch
+from .operators.base import Metrics, Operator
+
+__all__ = [
+    "Exchange",
+    "UnionExchange",
+    "MergeExchange",
+    "partitionable",
+    "partition_pipeline",
+    "insert_exchanges",
+    "host_capability",
+]
+
+
+def host_capability() -> dict:
+    """Can threads on this host actually run Python code in parallel?
+
+    CPython threads only execute bytecode concurrently on a free-threaded
+    build (PEP 703) with more than one core available; everywhere else the
+    worker pool buys architecture, not speedup.  The benchmark baseline
+    records this (``parallel_capable`` in ``extra_info``) and the
+    bench/regression gates key their speedup-vs-overhead bars on it — one
+    definition, shared, so the two gates can never disagree.
+    """
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    gil_enabled = getattr(sys, "_is_gil_enabled", lambda: True)()
+    return {
+        "cpus": cpus,
+        "gil_enabled": gil_enabled,
+        "parallel_capable": cpus >= 2 and not gil_enabled,
+    }
+
+
+#: One process-wide worker pool, created lazily on the first threaded
+#: drain and reused by every exchange — spawning a pool per execution
+#: would put OS thread creation on the warm-query path, and a pool per
+#: cached plan would accumulate idle threads across the plan cache.
+#: Safe to share: exchanges never nest (placement stops at the first
+#: partitionable chain), and each drain submits, joins *all* futures,
+#: then merges counters — so concurrent executions just interleave tasks.
+#: ``workers`` chooses the partition count; concurrency is additionally
+#: bounded by the pool size.
+_SHARED_POOL: Optional[ThreadPoolExecutor] = None
+_SHARED_POOL_LOCK = threading.Lock()
+
+
+def _shared_pool() -> ThreadPoolExecutor:
+    global _SHARED_POOL
+    if _SHARED_POOL is None:
+        with _SHARED_POOL_LOCK:
+            if _SHARED_POOL is None:
+                _SHARED_POOL = ThreadPoolExecutor(
+                    max_workers=max(4, host_capability()["cpus"]),
+                    thread_name_prefix="repro-exchange",
+                )
+    return _SHARED_POOL
+
+
+# ----------------------------------------------------------------------
+# Partitionable-chain analysis (reads the hooks each operator declares)
+# ----------------------------------------------------------------------
+def partitionable(op: Operator) -> bool:
+    """Is this subtree a partitionable chain — a ``"source"`` leaf under
+    zero or more ``"transparent"`` (order/row-preserving unary) operators?"""
+    while True:
+        kind = op.partition_kind
+        if kind == "source":
+            return True
+        if kind == "transparent":
+            op = op.child  # type: ignore[attr-defined]
+            continue
+        return False
+
+
+def partition_pipeline(op: Operator, index: int, count: int) -> Operator:
+    """Clone a partitionable chain for one partition: the source becomes
+    its ``index``-of-``count`` contiguous slice, the transparent operators
+    above are rebuilt over the slice."""
+    kind = op.partition_kind
+    if kind == "source":
+        clone = op.partition_clone(index, count)
+        if clone is None:  # pragma: no cover - hook contract violation
+            raise TypeError(f"{op.label()} declares 'source' but returned no clone")
+        return clone
+    if kind == "transparent":
+        child = partition_pipeline(op.child, index, count)  # type: ignore[attr-defined]
+        clone = op.partition_through(child)
+        if clone is None:  # pragma: no cover - hook contract violation
+            raise TypeError(f"{op.label()} declares 'transparent' but returned no clone")
+        return clone
+    raise TypeError(f"{op.label()} is not part of a partitionable chain")
+
+
+# ----------------------------------------------------------------------
+# Exchange operators
+# ----------------------------------------------------------------------
+class Exchange(Operator):
+    """Base exchange: run per-partition pipelines, reassemble one stream.
+
+    ``partitions`` are the per-partition operator trees (each with the
+    same schema, and each individually honoring the declared ordering).
+    ``subtree`` — when built by the planner — is the serial chain the
+    partitions were cloned from: it is what ``children()`` exposes for
+    EXPLAIN, and what row-mode ``execute`` runs (the deterministic serial
+    fallback, with exactly the serial plan's counters).
+    """
+
+    #: "merge" or "union" — also the EXPLAIN vocabulary.
+    kind = "exchange"
+
+    def __init__(
+        self,
+        partitions: Sequence[Operator],
+        workers: Optional[int] = None,
+        subtree: Optional[Operator] = None,
+    ) -> None:
+        partitions = list(partitions)
+        if not partitions:
+            raise ValueError("an exchange needs at least one partition")
+        if workers is None:
+            workers = len(partitions)
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.partitions: List[Operator] = partitions
+        self.workers = workers
+        self.subtree = subtree
+        template = subtree if subtree is not None else partitions[0]
+        self.schema = template.schema
+        self.ordering = tuple(template.ordering)
+
+    # ------------------------------------------------------------------
+    def children(self) -> Sequence[Operator]:
+        if self.subtree is not None:
+            return (self.subtree,)
+        return tuple(self.partitions)
+
+    def label(self) -> str:
+        return f"{type(self).__name__}({len(self.partitions)} partitions)"
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, metrics: Metrics) -> Iterator[tuple]:
+        """Row mode: the deterministic serial fallback.
+
+        A planner-built exchange simply runs the serial subtree it
+        replaced — bit- and counter-identical to the unparallelized plan
+        by construction.  A bare exchange (test seam) drains its
+        partitions inline instead.
+        """
+        if self.subtree is not None:
+            yield from self.subtree.execute(metrics)
+            return
+        for batch in self.execute_batches(metrics):
+            yield from batch.rows()
+
+    def execute_batches(
+        self, metrics: Metrics, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        results = self._drain_partitions(metrics, batch_size)
+        yield from self._emit(results, batch_size)
+
+    def _drain_partitions(
+        self, metrics: Metrics, batch_size: int
+    ) -> List[List[ColumnBatch]]:
+        """Run every partition to completion; merge counters in partition
+        order (deterministic regardless of thread scheduling)."""
+        for partition in self.partitions:
+            partition.prepare_parallel()
+        locals_: List[Metrics] = [Metrics() for _ in self.partitions]
+        if self.workers <= 1 or len(self.partitions) <= 1:
+            # Deterministic single-threaded fallback: same partitions,
+            # same order, no pool.
+            results = [
+                list(partition.execute_batches(local, batch_size))
+                for partition, local in zip(self.partitions, locals_)
+            ]
+        else:
+            pool = _shared_pool()
+            futures = [
+                pool.submit(_drain_one, partition, local, batch_size)
+                for partition, local in zip(self.partitions, locals_)
+            ]
+            results = [future.result() for future in futures]
+        for local in locals_:
+            for key, value in local.counters.items():
+                metrics.add(key, value)
+        return results
+
+    def _emit(
+        self, results: List[List[ColumnBatch]], batch_size: int
+    ) -> Iterator[ColumnBatch]:
+        raise NotImplementedError
+
+
+def _drain_one(
+    partition: Operator, metrics: Metrics, batch_size: int
+) -> List[ColumnBatch]:
+    return list(partition.execute_batches(metrics, batch_size))
+
+
+class UnionExchange(Exchange):
+    """Order-insensitive exchange: emit partition streams in partition
+    order.  Over the contiguous partitions the planner builds, the
+    concatenation *is* the serial stream, so the choice of union over
+    merge is purely a cost call — no ordering obligation exists."""
+
+    kind = "union"
+
+    def __init__(self, partitions, workers=None, subtree=None) -> None:
+        super().__init__(partitions, workers, subtree)
+        # Concatenation makes no ordering promise: even if the partitions
+        # are individually sorted, their ranges may interleave.  Never
+        # advertise an OrderSpec this operator does not enforce — that is
+        # the soundness contract every provides() consumer trusts.  (The
+        # planner only picks union for empty specs anyway.)
+        self.ordering = ()
+
+    def _emit(
+        self, results: List[List[ColumnBatch]], batch_size: int
+    ) -> Iterator[ColumnBatch]:
+        for batches in results:
+            for batch in batches:
+                if len(batch):
+                    yield batch
+
+
+class MergeExchange(Exchange):
+    """Order-preserving exchange: k-way merge on the declared ordering.
+
+    Each partition stream must individually honor ``keys`` (the chain's
+    declared :class:`~repro.optimizer.properties.OrderSpec`); the merge
+    interleaves them into one conforming stream without sorting anything.
+    Ties across partitions resolve to the lower partition index
+    (``heapq.merge`` is stable by input position), which over contiguous
+    partitions reproduces the serial stream's arrival order exactly.
+
+    Fast path: when the partition boundary keys do not interleave (the
+    common case for contiguous range partitions), the merge degenerates
+    to concatenation and is emitted as such — the heap only runs when
+    streams genuinely overlap (e.g. the randomly-partitioned instances of
+    the property tests).
+    """
+
+    kind = "merge"
+
+    def __init__(
+        self,
+        partitions: Sequence[Operator],
+        workers: Optional[int] = None,
+        subtree: Optional[Operator] = None,
+        keys: Optional[Sequence[str]] = None,
+    ) -> None:
+        super().__init__(partitions, workers, subtree)
+        if keys is None:
+            keys = self.ordering
+        self.keys: Tuple[str, ...] = tuple(keys)
+        if not self.keys:
+            raise ValueError("MergeExchange needs a non-empty ordering")
+        self._positions = tuple(self.schema.position(key) for key in self.keys)
+
+    def label(self) -> str:
+        return (
+            f"MergeExchange({len(self.partitions)} partitions "
+            f"on [{', '.join(self.keys)}])"
+        )
+
+    def _key(self, row: tuple) -> tuple:
+        positions = self._positions
+        return tuple(row[p] for p in positions)
+
+    def _boundaries_disjoint(self, results: List[List[ColumnBatch]]) -> bool:
+        """True when partition key ranges touch only at boundaries in
+        partition order — then concatenation equals the stable merge."""
+        previous_last = None
+        for batches in results:
+            if not any(len(batch) for batch in batches):
+                continue
+            first = next(batch for batch in batches if len(batch))
+            last = next(batch for batch in reversed(batches) if len(batch))
+            positions = self._positions
+            first_key = tuple(first.columns[p][0] for p in positions)
+            if previous_last is not None and first_key < previous_last:
+                return False
+            previous_last = tuple(last.columns[p][-1] for p in positions)
+        return True
+
+    def _emit(
+        self, results: List[List[ColumnBatch]], batch_size: int
+    ) -> Iterator[ColumnBatch]:
+        if self._boundaries_disjoint(results):
+            for batches in results:
+                for batch in batches:
+                    if len(batch):
+                        yield batch
+            return
+        streams = [
+            _rows_of(batches) for batches in results if any(len(b) for b in batches)
+        ]
+        merged = heapq.merge(*streams, key=self._key)
+        schema = self.schema
+        while True:
+            chunk = list(islice(merged, batch_size))
+            if not chunk:
+                return
+            yield ColumnBatch.from_rows(schema, chunk)
+
+
+def _rows_of(batches: List[ColumnBatch]) -> Iterator[tuple]:
+    for batch in batches:
+        yield from batch.rows()
+
+
+# ----------------------------------------------------------------------
+# Exchange placement (called by the planner when ``workers`` is set)
+# ----------------------------------------------------------------------
+def insert_exchanges(root: Operator, workers: int, info=None) -> Operator:
+    """Wrap every maximal partitionable chain of a physical plan in an
+    exchange of ``workers`` contiguous partitions.
+
+    The exchange kind is decided by the chain's *declared* order property
+    (:func:`repro.optimizer.properties.exchange_kind`): a non-empty
+    :class:`~repro.optimizer.properties.OrderSpec` demands a
+    :class:`MergeExchange` keyed on it, the empty spec takes the cheaper
+    :class:`UnionExchange`.  ``LIMIT`` subtrees are left serial (their
+    ``partition_kind`` is ``"barrier"`` — exact early-termination parity).
+    ``info`` — a :class:`~repro.optimizer.planner.PlanInfo` — receives one
+    ``exchanges`` record per placement for EXPLAIN reporting.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be positive, got {workers}")
+    return _place(root, workers, info)
+
+
+def _place(op: Operator, workers: int, info) -> Operator:
+    if op.partition_kind == "barrier":
+        return op
+    if partitionable(op):
+        return _make_exchange(op, workers, info)
+    for child in tuple(op.children()):
+        replacement = _place(child, workers, info)
+        if replacement is not child:
+            op.replace_child(child, replacement)
+    return op
+
+
+def _make_exchange(subtree: Operator, workers: int, info) -> Exchange:
+    # Lazy import: the engine layer must not depend on the optimizer
+    # package at import time (the optimizer imports the engine's
+    # operators) — same rule as ``operators.base.order_spec``.
+    from ..optimizer.properties import exchange_kind
+
+    spec = subtree.provides()
+    partitions = [
+        partition_pipeline(subtree, index, workers) for index in range(workers)
+    ]
+    if exchange_kind(spec) == "merge":
+        exchange: Exchange = MergeExchange(
+            partitions, workers=workers, subtree=subtree, keys=tuple(spec)
+        )
+    else:
+        exchange = UnionExchange(partitions, workers=workers, subtree=subtree)
+    if info is not None:
+        info.exchanges.append(
+            (exchange.kind, len(partitions), tuple(spec), subtree.label())
+        )
+    return exchange

@@ -39,6 +39,7 @@ from .properties import (
     OrderSpec,
     PhysicalProperty,
     column_equivalent,
+    exchange_kind,
     groupable,
     reduce_keys,
     satisfies,
@@ -66,6 +67,7 @@ __all__ = [
     "groupable",
     "reduce_keys",
     "column_equivalent",
+    "exchange_kind",
     "reduce_order_fd",
     "reduce_order_od",
     "reduce_order_exact",

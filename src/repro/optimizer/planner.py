@@ -160,11 +160,17 @@ class PlanInfo:
     cache_state: str = "uncached"
     cache_serves: int = 0
     #: How the plan was last *executed* (an execution-time fact, set by
-    #: ``Database.execute``/``explain``): ``"row (iterator)"`` or
-    #: ``"vectorized (batch size N)"``.  Like ``cache_state``, one
-    #: PlanInfo is shared by every holder of a cached plan — sample it
-    #: right after the execution you care about.
+    #: ``Database.execute``/``explain``): ``"row (iterator)"``,
+    #: ``"vectorized (batch size N)"`` or ``"parallel (K workers, batch
+    #: size N)"``.  Like ``cache_state``, one PlanInfo is shared by every
+    #: holder of a cached plan — sample it right after the execution you
+    #: care about.
     execution: str = "row (iterator)"
+    #: Parallel planning: the worker count exchanges were placed for
+    #: (``None`` — serial plan), and one record per placed exchange:
+    #: ``(kind, partitions, ordering keys, partitioned subtree label)``.
+    workers: Optional[int] = None
+    exchanges: List[tuple] = field(default_factory=list)
 
     @property
     def oracle_hit_rate(self) -> float:
@@ -177,6 +183,19 @@ class PlanInfo:
         much oracle work was cached vs enumerated."""
         lines = [f"plan mode: {self.mode}"]
         lines.append(f"execution: {self.execution}")
+        if self.workers is not None:
+            if self.exchanges:
+                for kind, partitions, keys, label in self.exchanges:
+                    detail = f" on [{', '.join(keys)}]" if keys else ""
+                    lines.append(
+                        f"exchange: {kind}-exchange, {partitions} partitions"
+                        f"{detail} over {label}"
+                    )
+            else:
+                lines.append(
+                    f"parallel: no partitionable subtree at workers="
+                    f"{self.workers} (plan runs serial)"
+                )
         for rewrite in self.date_rewrites:
             lines.append(f"join eliminated: {rewrite.describe()}")
         lines.append(f"sorts avoided: {self.avoided_sorts}")
@@ -213,13 +232,22 @@ class PlanInfo:
 class Planner:
     """Translate a logical tree into an executable operator tree."""
 
-    def __init__(self, database, optimize: bool = True, mode: Optional[str] = None):
+    def __init__(
+        self,
+        database,
+        optimize: bool = True,
+        mode: Optional[str] = None,
+        workers: Optional[int] = None,
+    ):
         self.database = database
         if mode is None:
             mode = "od" if optimize else "fd"
         if mode not in ("naive", "fd", "od"):
             raise ValueError(f"unknown planning mode {mode!r}")
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
         self.mode = mode
+        self.workers = workers
         self.info = PlanInfo(mode=mode)
         self.resolver: Optional[NameResolver] = None
         #: id(theory) -> (theory, stats snapshot at first acquisition); the
@@ -241,8 +269,19 @@ class Planner:
                 logical = push_filters(logical, self.resolver)
         planned = self._plan(logical, Desired())
         self._finalize_oracle_stats()
-        planned.op.plan_info = self.info  # type: ignore[attr-defined]
-        return planned.op
+        op = planned.op
+        if self.workers is not None:
+            # Physical parallelization: wrap maximal partitionable chains
+            # in exchanges whose kind the declared order property decides
+            # (merge preserves it, union suffices without one).  Purely a
+            # tree transform — results and counter totals stay exactly
+            # the serial plan's (the mode-matrix differential's gate).
+            from ..engine.parallel import insert_exchanges  # lazy: avoids cycle
+
+            self.info.workers = self.workers
+            op = insert_exchanges(op, self.workers, self.info)
+        op.plan_info = self.info  # type: ignore[attr-defined]
+        return op
 
     # ------------------------------------------------------------------
     # Property-framework access (theories interned, stats attributed)

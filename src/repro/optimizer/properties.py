@@ -50,6 +50,7 @@ __all__ = [
     "groupable",
     "reduce_keys",
     "column_equivalent",
+    "exchange_kind",
 ]
 
 PLAN_MODES = ("naive", "fd", "od")
@@ -256,6 +257,22 @@ def reduce_keys(
     if mode == "od":
         return reduce_order_od(theory, keys)
     raise ValueError(f"unknown planning mode {mode!r}")
+
+
+def exchange_kind(spec: Sequence[str]) -> str:
+    """Which exchange reassembles a partitioned subtree without breaking
+    its declared physical property?
+
+    A subtree that declares a non-empty :class:`OrderSpec` owes that order
+    to its consumers, so its partition streams must be **merged** on the
+    ordering prefix (a k-way merge — never a re-sort; that is the whole
+    point of carrying the property).  The empty spec owes nothing, so the
+    cheaper concatenating **union** exchange suffices.  Returns ``"merge"``
+    or ``"union"`` — the vocabulary
+    :func:`repro.engine.parallel.insert_exchanges` and ``EXPLAIN`` share.
+    """
+    spec = spec if isinstance(spec, OrderSpec) else OrderSpec(spec)
+    return "union" if spec.empty else "merge"
 
 
 def column_equivalent(theory: ODTheory, left: str, right: str) -> bool:

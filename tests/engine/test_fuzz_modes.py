@@ -7,6 +7,12 @@ ODs, runs each through the naive / fd / od planners, and checks:
 * any ORDER BY is actually honored by every mode's output;
 * the od plan never does more work than the naive plan.
 
+On top of the planner-mode matrix, the *execution*-mode matrix: every
+generated query must be **bit- and counter-identical** across row,
+vectorized (drawn ``batch_size``), and parallel (drawn ``workers``)
+execution — including the degenerate databases (empty tables, tables
+smaller than the partition count) where partition slices go empty.
+
 This is the broadest correctness net over the whole engine + optimizer
 stack: any unsound rewrite shows up as a row mismatch.
 """
@@ -120,6 +126,75 @@ def test_modes_agree(query):
     naive_rows = sorted(outputs["naive"][0])
     assert sorted(outputs["fd"][0]) == naive_rows, sql
     assert sorted(outputs["od"][0]) == naive_rows, sql
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    queries(),
+    st.sampled_from([1, 2, 4]),
+    st.sampled_from([1, 7, 64]),
+)
+def test_parallel_mode_agrees(query, workers, batch_size):
+    """Row, vectorized, and parallel execution of one od plan template
+    must be bit-identical (same rows, same order) and counter-identical
+    at every drawn (workers, batch_size) combination."""
+    sql, _ = query
+    serial_plan = Planner(DB, mode="od").plan(bind(parse(sql)))
+    rows_row, metrics_row = serial_plan.run()
+    rows_batch, metrics_batch = serial_plan.run_batches(batch_size)
+    assert rows_batch == rows_row, sql
+    assert metrics_batch.counters == metrics_row.counters, sql
+
+    parallel_plan = Planner(DB, mode="od", workers=workers).plan(bind(parse(sql)))
+    rows_parallel, metrics_parallel = parallel_plan.run_batches(batch_size)
+    assert rows_parallel == rows_row, f"workers={workers}: {sql}"
+    assert metrics_parallel.counters == metrics_row.counters, (
+        f"workers={workers}: {sql}"
+    )
+
+
+def _edge_db(rows) -> Database:
+    database = Database()
+    table = database.create_table(
+        "e", Schema.of(("a", DataType.INT), ("b", DataType.INT))
+    )
+    table.load(rows)
+    database.create_index("e_a", "e", ["a"], clustered=True)
+    return database
+
+
+EDGE_SQL = (
+    "SELECT a, b FROM e ORDER BY a",
+    "SELECT a, COUNT(*) AS n FROM e GROUP BY a ORDER BY a",
+    "SELECT COUNT(*) AS n, SUM(b) AS s FROM e",
+    "SELECT DISTINCT b FROM e",
+    "SELECT a, b FROM e WHERE a >= 1 ORDER BY a",
+)
+
+
+@pytest.mark.parametrize(
+    "rows",
+    [[], [(1, 2)], [(2, 1), (1, 2), (1, 0)]],
+    ids=["empty", "single-row", "fewer-rows-than-partitions"],
+)
+def test_parallel_edge_tables(rows):
+    """Empty tables and single-row partitions: every partition slice may
+    be empty, and the matrix must still agree exactly."""
+    database = _edge_db(rows)
+    for sql in EDGE_SQL:
+        serial = database.execute(sql)
+        for workers in (1, 2, 4, 5):
+            for batch_size in (1, 7):
+                result = database.execute(
+                    sql, batch_size=batch_size, workers=workers
+                )
+                label = f"{sql} workers={workers} batch={batch_size}"
+                assert result.rows == serial.rows, label
+                assert result.metrics.counters == serial.metrics.counters, label
 
 
 @settings(max_examples=40, deadline=None)

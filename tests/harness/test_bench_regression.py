@@ -59,6 +59,18 @@ def _check(measured: float, baseline: float, label: str) -> None:
     )
 
 
+def _fact_pipeline(seed: int, rows: int = 20_000):
+    """The small scan→filter→aggregate fixture the execution-mode proxies
+    share (vectorized and parallel): returns a zero-arg pipeline builder
+    over a freshly generated fact table — the *same* workload shape the
+    benchmarks measure (``repro.workloads.microbench``), so the committed
+    baselines and these proxies can never drift apart."""
+    from repro.workloads.microbench import build_fact, scan_filter_aggregate
+
+    table = build_fact(rows, seed=seed)
+    return lambda: scan_filter_aggregate(table)
+
+
 @pytest.fixture(scope="module")
 def tiny_tpcds():
     from repro.workloads.tpcds_lite import build_tpcds_lite
@@ -145,37 +157,7 @@ def test_vectorized_throughput_not_regressed():
         f"{batch_baseline * 1e3:.1f}ms (< 5x)"
     )
 
-    import random
-
-    from repro.engine.expr import Between, Col, Lit
-    from repro.engine.operators import AggSpec, Filter, HashAggregate, SeqScan
-    from repro.engine.schema import Schema
-    from repro.engine.table import Table
-    from repro.engine.types import DataType
-
-    rng = random.Random(23)
-    table = Table(
-        "fact",
-        Schema.of(
-            ("income", DataType.INT),
-            ("bracket", DataType.INT),
-            ("payable", DataType.FLOAT),
-        ),
-    )
-    rows = []
-    for _ in range(20_000):
-        income = rng.randint(0, 400_000)
-        rows.append((income, income // 10_000, round(income * 0.21, 2)))
-    table.load(rows, check=False)
-    table.columnar()
-
-    def pipeline():
-        return HashAggregate(
-            Filter(SeqScan(table), Between(Col("income"), Lit(50_000), Lit(250_000))),
-            ["bracket"],
-            [AggSpec("COUNT", None, "n"), AggSpec("SUM", Col("payable"), "total")],
-        )
-
+    pipeline = _fact_pipeline(seed=23)
     assert pipeline().run_batches(1024)[0] == pipeline().run()[0]
     row_s = _best_of(lambda: pipeline().run())
     batch_s = _best_of(lambda: pipeline().run_batches(1024))
@@ -184,6 +166,73 @@ def test_vectorized_throughput_not_regressed():
         f"{batch_s * 1e3:.2f}ms vs row {row_s * 1e3:.2f}ms "
         f"({row_s / batch_s:.2f}x, gate 2.5x)"
     )
+
+
+def test_parallel_execution_not_regressed():
+    """Proxy for bench_parallel::*.
+
+    Ratio-based and capability-aware, because thread parallelism for
+    pure-Python work exists only on multi-core free-threaded builds:
+
+    1. the committed baseline must document its claim honestly — if it
+       was recorded on a parallel-capable host, the recorded workers=4
+       speedup must be ≥1.5×; if not (stock GIL or one core), the
+       recorded overhead must stay within the 0.5× floor;
+    2. live, on a small fixture: parallel execution must stay
+       bit-identical and counter-identical to serial, and the exchange
+       machinery's overhead must stay bounded (workers=4 ≥ 0.4× of
+       workers=1 rows/sec — wide enough for CI noise, tight enough that
+       an accidental re-sort, re-scan, or serialization of the whole
+       stream through a busy lock trips it);
+    3. live, when *this* host is parallel-capable: workers=4 must beat
+       workers=1 by a conservative 1.3× (the bench asserts the full
+       1.5× where the baseline is recorded).
+    """
+    import json as _json
+
+    path = ROOT / "BENCH_bench_parallel.json"
+    if not path.exists():
+        pytest.skip("no committed baseline BENCH_bench_parallel.json")
+    entries = _json.loads(path.read_text())
+    claim = entries.get("test_parallel_scaling_claim", {}).get("extra_info", {})
+    recorded_speedup = claim.get("speedup_workers4_vs_1")
+    if recorded_speedup is not None:
+        if claim.get("parallel_capable"):
+            assert recorded_speedup >= 1.5, (
+                f"committed baseline lost the parallel edge: workers=4 only "
+                f"{recorded_speedup}x on a parallel-capable recording host"
+            )
+        else:
+            assert recorded_speedup >= 0.5, (
+                f"committed baseline documents out-of-bounds parallel "
+                f"overhead: {recorded_speedup}x"
+            )
+
+    from repro.engine.parallel import host_capability, insert_exchanges
+
+    pipeline = _fact_pipeline(seed=29)
+    serial_rows, serial_metrics = pipeline().run_batches(1024)
+    for workers in (1, 4):
+        par_rows, par_metrics = insert_exchanges(pipeline(), workers).run_batches(1024)
+        assert par_rows == serial_rows, f"workers={workers}: rows differ"
+        assert par_metrics.counters == serial_metrics.counters, (
+            f"workers={workers}: counters differ"
+        )
+
+    one_s = _best_of(lambda: insert_exchanges(pipeline(), 1).run_batches(1024))
+    four_s = _best_of(lambda: insert_exchanges(pipeline(), 4).run_batches(1024))
+    live_speedup = one_s / four_s
+    assert live_speedup >= 0.4, (
+        f"parallel execution overhead regressed: workers=4 is "
+        f"{live_speedup:.2f}x of workers=1 (floor 0.4x) — "
+        f"{four_s * 1e3:.2f}ms vs {one_s * 1e3:.2f}ms"
+    )
+
+    if host_capability()["parallel_capable"]:
+        assert live_speedup >= 1.3, (
+            f"parallel execution lost its edge on a parallel-capable host: "
+            f"workers=4 only {live_speedup:.2f}x of workers=1 (gate 1.3x)"
+        )
 
 
 def test_memoized_oracle_repeats_not_regressed():

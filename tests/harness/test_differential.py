@@ -31,6 +31,16 @@ to stress batch-boundary carry logic, a large one for the production
 shape; CI adds ``1`` and ``1024``).  Batch results must be bit-identical
 to the row-mode rows — including ORDER BY prefixes — and the ``Metrics``
 row counters must match the row path's totals exactly.
+
+Completing the mode matrix, every query also runs **parallel**
+(``workers=K`` — partitioned chains behind order-preserving exchanges)
+at every count in ``REPRO_DIFF_WORKERS`` (default ``2``; the
+``parallel-correctness`` CI job runs ``1,2,4``), both plan-cache-cold
+(fresh exchange placement) and plan-cache-warm (the cached parallel
+tree re-executed, which doubles as a determinism check).  Every parallel
+leg must be bit-identical to the serial rows with exactly the serial
+counter totals — partitioning, thread scheduling, and exchange
+reassembly must be invisible.
 """
 from __future__ import annotations
 
@@ -77,6 +87,15 @@ BATCH_SIZES = tuple(
     int(size)
     for size in os.environ.get("REPRO_DIFF_BATCH_SIZES", "7,256").split(",")
     if size.strip()
+)
+
+#: Parallel worker counts the harness exercises; override with a
+#: comma-separated ``REPRO_DIFF_WORKERS`` (the parallel-correctness CI
+#: job runs ``1,2,4``).  Empty disables the parallel legs.
+WORKER_COUNTS = tuple(
+    int(workers)
+    for workers in os.environ.get("REPRO_DIFF_WORKERS", "2").split(",")
+    if workers.strip()
 )
 
 
@@ -148,6 +167,43 @@ def run_differential(database, sql, order_keys=()):
         assert batch_cold.metrics.counters == cold.metrics.counters, (
             "batch_cold: counters differ"
         )
+
+    # Parallel mode: the same query over partitioned chains behind
+    # order-preserving exchanges.  Cold first (fresh exchange placement —
+    # parallel plans cache under their own "od+wK" mode key, so this
+    # never evicts or serves the serial entries), then warm (the cached
+    # parallel tree re-executed: also a determinism check).  Every leg
+    # must reproduce the serial rows bit-for-bit with the serial counter
+    # totals.
+    if BATCH_SIZES and WORKER_COUNTS:
+        parallel_batch = BATCH_SIZES[0]
+        for workers in WORKER_COUNTS:
+            par_cold = database.execute(
+                sql, optimize=True, batch_size=parallel_batch, workers=workers
+            )
+            label = f"parallel_cold[w{workers}]"
+            assert par_cold.plan.plan_info.cache_state == "miss", label
+            assert par_cold.plan is not cold.plan, (
+                f"{label}: parallel and serial plans must never mix"
+            )
+            assert par_cold.columns == cold.columns, f"{label}: column mismatch"
+            assert par_cold.rows == cold.rows, (
+                f"{label}: parallel rows differ from serial rows"
+            )
+            assert par_cold.metrics.counters == cold.metrics.counters, (
+                f"{label}: counters differ (parallel "
+                f"{par_cold.metrics.counters} vs serial {cold.metrics.counters})"
+            )
+            par_warm = database.execute(
+                sql, optimize=True, batch_size=parallel_batch, workers=workers
+            )
+            label = f"parallel_warm[w{workers}]"
+            assert par_warm.plan is par_cold.plan, f"{label}: not the cached plan"
+            assert par_warm.plan.plan_info.cache_state == "hit", label
+            assert par_warm.rows == cold.rows, f"{label}: rows drifted"
+            assert par_warm.metrics.counters == cold.metrics.counters, (
+                f"{label}: counters drifted"
+            )
     return baseline, cold, warm
 
 
