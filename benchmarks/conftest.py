@@ -113,6 +113,15 @@ def tpcds():
 
 
 @pytest.fixture(scope="session")
+def snowflake():
+    from repro.workloads.snowflake import build_snowflake
+
+    workload = build_snowflake(days=scaled(365 * 2), sales_rows=scaled(60_000))
+    _warm(workload.database)
+    return workload
+
+
+@pytest.fixture(scope="session")
 def date_db():
     from repro.engine.database import Database
     from repro.workloads.datedim import build_date_dim

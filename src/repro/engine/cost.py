@@ -17,8 +17,12 @@ __all__ = ["Cost", "scan_cost", "sort_cost", "hash_cost", "probe_cost"]
 PROBE_COST = 4.0
 #: Multiplier on n·log2(n) comparisons for sorting.
 SORT_FACTOR = 1.2
-#: Per-row cost of building/probing a hash table.
-HASH_FACTOR = 1.5
+#: Per-row cost of inserting into a hash table (allocate + bucket append).
+HASH_BUILD_FACTOR = 1.75
+#: Per-row cost of probing a hash table (lookup only).  Strictly below the
+#: build factor so a cost-based search puts the smaller input on the build
+#: side — the asymmetry every real hash join has.
+HASH_PROBE_FACTOR = 1.25
 
 
 @dataclass(frozen=True)
@@ -52,8 +56,10 @@ def sort_cost(rows: float) -> Cost:
 
 
 def hash_cost(build_rows: float, probe_rows: float) -> Cost:
-    """Hash build + probe."""
-    return Cost(cpu=HASH_FACTOR * (build_rows + probe_rows))
+    """Hash build + probe (building weighs more per row than probing)."""
+    return Cost(
+        cpu=HASH_BUILD_FACTOR * build_rows + HASH_PROBE_FACTOR * probe_rows
+    )
 
 
 def probe_cost(probes: float) -> Cost:

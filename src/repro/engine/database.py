@@ -67,7 +67,11 @@ class Database:
         self.name = name
         self.tables: Dict[str, Table] = {}
         self.indexes: Dict[str, SortedIndex] = {}
-        self._stats: Dict[str, TableStats] = {}
+        #: table name → (catalog epoch at collection, stats).  Epoch-keyed
+        #: like the plan cache: inserts and DDL bump the epoch, so a
+        #: post-mutation ``stats()`` call always recollects instead of
+        #: serving row counts from before the mutation.
+        self._stats: Dict[str, Tuple[int, TableStats]] = {}
         #: Whole-plan memoization: logical fingerprint + mode → physical
         #: plan, invalidated by catalog-epoch mismatch (see
         #: :mod:`repro.optimizer.plan_cache`).
@@ -123,10 +127,19 @@ class Database:
         return list(self.table(table_name).constraints)
 
     def stats(self, table_name: str, refresh: bool = False) -> TableStats:
-        """Cached table statistics (one pass on first request)."""
-        if refresh or table_name not in self._stats:
-            self._stats[table_name] = collect_stats(self.table(table_name))
-        return self._stats[table_name]
+        """Cached table statistics, invalidated by the catalog epoch.
+
+        One collection pass per (table, epoch): any mutation — insert,
+        DDL, constraint registration — bumps the shared epoch clock, so
+        cardinality estimates can never be computed from pre-mutation row
+        counts (the same staleness contract the plan cache honors).
+        """
+        epoch = current_epoch()
+        entry = self._stats.get(table_name)
+        if refresh or entry is None or entry[0] != epoch:
+            entry = (epoch, collect_stats(self.table(table_name)))
+            self._stats[table_name] = entry
+        return entry[1]
 
     # ------------------------------------------------------------------
     # Query entry points
@@ -160,6 +173,7 @@ class Database:
         optimize: bool = True,
         use_cache: bool = True,
         workers: Optional[int] = None,
+        join_order: str = "cost",
     ) -> Operator:
         """Parse, bind, optimize (optionally) and return the physical plan.
 
@@ -175,18 +189,33 @@ class Database:
         parallel plans are cached under their own mode key
         (``"od+w4"``), so serial and parallel plannings of one template
         never serve each other's trees.
+
+        ``join_order`` selects how multi-join queries are ordered:
+        ``"cost"`` (the default) runs the cost-based search of
+        :mod:`repro.optimizer.joinorder` over the query's join graph;
+        ``"syntactic"`` keeps the parse order (the pre-search behaviour,
+        and the baseline the differential harness compares against).
+        Syntactic plans cache under a join-order-qualified mode key
+        (``"od+syntactic"``), so the two orderings never serve each
+        other's trees.
         """
         from ..optimizer.planner import Planner  # lazy: avoids import cycle
 
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
+        if join_order not in ("cost", "syntactic"):
+            raise ValueError(f"unknown join_order {join_order!r}")
         logical, fp = self._bind(sql)
         if not use_cache:
-            plan = Planner(self, optimize=optimize, workers=workers).plan(logical)
+            plan = Planner(
+                self, optimize=optimize, workers=workers, join_order=join_order
+            ).plan(logical)
             plan.plan_info.cache_state = "bypass"
             return plan
 
         mode = "od" if optimize else "fd"
+        if join_order != "cost":
+            mode = f"{mode}+{join_order}"
         if workers is not None:
             mode = f"{mode}+w{workers}"
         epoch = current_epoch()
@@ -196,7 +225,9 @@ class Database:
             info.cache_state = "hit"
             info.cache_serves = entry.serves
             return entry.plan
-        plan = Planner(self, optimize=optimize, workers=workers).plan(logical)
+        plan = Planner(
+            self, optimize=optimize, workers=workers, join_order=join_order
+        ).plan(logical)
         info = plan.plan_info  # type: ignore[attr-defined]
         info.fingerprint = fp
         info.epoch = epoch
@@ -239,6 +270,7 @@ class Database:
         use_cache: bool = True,
         batch_size: Optional[int] = None,
         workers: Optional[int] = None,
+        join_order: str = "cost",
     ) -> QueryResult:
         """Run a query to completion.
 
@@ -256,7 +288,11 @@ class Database:
         """
         batch_size = self._resolve_batch(batch_size, workers)
         plan = self.plan(
-            sql, optimize=optimize, use_cache=use_cache, workers=workers
+            sql,
+            optimize=optimize,
+            use_cache=use_cache,
+            workers=workers,
+            join_order=join_order,
         )
         info = getattr(plan, "plan_info", None)
         if batch_size is not None:
@@ -277,22 +313,30 @@ class Database:
         use_cache: bool = True,
         batch_size: Optional[int] = None,
         workers: Optional[int] = None,
+        join_order: str = "cost",
     ) -> str:
         """The physical plan as text.
 
         With ``workers=K`` the tree shows the placed exchange operators
         (merge or union) over their partitioned chains.  ``verbose=True``
         appends the planner's decision log — which sorts/joins were
-        eliminated, each exchange's kind / partition count / ordering
-        keys, how much oracle work was answered from the memoized result
-        cache vs enumerated, whether this plan was a plan-cache hit,
-        miss, or bypass (with its fingerprint prefix and catalog epoch),
-        and which execution mode the given ``batch_size``/``workers``
-        select (row iterators, vectorized batches, or parallel batches).
+        eliminated, the join order the cost-based search chose (with its
+        estimate and the syntactic-order estimate it beat), the plan's
+        estimated rows/cost, each exchange's kind / partition count /
+        ordering keys, how much oracle work was answered from the
+        memoized result cache vs enumerated, whether this plan was a
+        plan-cache hit, miss, or bypass (with its fingerprint prefix and
+        catalog epoch), and which execution mode the given
+        ``batch_size``/``workers`` select (row iterators, vectorized
+        batches, or parallel batches).
         """
         batch_size = self._resolve_batch(batch_size, workers)
         plan = self.plan(
-            sql, optimize=optimize, use_cache=use_cache, workers=workers
+            sql,
+            optimize=optimize,
+            use_cache=use_cache,
+            workers=workers,
+            join_order=join_order,
         )
         text = plan.explain()
         info = getattr(plan, "plan_info", None)

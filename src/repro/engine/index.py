@@ -91,13 +91,16 @@ class SortedIndex:
         self, start: int, stop: int, reverse: bool = False
     ) -> Iterator[tuple]:
         """Yield table rows for the entry positions ``[start, stop)`` in
-        key order (reversed when asked)."""
+        key order (reversed when asked).  Iterates in place — no slice
+        copy of the entry array per scan."""
         self._ensure_built()
-        entries = self._entries[start:stop]
+        entries = self._entries
+        rows = self.table.rows
+        indices = range(start, stop)
         if reverse:
-            entries = reversed(entries)
-        for _, rowid in entries:
-            yield self.table.rows[rowid]
+            indices = reversed(indices)
+        for position in indices:
+            yield rows[entries[position][1]]
 
     def range_scan(
         self,

@@ -2,16 +2,32 @@
 
 Per-column min/max/distinct counts plus row counts — the minimum a
 cost-based optimizer needs to rank plan alternatives for the paper's
-experiments (selectivity of date ranges, group counts for aggregates).
+experiments (selectivity of date ranges, group counts for aggregates)
+and, since the join-ordering subsystem, NDV-based equi-join output
+cardinalities under the classic containment assumption
+(:func:`equijoin_rows`).
 """
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 from .table import Table
 
-__all__ = ["ColumnStats", "TableStats", "collect_stats"]
+__all__ = [
+    "DEFAULT_SELECTIVITY",
+    "ColumnStats",
+    "TableStats",
+    "collect_stats",
+    "equijoin_rows",
+]
+
+#: Selectivity assumed for predicates the estimator cannot analyze — an
+#: unknown comparison, a non-numeric range, a column with no statistics.
+#: One shared constant (historically ``optimizer/costing.py`` used 0.33
+#: while the non-numeric range fallback here used 0.3; the estimates they
+#: feed are compared against each other, so they must agree).
+DEFAULT_SELECTIVITY = 0.33
 
 
 @dataclass(frozen=True)
@@ -32,8 +48,8 @@ class ColumnStats:
         try:
             span = self.maximum - self.minimum
             window = hi - lo
-        except TypeError:  # non-numeric domain: fall back to a constant
-            return 0.3
+        except TypeError:  # non-numeric domain: fall back to the shared default
+            return DEFAULT_SELECTIVITY
         if hasattr(span, "days"):  # date arithmetic yields timedeltas
             span = span.days
             window = window.days
@@ -55,6 +71,40 @@ class TableStats:
 
     def column(self, name: str) -> Optional[ColumnStats]:
         return self.columns.get(name)
+
+
+def equijoin_rows(
+    left_rows: float,
+    right_rows: float,
+    key_ndvs: Iterable[Tuple[Optional[int], Optional[int]]],
+) -> float:
+    """Equi-join output cardinality under the containment assumption.
+
+    For each join-key pair the smaller key domain is assumed contained in
+    the larger (System R's classic heuristic), so every left/right row
+    pair matches with probability ``1 / max(ndv_left, ndv_right)``::
+
+        |L ⋈ R| = |L| · |R| / Π max(ndv_l, ndv_r)
+
+    Key pairs with no usable NDV on either side (``None`` or 0 — no
+    statistics collected, empty column) fall back to dividing by
+    ``max(|L|, |R|)`` — the pre-NDV heuristic — applied at most once so
+    multi-key joins without statistics don't collapse to zero.
+    """
+    rows = float(left_rows) * float(right_rows)
+    fallback_used = False
+    applied = False
+    for left_ndv, right_ndv in key_ndvs:
+        denominator = max(left_ndv or 0, right_ndv or 0)
+        if denominator > 0:
+            rows /= denominator
+            applied = True
+        elif not fallback_used:
+            rows /= max(left_rows, right_rows, 1.0)
+            fallback_used = True
+    if not applied and not fallback_used:
+        rows /= max(left_rows, right_rows, 1.0)
+    return max(1.0, rows)
 
 
 def collect_stats(table: Table) -> TableStats:

@@ -20,7 +20,14 @@ order, bottom-up):
   and the date-dimension surrogate-key join elimination ([18] /
   Section 2.3), verified through the property framework.
 * :mod:`repro.optimizer.costing` — cardinality + cost estimation,
-  pricing sort-avoidance from operators' declared order properties.
+  pricing sort-avoidance from operators' declared order properties and
+  equi-join output sizes from per-column NDVs (containment assumption).
+* :mod:`repro.optimizer.joingraph` — flattens a logical join block into
+  relations + equi-join edges for the ordering search.
+* :mod:`repro.optimizer.joinorder` — cost-based join ordering: DP
+  enumeration (greedy above :data:`~repro.optimizer.joinorder.DP_MAX_RELATIONS`)
+  over a Pareto frontier of (cost, provided order) entries, with
+  OD-implied orders merging frontier classes.
 * :mod:`repro.optimizer.planner` — physical planning in ``naive`` /
   ``fd`` / ``od`` modes; attributes per-plan oracle activity (cache hits
   vs enumerations) to :class:`~repro.optimizer.planner.PlanInfo` for
@@ -31,6 +38,13 @@ order, bottom-up):
 """
 from .context import build_theory, clear_theory_cache, qualify_statement
 from .costing import PlanEstimate, estimate_plan
+from .joingraph import BaseRelation, JoinEdge, JoinGraph, extract_join_graph
+from .joinorder import (
+    DP_MAX_RELATIONS,
+    JoinOrderDecision,
+    JoinOrderResult,
+    search_join_order,
+)
 from .plan_cache import PlanCache, PlanCacheEntry, canonical_tuple, fingerprint
 from .planner import Desired, Planner, PlanInfo
 from .properties import (
@@ -87,4 +101,12 @@ __all__ = [
     "fingerprint",
     "estimate_plan",
     "PlanEstimate",
+    "BaseRelation",
+    "JoinEdge",
+    "JoinGraph",
+    "extract_join_graph",
+    "DP_MAX_RELATIONS",
+    "JoinOrderDecision",
+    "JoinOrderResult",
+    "search_join_order",
 ]

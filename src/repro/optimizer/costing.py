@@ -30,13 +30,15 @@ from ..engine.operators import (
     StreamAggregate,
     TopN,
 )
-from ..engine.stats import ColumnStats, TableStats
+from ..engine.stats import (
+    DEFAULT_SELECTIVITY,
+    ColumnStats,
+    TableStats,
+    equijoin_rows,
+)
 from .properties import OrderSpec
 
-__all__ = ["PlanEstimate", "estimate_plan"]
-
-#: default selectivity for predicates we cannot analyze
-DEFAULT_SELECTIVITY = 0.33
+__all__ = ["PlanEstimate", "estimate_plan", "DEFAULT_SELECTIVITY"]
 
 
 @dataclass(frozen=True)
@@ -51,16 +53,31 @@ class PlanEstimate:
 
 
 def _column_stats(database, op, reference: str) -> Optional[ColumnStats]:
-    """Stats for a (qualified) column reference at a scan operator."""
+    """Stats for a (possibly qualified) column reference in a subtree.
+
+    Walks down to the scan that owns the reference (its alias-qualified
+    schema resolves it), so join-key and group-column NDVs are found
+    through filters, projections, and join compositions — not just when
+    the predicate sits directly above its scan.  Renamed/computed columns
+    stop the search (``None``): no statistics beat wrong statistics.
+    """
     table = getattr(op, "table", None)
-    if table is None:
-        return None
-    bare = reference.split(".", 1)[-1]
-    try:
-        resolved = table.schema.resolve(bare)
-    except (KeyError, ValueError):
-        return None
-    return database.stats(table.name).column(resolved)
+    if table is not None:
+        try:
+            resolved = op.schema.resolve(reference)
+        except (KeyError, ValueError):
+            return None
+        bare = resolved.split(".", 1)[-1]
+        try:
+            column = table.schema.resolve(bare)
+        except (KeyError, ValueError):
+            return None
+        return database.stats(table.name).column(column)
+    for child in op.children():
+        found = _column_stats(database, child, reference)
+        if found is not None:
+            return found
+    return None
 
 
 def _predicate_selectivity(database, op, predicate: Expr) -> float:
@@ -179,8 +196,20 @@ def estimate_plan(database, op: Operator) -> PlanEstimate:
     if isinstance(op, (HashJoin, MergeJoin, NestedLoopJoin)):
         left = estimate_plan(database, op.left)
         right = estimate_plan(database, op.right)
-        denom = max(left.rows, right.rows, 1.0)
-        rows = max(1.0, left.rows * right.rows / denom)
+        # NDV-based equi-join cardinality (containment assumption); key
+        # pairs without statistics fall back to the max-side denominator
+        # inside equijoin_rows.
+        key_ndvs = []
+        for left_key, right_key in zip(op.left_keys, op.right_keys):
+            left_stats = _column_stats(database, op.left, left_key)
+            right_stats = _column_stats(database, op.right, right_key)
+            key_ndvs.append(
+                (
+                    left_stats.distinct if left_stats is not None else None,
+                    right_stats.distinct if right_stats is not None else None,
+                )
+            )
+        rows = equijoin_rows(left.rows, right.rows, key_ndvs)
         if isinstance(op, HashJoin):
             extra = hash_cost(right.rows, left.rows)
         elif isinstance(op, MergeJoin):

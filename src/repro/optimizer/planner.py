@@ -171,6 +171,14 @@ class PlanInfo:
     #: ``(kind, partitions, ordering keys, partitioned subtree label)``.
     workers: Optional[int] = None
     exchanges: List[tuple] = field(default_factory=list)
+    #: One :class:`~repro.optimizer.joinorder.JoinOrderDecision` per join
+    #: block the cost-based search ordered (empty for syntactic planning
+    #: and single-relation queries).
+    join_orders: List[object] = field(default_factory=list)
+    #: The plan's estimated output rows and cumulative cost
+    #: (:class:`~repro.optimizer.costing.PlanEstimate`), computed once at
+    #: planning time — what EXPLAIN prints next to measured work.
+    estimate: Optional[object] = None
 
     @property
     def oracle_hit_rate(self) -> float:
@@ -198,6 +206,12 @@ class PlanInfo:
                 )
         for rewrite in self.date_rewrites:
             lines.append(f"join eliminated: {rewrite.describe()}")
+        for decision in self.join_orders:
+            lines.append(f"join order: {decision.describe()}")
+        if self.estimate is not None:
+            lines.append(
+                f"estimate: ≈{self.estimate.rows:,.0f} rows, {self.estimate.cost}"
+            )
         lines.append(f"sorts avoided: {self.avoided_sorts}")
         lines.append(f"stream aggregates: {self.stream_aggregates}")
         for note in self.notes:
@@ -238,6 +252,7 @@ class Planner:
         optimize: bool = True,
         mode: Optional[str] = None,
         workers: Optional[int] = None,
+        join_order: str = "cost",
     ):
         self.database = database
         if mode is None:
@@ -246,8 +261,11 @@ class Planner:
             raise ValueError(f"unknown planning mode {mode!r}")
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
+        if join_order not in ("cost", "syntactic"):
+            raise ValueError(f"unknown join_order {join_order!r}")
         self.mode = mode
         self.workers = workers
+        self.join_order = join_order
         self.info = PlanInfo(mode=mode)
         self.resolver: Optional[NameResolver] = None
         #: id(theory) -> (theory, stats snapshot at first acquisition); the
@@ -258,6 +276,11 @@ class Planner:
     def plan(self, logical: LogicalNode) -> Operator:
         aliases = collect_aliases(logical)
         self.resolver = NameResolver(self.database, aliases)
+        # SELECT * exposes the join block's column arrangement directly,
+        # so a reordered join must restore the syntactic schema; every
+        # other consumer resolves columns by name (the search reads this
+        # to decide whether the compensating projection is needed).
+        self.star_projection = _contains_star(logical)
         if self.mode != "naive":
             logical = push_filters(logical, self.resolver)
         if self.mode == "od":
@@ -270,6 +293,17 @@ class Planner:
         planned = self._plan(logical, Desired())
         self._finalize_oracle_stats()
         op = planned.op
+        # Estimated rows/cost for EXPLAIN, computed on the logical-order
+        # tree (exchanges are a physical transform the cost model does
+        # not price).  Estimation failures never fail a plan, but they
+        # leave a visible note rather than silently omitting the line.
+        try:
+            from .costing import estimate_plan  # lazy: avoids cycle
+
+            self.info.estimate = estimate_plan(self.database, op)
+        except (TypeError, KeyError, ValueError) as exc:
+            self.info.estimate = None
+            self.info.notes.append(f"estimate unavailable: {exc}")
         if self.workers is not None:
             # Physical parallelization: wrap maximal partitionable chains
             # in exchanges whose kind the declared order property decides
@@ -433,12 +467,50 @@ class Planner:
 
     # ------------------------------------------------------------------
     def _plan_join(self, node: LogicalJoin, desired: Desired) -> _Planned:
+        """Join planning: cost-based ordering by default, parse order as
+        the fallback (``join_order="syntactic"``, ``naive`` mode, or a
+        join block the search cannot extract/beat)."""
+        if self.join_order == "cost" and self.mode != "naive":
+            from .joinorder import search_join_order  # lazy: module cycle
+
+            result = search_join_order(self, node, desired)
+            if result is not None:
+                self.info.join_orders.append(result.record)
+                return result.planned
+        return self._plan_join_syntactic(node, desired)
+
+    def _plan_join_syntactic(self, node: LogicalJoin, desired: Desired) -> _Planned:
         # The probe (left) side preserves its order through a hash join, so
-        # interesting orders flow to the left child.
-        left = self._plan(node.left, desired)
-        right = self._plan(node.right, Desired())
+        # interesting orders flow to the left child.  Nested joins recurse
+        # through this method directly so a syntactic tree stays fully
+        # syntactic (the cost search uses it as its comparison baseline).
+        left = (
+            self._plan_join_syntactic(node.left, desired)
+            if isinstance(node.left, LogicalJoin)
+            else self._plan(node.left, desired)
+        )
+        right = (
+            self._plan_join_syntactic(node.right, Desired())
+            if isinstance(node.right, LogicalJoin)
+            else self._plan(node.right, Desired())
+        )
         left_keys = [left.op.schema.resolve(c) for c in node.left_columns]
         right_keys = [right.op.schema.resolve(c) for c in node.right_columns]
+        return self.join_planned(left, right, left_keys, right_keys)
+
+    def join_planned(
+        self,
+        left: _Planned,
+        right: _Planned,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+    ) -> _Planned:
+        """Join two planned subtrees on resolved keys: a merge join when
+        both declared orders provably satisfy their keys, a hash join
+        otherwise.  The single construction point shared by the syntactic
+        path and the cost-based search, so the two orderings can never
+        diverge in when they emit MergeJoin vs HashJoin or in how join
+        equivalences thread into the statement set."""
         statements = left.statements + right.statements
         for l, r in zip(left_keys, right_keys):
             statements.append(join_equivalence(l, r))
@@ -564,6 +636,13 @@ class Planner:
 # ----------------------------------------------------------------------
 # Helpers
 # ----------------------------------------------------------------------
+def _contains_star(node: LogicalNode) -> bool:
+    """Does any projection in the tree pass columns through positionally?"""
+    if isinstance(node, LogicalProject) and node.exprs is None:
+        return True
+    return any(_contains_star(child) for child in node.children())
+
+
 def _equality_of(conjunct: Expr):
     """(column, value) for ``col = literal`` conjuncts, else (None, None)."""
     if isinstance(conjunct, Cmp) and conjunct.op == "=":

@@ -4,6 +4,8 @@
 * :mod:`repro.workloads.taxes` — Example 5's progressive tax table;
 * :mod:`repro.workloads.tpcds_lite` — the Section 2.3 star schema and the
   thirteen rewrite-eligible date queries;
+* :mod:`repro.workloads.snowflake` — the snowflaked dimension chains and
+  multi-join queries the cost-based join-ordering search reorders;
 * :mod:`repro.workloads.random_instances` — reproducible fuzzing inputs.
 """
 from .datedim import (
@@ -20,6 +22,7 @@ from .random_instances import (
     random_relation,
     relation_satisfying,
 )
+from .snowflake import SNOWFLAKE_QUERIES, Snowflake, build_snowflake
 from .taxes import DEFAULT_BRACKETS, build_taxes, generate_taxes, tax_of, taxes_ods
 from .tpcds_lite import DATE_QUERIES, TpcdsLite, build_tpcds_lite
 
@@ -37,6 +40,9 @@ __all__ = [
     "build_tpcds_lite",
     "TpcdsLite",
     "DATE_QUERIES",
+    "build_snowflake",
+    "Snowflake",
+    "SNOWFLAKE_QUERIES",
     "random_attrlist",
     "random_od",
     "random_od_set",

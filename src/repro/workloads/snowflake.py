@@ -1,0 +1,255 @@
+"""Snowflake workload: multi-join queries for the join-ordering search.
+
+The TPC-DS-lite star (one fact, wide dimensions joined directly) gives a
+join-ordering search little to do — every query joins the fact to one or
+two dimensions.  This schema *snowflakes* the dimensions into chains, so
+queries routinely join four or five relations and the parse order is
+frequently a bad order:
+
+    sales ── item ── brand
+      │  └── date_dim (surrogate keys; the Section 2.3 rewrite applies)
+      └──── store ── region
+
+Each query template below is written with a deliberately chosen FROM
+order — some syntactically good (the search should agree), some
+syntactically bad (a selective sub-dimension filtered *last*, an ORDER BY
+on the fact's clustered key with the fact *not* first) — so the
+cost-based search has real wins to find: cheaper intermediate sizes, and
+sorts discharged by putting the order-providing access path on the probe
+side.  The differential harness executes every template under both
+``join_order="cost"`` and ``join_order="syntactic"`` and requires
+identical result multisets.
+
+Row counts default laptop-tiny-but-measurable; ``build_snowflake`` takes
+the same shrink/grow knobs as the other workloads.
+"""
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.dependency import fd
+from ..engine.database import Database
+from ..engine.schema import Schema
+from ..engine.table import Table
+from ..engine.types import DataType
+from .datedim import build_date_dim
+
+__all__ = ["Snowflake", "build_snowflake", "SNOWFLAKE_QUERIES"]
+
+
+def sales_schema() -> Schema:
+    return Schema.of(
+        ("f_date_sk", DataType.INT),
+        ("f_item_sk", DataType.INT),
+        ("f_store_sk", DataType.INT),
+        ("f_qty", DataType.INT),
+        ("f_amount", DataType.FLOAT),
+    )
+
+
+def item_schema() -> Schema:
+    return Schema.of(
+        ("i_item_sk", DataType.INT),
+        ("i_brand_sk", DataType.INT),
+        ("i_price", DataType.FLOAT),
+    )
+
+
+def brand_schema() -> Schema:
+    return Schema.of(
+        ("b_brand_sk", DataType.INT),
+        ("b_name", DataType.STR),
+    )
+
+
+def store_schema() -> Schema:
+    return Schema.of(
+        ("st_store_sk", DataType.INT),
+        ("st_region_sk", DataType.INT),
+        ("st_city", DataType.STR),
+    )
+
+
+def region_schema() -> Schema:
+    return Schema.of(
+        ("r_region_sk", DataType.INT),
+        ("r_name", DataType.STR),
+    )
+
+
+_REGIONS = ("Africa", "America", "Asia", "Europe", "Oceania", "Polar")
+
+
+@dataclass
+class Snowflake:
+    """The built workload plus its generation parameters."""
+
+    database: Database
+    start: datetime.date
+    days: int
+    sales_rows: int
+    sk_base: int
+
+    def date_range(self, first_day: int, length_days: int) -> Tuple[str, str]:
+        """An ISO (low, high) natural-date range inside the calendar."""
+        low = self.start + datetime.timedelta(days=first_day)
+        high = low + datetime.timedelta(days=length_days - 1)
+        return low.isoformat(), high.isoformat()
+
+
+def build_snowflake(
+    days: int = 365 * 2,
+    sales_rows: int = 60_000,
+    items: int = 200,
+    brands: int = 20,
+    stores: int = 12,
+    regions: int = 6,
+    seed: int = 7,
+    start: datetime.date = datetime.date(1999, 1, 1),
+) -> Snowflake:
+    """Generate the snowflake schema.
+
+    ``sales`` records dates as surrogate keys and is clustered on
+    ``f_date_sk`` (the date-partitioned-fact shape), with a secondary
+    index on ``f_item_sk`` so the search can consider an order-providing
+    access path toward the item chain.  Every dimension is clustered on
+    its primary key.
+    """
+    regions = min(regions, len(_REGIONS))
+    rng = random.Random(seed)
+    database = Database("snowflake")
+    build_date_dim(database, days=days, start=start)
+    sk_base = database.table("date_dim").rows[0][0]
+
+    region = Table("region", region_schema())
+    region.load((i, _REGIONS[i - 1]) for i in range(1, regions + 1))
+    database.tables["region"] = region
+    region.declare(fd("r_region_sk", "r_name"))
+    database.create_index("region_pk", "region", ["r_region_sk"], clustered=True)
+
+    store = Table("store", store_schema())
+    store.load(
+        (i, (i - 1) % regions + 1, f"city_{i}") for i in range(1, stores + 1)
+    )
+    database.tables["store"] = store
+    store.declare(fd("st_store_sk", "st_region_sk,st_city"))
+    database.create_index("store_pk", "store", ["st_store_sk"], clustered=True)
+
+    brand = Table("brand", brand_schema())
+    brand.load((i, f"brand#{i}") for i in range(1, brands + 1))
+    database.tables["brand"] = brand
+    brand.declare(fd("b_brand_sk", "b_name"))
+    database.create_index("brand_pk", "brand", ["b_brand_sk"], clustered=True)
+
+    item = Table("item", item_schema())
+    item.load(
+        (i, (i - 1) % brands + 1, round(rng.uniform(1.0, 300.0), 2))
+        for i in range(1, items + 1)
+    )
+    database.tables["item"] = item
+    item.declare(fd("i_item_sk", "i_brand_sk,i_price"))
+    database.create_index("item_pk", "item", ["i_item_sk"], clustered=True)
+
+    sales = Table("sales", sales_schema())
+    rows = []
+    for _ in range(sales_rows):
+        day_offset = int(rng.betavariate(2, 2) * (days - 1))
+        rows.append(
+            (
+                sk_base + day_offset,
+                rng.randint(1, items),
+                rng.randint(1, stores),
+                rng.randint(1, 20),
+                round(rng.uniform(0.5, 500.0), 2),
+            )
+        )
+    rows.sort(key=lambda row: row[0])  # clustered by date surrogate
+    sales.load(rows)
+    database.tables["sales"] = sales
+    database.create_index("sales_date", "sales", ["f_date_sk"], clustered=True)
+    database.create_index("sales_item", "sales", ["f_item_sk"])
+    return Snowflake(database, start, days, sales_rows, sk_base)
+
+
+#: The snowflake query set: (id, template, ORDER BY keys).  Templates take
+#: the natural-date range via ``.format(lo=..., hi=...)`` (templates with
+#: no date predicate simply ignore the arguments).  FROM orders are chosen
+#: deliberately — see the module docstring.
+SNOWFLAKE_QUERIES: Tuple[Tuple[str, str, Tuple[str, ...]], ...] = (
+    # Left-deep dims-first: a reasonable hand-written order, but any
+    # left-deep plan passes the fact through a hash twice — the search
+    # finds the bushy shape (fact probing a pre-joined store ⋈ region)
+    # that touches the fact once.
+    ("SN1", """
+        SELECT r.r_name, SUM(f.f_qty) AS qty, COUNT(*) AS n
+        FROM region r
+        JOIN store st ON r.r_region_sk = st.st_region_sk
+        JOIN sales f ON st.st_store_sk = f.f_store_sk
+        GROUP BY r_name
+        ORDER BY r_name
+    """, ("r_name",)),
+    # Syntactically bad: the highly selective brand filter sits two joins
+    # away from the fact, so parse order materializes the full fact ⋈ item
+    # result before filtering.  The search joins item ⋈ brand first.
+    ("SN2", """
+        SELECT b.b_name, SUM(f.f_qty) AS qty, COUNT(*) AS n
+        FROM sales f
+        JOIN item i ON f.f_item_sk = i.i_item_sk
+        JOIN brand b ON i.i_brand_sk = b.b_brand_sk
+        WHERE b.b_name = 'brand#7'
+        GROUP BY b_name
+        ORDER BY b_name
+    """, ("b_name",)),
+    # Syntactically bad for the ORDER BY: the fact's clustered date order
+    # is only available when sales is the probe side; parse order probes
+    # item and pays a full sort the search discharges.
+    ("SN3", """
+        SELECT f.f_date_sk, f.f_amount, i.i_price
+        FROM item i
+        JOIN sales f ON i.i_item_sk = f.f_item_sk
+        WHERE i.i_price >= 150
+        ORDER BY f_date_sk
+    """, ("f_date_sk",)),
+    # The full snowflake chain plus the Section 2.3 date shape: in od mode
+    # the date_dim join is eliminated first, then the remaining three
+    # relations are reordered around the selective region filter.
+    ("SN4", """
+        SELECT r.r_name, SUM(f.f_qty) AS qty, COUNT(*) AS n
+        FROM sales f
+        JOIN date_dim d ON f.f_date_sk = d.d_date_sk
+        JOIN store st ON f.f_store_sk = st.st_store_sk
+        JOIN region r ON st.st_region_sk = r.r_region_sk
+        WHERE d.d_date BETWEEN DATE '{lo}' AND DATE '{hi}'
+          AND r.r_name = 'Europe'
+        GROUP BY r_name
+        ORDER BY r_name
+    """, ("r_name",)),
+    # Stream-aggregate bait: grouping and ordering by the fact's clustered
+    # key, with the fact parsed second — the search puts the date-ordered
+    # access path on the probe side so the aggregate streams and the sort
+    # disappears.
+    ("SN5", """
+        SELECT f.f_date_sk, SUM(f.f_qty) AS daily_qty
+        FROM item i
+        JOIN sales f ON i.i_item_sk = f.f_item_sk
+        WHERE i.i_price >= 100
+        GROUP BY f_date_sk
+        ORDER BY f_date_sk
+    """, ("f_date_sk",)),
+    # Five relations across both chains with a mid-selectivity filter —
+    # the widest DP instance in the set.
+    ("SN6", """
+        SELECT b.b_name, r.r_name, SUM(f.f_qty) AS qty
+        FROM region r
+        JOIN store st ON r.r_region_sk = st.st_region_sk
+        JOIN sales f ON st.st_store_sk = f.f_store_sk
+        JOIN item i ON f.f_item_sk = i.i_item_sk
+        JOIN brand b ON i.i_brand_sk = b.b_brand_sk
+        WHERE b.b_name IN ('brand#2', 'brand#4')
+        GROUP BY b_name, r_name
+        ORDER BY b_name, r_name
+    """, ("b_name", "r_name")),
+)

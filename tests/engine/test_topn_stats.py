@@ -144,13 +144,37 @@ class TestStats:
         assert ColumnStats(4, 0, 10).equality_selectivity() == 0.25
         assert ColumnStats(0, None, None).equality_selectivity() == 1.0
 
-    def test_database_stats_cached(self):
+    def test_database_stats_cached_within_epoch(self):
         from repro.engine.database import Database
 
         db = Database()
         table = db.create_table("t", Schema.of(("a", DataType.INT)))
         table.load([(1,)])
         first = db.stats("t")
-        table.load([(2,)])
-        assert db.stats("t") is first            # cached
-        assert db.stats("t", refresh=True).row_count == 2
+        assert db.stats("t") is first            # cached: no mutation between
+
+    def test_database_stats_invalidated_by_insert(self):
+        """Regression: stats used to be cached per table name forever, so
+        an insert left row counts stale until a manual refresh.  They are
+        epoch-keyed now — any mutation recollects on next request."""
+        from repro.engine.database import Database
+
+        db = Database()
+        table = db.create_table("t", Schema.of(("a", DataType.INT)))
+        table.load([(1,)])
+        first = db.stats("t")
+        assert first.row_count == 1
+        table.load([(2,)])                       # bumps the catalog epoch
+        assert db.stats("t").row_count == 2      # fresh, no refresh needed
+        assert db.stats("t").column("a").maximum == 2
+
+    def test_database_stats_invalidated_by_ddl(self):
+        from repro.engine.database import Database
+
+        db = Database()
+        table = db.create_table("t", Schema.of(("a", DataType.INT)))
+        table.load([(1,), (3,)])
+        first = db.stats("t")
+        db.create_table("u", Schema.of(("b", DataType.INT)))  # epoch bump
+        assert db.stats("t") is not first        # recollected post-DDL
+        assert db.stats("t").row_count == 2      # same data, fresh pass

@@ -235,6 +235,61 @@ def test_parallel_execution_not_regressed():
         )
 
 
+def test_joinorder_not_regressed():
+    """Proxy for bench_joinorder::test_joinorder_claim.
+
+    1. the committed baseline must document the join-ordering edge: on
+       the planted-win snowflake templates the syntactic plans do ≥1.5×
+       the reordered plans' deterministic ``Metrics.work``;
+    2. live, on a tiny snowflake fixture: identical result multisets and
+       a conservative 1.3× aggregate work ratio, plus the planted sort
+       elimination itself (SN3: zero sorts reordered, one syntactic) —
+       ``Metrics.work`` is exact on every host, so a search regression
+       (quietly falling back to parse order, losing the order-providing
+       probe) trips CI deterministically.
+    """
+    import json as _json
+
+    path = ROOT / "BENCH_bench_joinorder.json"
+    if not path.exists():
+        pytest.skip("no committed baseline BENCH_bench_joinorder.json")
+    entries = _json.loads(path.read_text())
+    claim = entries.get("test_joinorder_claim", {}).get("extra_info", {})
+    recorded_ratio = claim.get("work_ratio_syntactic_vs_cost")
+    if recorded_ratio is not None:
+        assert recorded_ratio >= 1.5, (
+            f"committed baseline lost the join-ordering edge: work ratio "
+            f"only {recorded_ratio}x on the planted-win queries"
+        )
+
+    from repro.workloads.snowflake import SNOWFLAKE_QUERIES, build_snowflake
+
+    workload = build_snowflake(
+        days=120, sales_rows=3_000, items=60, brands=12, stores=8
+    )
+    db = workload.database
+    lo, hi = workload.date_range(30, 40)
+    templates = {qid: template for qid, template, _ in SNOWFLAKE_QUERIES}
+    cost_work = syn_work = 0.0
+    for qid in ("SN2", "SN3", "SN5", "SN6"):
+        sql = templates[qid].format(lo=lo, hi=hi)
+        cost = db.execute(sql)
+        syn = db.execute(sql, join_order="syntactic")
+        assert sorted(cost.rows, key=repr) == sorted(syn.rows, key=repr), qid
+        cost_work += cost.metrics.work
+        syn_work += syn.metrics.work
+    assert syn_work >= 1.3 * cost_work, (
+        f"join-ordering lost its edge: syntactic/cost work ratio "
+        f"{syn_work / cost_work:.2f}x (gate 1.3x)"
+    )
+
+    sn3 = templates["SN3"].format(lo=lo, hi=hi)
+    assert db.execute(sn3).metrics.get("sorts") == 0, (
+        "the reordered SN3 plan no longer eliminates its sort"
+    )
+    assert db.execute(sn3, join_order="syntactic").metrics.get("sorts") == 1
+
+
 def test_memoized_oracle_repeats_not_regressed():
     """Proxy for bench_inference::test_memoized_repeat_queries[8]."""
     from repro.core.dependency import od

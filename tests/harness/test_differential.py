@@ -41,6 +41,19 @@ tree re-executed, which doubles as a determinism check).  Every parallel
 leg must be bit-identical to the serial rows with exactly the serial
 counter totals — partitioning, thread scheduling, and exchange
 reassembly must be invisible.
+
+Finally the **join-order leg**: every query is re-planned with
+``join_order="syntactic"`` (the parse order — the pre-search planner).
+The syntactic plan must cache under its own join-order-qualified mode
+key (never sharing a tree with the cost-based default), produce the same
+columns and row multiset, respect the query's ORDER BY, and behave like
+any plan across the execution modes (batch and parallel runs of the
+syntactic tree bit- and counter-identical to its row run).  The
+snowflake workload (``repro.workloads.snowflake``) exists to give this
+leg real reorderings to check: its templates are written with
+deliberately suboptimal parse orders and integer aggregate measures, so
+cost-vs-syntactic results are exactly comparable (float sums would
+differ in the last bits across fold orders).
 """
 from __future__ import annotations
 
@@ -54,6 +67,7 @@ from repro.engine.schema import Schema
 from repro.engine.types import DataType
 from repro.workloads.datedim import build_date_dim
 from repro.workloads.random_instances import relation_satisfying
+from repro.workloads.snowflake import SNOWFLAKE_QUERIES, build_snowflake
 from repro.workloads.taxes import build_taxes
 from repro.workloads.tpcds_lite import DATE_QUERIES, build_tpcds_lite
 
@@ -204,6 +218,45 @@ def run_differential(database, sql, order_keys=()):
             assert par_warm.metrics.counters == cold.metrics.counters, (
                 f"{label}: counters drifted"
             )
+
+    # Join-order leg: the parse (syntactic) order, planned under its own
+    # join-order-qualified mode key, must agree with the cost-based
+    # default on columns, row multiset, and ORDER BY — and its tree must
+    # behave like any plan across the execution modes.
+    syn_cold = database.execute(sql, optimize=True, join_order="syntactic")
+    assert syn_cold.plan is not cold.plan, (
+        "join orders must never share plans"
+    )
+    assert syn_cold.plan.plan_info.cache_state == "miss"
+    syn_warm = database.execute(sql, optimize=True, join_order="syntactic")
+    assert syn_warm.plan is syn_cold.plan, "syntactic warm: not the cached plan"
+    assert syn_warm.plan.plan_info.cache_state == "hit"
+    assert syn_warm.rows == syn_cold.rows, "syntactic warm: rows drifted"
+    assert syn_cold.columns == cold.columns, "joinorder: column mismatch"
+    assert _multiset(syn_cold.rows) == _multiset(cold.rows), (
+        "joinorder: row multiset differs between cost and syntactic orders"
+    )
+    _assert_respects_order(syn_cold, order_keys, "joinorder_syntactic")
+    if BATCH_SIZES:
+        syn_batch = database.execute(
+            sql, optimize=True, join_order="syntactic", batch_size=BATCH_SIZES[0]
+        )
+        assert syn_batch.rows == syn_cold.rows, "joinorder batch: rows differ"
+        assert syn_batch.metrics.counters == syn_cold.metrics.counters, (
+            "joinorder batch: counters differ"
+        )
+    if BATCH_SIZES and WORKER_COUNTS:
+        syn_par = database.execute(
+            sql,
+            optimize=True,
+            join_order="syntactic",
+            batch_size=BATCH_SIZES[0],
+            workers=WORKER_COUNTS[0],
+        )
+        assert syn_par.rows == syn_cold.rows, "joinorder parallel: rows differ"
+        assert syn_par.metrics.counters == syn_cold.metrics.counters, (
+            "joinorder parallel: counters differ"
+        )
     return baseline, cold, warm
 
 
@@ -240,6 +293,11 @@ def date_db():
 @pytest.fixture(scope="module")
 def tpcds():
     return build_tpcds_lite(days=180, sales_rows=5_000, items=40, stores=6)
+
+
+@pytest.fixture(scope="module")
+def snowflake():
+    return build_snowflake(days=150, sales_rows=4_000, items=60, brands=12, stores=8)
 
 
 def _random_db(seed: int) -> Database:
@@ -362,6 +420,16 @@ def test_tpcds_differential(tpcds, qid):
     lo, hi = tpcds.date_range(30, 45)
     sql = template.format(lo=lo, hi=hi)
     run_differential(tpcds.database, sql, _tpcds_order_keys(template))
+
+
+@pytest.mark.parametrize("qid", [qid for qid, _, _ in SNOWFLAKE_QUERIES])
+def test_snowflake_differential(snowflake, qid):
+    """The multi-join workload: real reorderings for the join-order leg."""
+    entry = {q[0]: q for q in SNOWFLAKE_QUERIES}[qid]
+    _, template, keys = entry
+    lo, hi = snowflake.date_range(30, 40)
+    sql = template.format(lo=lo, hi=hi)
+    run_differential(snowflake.database, sql, keys)
 
 
 def test_tpcds_differential_empty_range(tpcds):

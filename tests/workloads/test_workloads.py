@@ -21,6 +21,7 @@ from repro.workloads.random_instances import (
     random_relation,
     relation_satisfying,
 )
+from repro.workloads.snowflake import SNOWFLAKE_QUERIES, build_snowflake
 from repro.workloads.taxes import build_taxes, generate_taxes, tax_of
 from repro.workloads.tpcds_lite import build_tpcds_lite
 
@@ -121,6 +122,53 @@ class TestTpcdsLite:
         a = build_tpcds_lite(days=30, sales_rows=100, seed=9)
         b = build_tpcds_lite(days=30, sales_rows=100, seed=9)
         assert a.database.table("store_sales").rows == b.database.table("store_sales").rows
+
+
+class TestSnowflake:
+    def test_build_shape(self):
+        workload = build_snowflake(
+            days=60, sales_rows=400, items=30, brands=10, stores=8, regions=4
+        )
+        db = workload.database
+        assert len(db.table("sales")) == 400
+        assert len(db.table("item")) == 30
+        assert len(db.table("brand")) == 10
+        assert len(db.table("store")) == 8
+        assert len(db.table("region")) == 4
+        assert len(db.table("date_dim")) == 60
+
+    def test_foreign_keys_resolve(self):
+        workload = build_snowflake(days=40, sales_rows=200, items=20)
+        db = workload.database
+        brands = set(db.table("brand").column_values("b_brand_sk"))
+        for brand_sk in db.table("item").column_values("i_brand_sk"):
+            assert brand_sk in brands
+        regions = set(db.table("region").column_values("r_region_sk"))
+        for region_sk in db.table("store").column_values("st_region_sk"):
+            assert region_sk in regions
+        sks = set(db.table("date_dim").column_values("d_date_sk"))
+        for sk in db.table("sales").column_values("f_date_sk"):
+            assert sk in sks
+
+    def test_fact_clustered_by_date(self):
+        workload = build_snowflake(days=40, sales_rows=200)
+        values = workload.database.table("sales").column_values("f_date_sk")
+        assert values == sorted(values)
+
+    def test_templates_format_and_parse(self):
+        from repro.engine.logical import bind
+        from repro.engine.sql.parser import parse
+
+        workload = build_snowflake(days=40, sales_rows=50)
+        lo, hi = workload.date_range(5, 10)
+        for qid, template, keys in SNOWFLAKE_QUERIES:
+            logical = bind(parse(template.format(lo=lo, hi=hi)))
+            assert logical is not None, qid
+
+    def test_deterministic_given_seed(self):
+        a = build_snowflake(days=30, sales_rows=100, seed=5)
+        b = build_snowflake(days=30, sales_rows=100, seed=5)
+        assert a.database.table("sales").rows == b.database.table("sales").rows
 
 
 class TestRandomInstances:
