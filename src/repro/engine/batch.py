@@ -78,6 +78,22 @@ class ColumnBatch:
     def __len__(self) -> int:
         return self._length
 
+    # ------------------------------------------------------------------
+    # Pickling (``__slots__`` classes have no ``__dict__`` to snapshot)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Ship plain column lists + the schema — a batch holds no
+        ``Table`` back-pointers, so this is exactly its data.  Column
+        vectors may be lazy views (``zip`` tuples, slices); ``list()``
+        normalizes them so the wire format is always plain lists."""
+        return (self.schema, [list(column) for column in self.columns], self._length)
+
+    def __setstate__(self, state):
+        schema, columns, length = state
+        self.schema = schema
+        self.columns = columns
+        self._length = length
+
     def column(self, reference: str) -> Sequence:
         """The vector for a (possibly unqualified) column reference."""
         return self.columns[self.schema.position(self.schema.resolve(reference))]

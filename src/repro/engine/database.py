@@ -38,6 +38,9 @@ class QueryResult:
     batch_size: Optional[int] = None
     #: Parallel worker count, ``None`` for serial execution.
     workers: Optional[int] = None
+    #: Exchange backend the parallel run drained through (``"inline"`` /
+    #: ``"thread"`` / ``"process"``), ``None`` for serial execution.
+    backend: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -167,6 +170,9 @@ class Database:
             self._logical_memo.popitem(last=False)
         return entry
 
+    #: Backend → mode-key token (kept short for cache-key readability).
+    _BACKEND_MODE_TOKENS = {"inline": "inline", "thread": "thread", "process": "proc"}
+
     def plan(
         self,
         sql: str,
@@ -174,6 +180,7 @@ class Database:
         use_cache: bool = True,
         workers: Optional[int] = None,
         join_order: str = "cost",
+        backend: Optional[str] = None,
     ) -> Operator:
         """Parse, bind, optimize (optionally) and return the physical plan.
 
@@ -186,9 +193,12 @@ class Database:
 
         ``workers=K`` asks the planner to place exchange operators over
         the plan's partitionable chains (see :mod:`repro.engine.parallel`);
-        parallel plans are cached under their own mode key
-        (``"od+w4"``), so serial and parallel plannings of one template
-        never serve each other's trees.
+        ``backend=`` selects which :class:`ExchangeBackend` drains them
+        (``"thread"`` when unspecified) and requires ``workers``.
+        Parallel plans are cached under backend-qualified mode keys
+        (``"od+w4+thread"``, ``"od+w4+proc"``), so serial and parallel
+        plannings of one template — and different backends — never serve
+        each other's trees (exchange operators carry their backend).
 
         ``join_order`` selects how multi-join queries are ordered:
         ``"cost"`` (the default) runs the cost-based search of
@@ -205,10 +215,22 @@ class Database:
             raise ValueError(f"workers must be positive, got {workers}")
         if join_order not in ("cost", "syntactic"):
             raise ValueError(f"unknown join_order {join_order!r}")
+        if backend is not None:
+            if workers is None:
+                raise ValueError("backend= requires workers=")
+            if backend not in self._BACKEND_MODE_TOKENS:
+                raise ValueError(
+                    f"unknown backend {backend!r} "
+                    f"(expected one of {tuple(self._BACKEND_MODE_TOKENS)})"
+                )
         logical, fp = self._bind(sql)
         if not use_cache:
             plan = Planner(
-                self, optimize=optimize, workers=workers, join_order=join_order
+                self,
+                optimize=optimize,
+                workers=workers,
+                join_order=join_order,
+                backend=backend,
             ).plan(logical)
             plan.plan_info.cache_state = "bypass"
             return plan
@@ -217,7 +239,8 @@ class Database:
         if join_order != "cost":
             mode = f"{mode}+{join_order}"
         if workers is not None:
-            mode = f"{mode}+w{workers}"
+            token = self._BACKEND_MODE_TOKENS[backend or "thread"]
+            mode = f"{mode}+w{workers}+{token}"
         epoch = current_epoch()
         entry = self.plan_cache.lookup(fp, mode, epoch)
         if entry is not None:
@@ -226,7 +249,11 @@ class Database:
             info.cache_serves = entry.serves
             return entry.plan
         plan = Planner(
-            self, optimize=optimize, workers=workers, join_order=join_order
+            self,
+            optimize=optimize,
+            workers=workers,
+            join_order=join_order,
+            backend=backend,
         ).plan(logical)
         info = plan.plan_info  # type: ignore[attr-defined]
         info.fingerprint = fp
@@ -256,9 +283,16 @@ class Database:
         return batch_size
 
     @staticmethod
-    def _execution_desc(batch_size: Optional[int], workers: Optional[int]) -> str:
+    def _execution_desc(
+        batch_size: Optional[int],
+        workers: Optional[int],
+        backend: Optional[str] = None,
+    ) -> str:
         if workers is not None:
-            return f"parallel ({workers} workers, batch size {batch_size})"
+            return (
+                f"parallel ({workers} workers, batch size {batch_size}, "
+                f"{backend or 'thread'} backend)"
+            )
         if batch_size is not None:
             return f"vectorized (batch size {batch_size})"
         return "row (iterator)"
@@ -271,6 +305,7 @@ class Database:
         batch_size: Optional[int] = None,
         workers: Optional[int] = None,
         join_order: str = "cost",
+        backend: Optional[str] = None,
     ) -> QueryResult:
         """Run a query to completion.
 
@@ -281,10 +316,12 @@ class Database:
         additionally partitions the plan's partitionable chains across a
         worker pool behind order-preserving exchanges (parallel execution
         is batch execution — an unspecified ``batch_size`` defaults to
-        :data:`~repro.engine.batch.DEFAULT_BATCH_SIZE`).  Results and
-        ``Metrics`` counter totals are identical across all three modes
-        (gated by the mode-matrix differential harness); only the speed
-        differs.
+        :data:`~repro.engine.batch.DEFAULT_BATCH_SIZE`), and ``backend=``
+        picks the pool: ``"thread"`` (default), ``"process"`` (true
+        multicore), or ``"inline"`` (no pool — the deterministic floor).
+        Results and ``Metrics`` counter totals are identical across all
+        modes and backends (gated by the mode-matrix differential
+        harness); only the speed differs.
         """
         batch_size = self._resolve_batch(batch_size, workers)
         plan = self.plan(
@@ -293,6 +330,7 @@ class Database:
             use_cache=use_cache,
             workers=workers,
             join_order=join_order,
+            backend=backend,
         )
         info = getattr(plan, "plan_info", None)
         if batch_size is not None:
@@ -300,9 +338,15 @@ class Database:
         else:
             rows, metrics = plan.run()
         if info is not None:
-            info.execution = self._execution_desc(batch_size, workers)
+            info.execution = self._execution_desc(batch_size, workers, backend)
         return QueryResult(
-            plan.schema.names, rows, metrics, plan, batch_size, workers
+            plan.schema.names,
+            rows,
+            metrics,
+            plan,
+            batch_size,
+            workers,
+            (backend or "thread") if workers is not None else None,
         )
 
     def explain(
@@ -314,6 +358,7 @@ class Database:
         batch_size: Optional[int] = None,
         workers: Optional[int] = None,
         join_order: str = "cost",
+        backend: Optional[str] = None,
     ) -> str:
         """The physical plan as text.
 
@@ -337,10 +382,11 @@ class Database:
             use_cache=use_cache,
             workers=workers,
             join_order=join_order,
+            backend=backend,
         )
         text = plan.explain()
         info = getattr(plan, "plan_info", None)
         if verbose and info is not None:
-            info.execution = self._execution_desc(batch_size, workers)
+            info.execution = self._execution_desc(batch_size, workers, backend)
             text = f"{text}\n{info.describe()}"
         return text

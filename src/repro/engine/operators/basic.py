@@ -76,6 +76,16 @@ class Filter(Operator):
     def label(self) -> str:
         return f"Filter({self.predicate.render()})"
 
+    # Picklable for process-backend shipping: the compiled row closure
+    # and vectorized kernel are code objects (unpicklable) *derived from*
+    # the predicate — ship the constructor args, recompile in the worker.
+    def __getstate__(self):
+        return (self.child, self.predicate)
+
+    def __setstate__(self, state):
+        child, predicate = state
+        self.__init__(child, predicate)
+
 
 class Project(Operator):
     """Compute output expressions (projection / renaming).
@@ -166,6 +176,16 @@ class Project(Operator):
             for expr, name in zip(self.exprs, self.names)
         )
         return f"Project({parts})"
+
+    # Picklable for process-backend shipping: compiled closures/kernels
+    # are derived state — ship the constructor args, recompile in the
+    # worker (expressions themselves are frozen dataclasses, picklable).
+    def __getstate__(self):
+        return (self.child, self.exprs, self.names)
+
+    def __setstate__(self, state):
+        child, exprs, names = state
+        self.__init__(child, exprs, names)
 
 
 def _infer_dtype(expr: Expr, schema: Schema) -> DataType:

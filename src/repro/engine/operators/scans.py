@@ -15,7 +15,7 @@ from ..schema import Column, Schema
 from ..table import Table
 from .base import Metrics, Operator, order_spec
 
-__all__ = ["SeqScan", "IndexScan", "qualified_schema"]
+__all__ = ["SeqScan", "IndexScan", "ShippedScan", "qualified_schema"]
 
 
 def qualified_schema(table: Table, alias: str) -> Schema:
@@ -93,6 +93,35 @@ class SeqScan(Operator):
         if self.partition is not None:
             suffix = f" [part {self.partition[0] + 1}/{self.partition[1]}]"
         return f"SeqScan({self.table.name} AS {self.alias}{suffix})"
+
+    def __reduce__(self):
+        """Pickling ships the scan to a worker process.
+
+        When the target pool *inherited* this table through ``fork`` (the
+        ship-token context says so), ship only a registry token — the
+        worker rebuilds a normal ``SeqScan`` over the object it already
+        holds, zero data copied.  Otherwise materialize: resolve the
+        partition bounds now (pickling happens at execution start, so
+        these are execution-time bounds) and ship the column slices as a
+        :class:`ShippedScan` with no ``Table`` back-pointer.
+        """
+        from ..parallel import active_ship_tokens
+
+        token = ("table", id(self.table))
+        if token in active_ship_tokens():
+            return (_rebuild_seq_scan, (token, self.alias, self.partition))
+        start, stop = self._bounds()
+        columns = self.table.columnar()
+        return (
+            ShippedScan,
+            (
+                self.schema,
+                [list(column[start:stop]) for column in columns],
+                stop - start,
+                (),
+                False,
+            ),
+        )
 
 
 class IndexScan(Operator):
@@ -183,3 +212,104 @@ class IndexScan(Operator):
             f"IndexScan({self.index.name} ON {self.table.name} AS "
             f"{self.alias}{bounds}{suffix})"
         )
+
+    def __reduce__(self):
+        """Same two shipping modes as :meth:`SeqScan.__reduce__`.
+
+        The materialized form resolves the partition's position bounds
+        against the live index and ships the rows of that slice — which
+        are in key order, so the declared (qualified) ``OrderSpec``
+        travels with them.  The per-execute ``index_probes`` charge stays
+        with partition 0 (``charge_probe``) so shipped partition totals
+        still sum to the serial scan's.
+        """
+        from ..parallel import active_ship_tokens
+
+        token = ("index", id(self.index))
+        if token in active_ship_tokens():
+            return (
+                _rebuild_index_scan,
+                (token, self.alias, self.low, self.high, self.partition),
+            )
+        start, stop = self._position_bounds()
+        rows = list(self.index.scan_positions(start, stop))
+        if rows:
+            columns: List[list] = [list(column) for column in zip(*rows)]
+        else:
+            columns = [[] for _ in self.schema]
+        charge_probe = self.partition is None or self.partition[0] == 0
+        return (
+            ShippedScan,
+            (self.schema, columns, len(rows), tuple(self.ordering), charge_probe),
+        )
+
+
+def _rebuild_seq_scan(token, alias, partition) -> SeqScan:
+    """Worker-side: rebuild a ``SeqScan`` over the fork-inherited table."""
+    from ..parallel import shipped_object
+
+    table = shipped_object(token)
+    if table is None:  # pragma: no cover - epoch-keyed restarts prevent this
+        raise RuntimeError("shipped table missing from worker registry (stale pool?)")
+    return SeqScan(table, alias, partition=partition)
+
+
+def _rebuild_index_scan(token, alias, low, high, partition) -> IndexScan:
+    """Worker-side: rebuild an ``IndexScan`` over the fork-inherited index."""
+    from ..parallel import shipped_object
+
+    index = shipped_object(token)
+    if index is None:  # pragma: no cover - epoch-keyed restarts prevent this
+        raise RuntimeError("shipped index missing from worker registry (stale pool?)")
+    return IndexScan(index, alias, low, high, partition=partition)
+
+
+class ShippedScan(Operator):
+    """A scan materialized for shipping to another process.
+
+    Holds plain column lists plus the (qualified) schema — no ``Table``
+    or ``SortedIndex`` back-pointers, so pickling it costs exactly its
+    data.  Metrics parity with the scan it replaced: ``rows_scanned``
+    per row/batch, and ``index_probes`` once when ``charge_probe`` (the
+    shipped form of "partition 0 owns the per-execute probe charge").
+    ``ordering`` is the declared :class:`OrderSpec` the source scan
+    guaranteed — an index partition's slice is in key order, so the
+    guarantee survives the wire.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        columns: List[list],
+        length: int,
+        ordering: Tuple[str, ...] = (),
+        charge_probe: bool = False,
+    ) -> None:
+        self.schema = schema
+        self.columns = columns
+        self.length = length
+        self.ordering = tuple(ordering)
+        self.charge_probe = charge_probe
+
+    def execute(self, metrics: Metrics) -> Iterator[tuple]:
+        if self.charge_probe:
+            metrics.add("index_probes")
+        for row in zip(*self.columns):
+            metrics.add("rows_scanned")
+            yield row
+
+    def execute_batches(
+        self, metrics: Metrics, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        if self.charge_probe:
+            metrics.add("index_probes")
+        schema = self.schema
+        for start in range(0, self.length, batch_size):
+            stop = min(start + batch_size, self.length)
+            metrics.add("rows_scanned", stop - start)
+            yield ColumnBatch(
+                schema, [column[start:stop] for column in self.columns], stop - start
+            )
+
+    def label(self) -> str:
+        return f"ShippedScan({self.length} rows x {len(self.columns)} cols)"

@@ -1,88 +1,183 @@
-"""Parallel batch execution: partitioned pipelines + order-preserving exchanges.
+"""Parallel batch execution: partitioned pipelines + order-preserving
+exchanges over pluggable backends.
 
 The :class:`~repro.engine.batch.ColumnBatch` stream of PR 3 is the natural
 *exchange granule* for parallelism: a partitionable leaf (a scan) is split
 into contiguous partitions, the order/row-preserving chain above it
 (filters, projections) is cloned per partition, the per-partition pipelines
-run on a thread pool (with a deterministic single-threaded fallback), and a
-single **exchange** operator reassembles the partition streams into one
-batch stream for the serial remainder of the plan.
+run on an :class:`ExchangeBackend`, and a single **exchange** operator
+reassembles the partition morsel streams into one batch stream for the
+serial remainder of the plan.
+
+Three backends (``Database.execute(..., workers=K, backend=...)``):
+
+* ``inline`` — no pool at all: partitions run lazily on the calling
+  thread, in partition order for union and interleaved on demand for
+  merge.  The deterministic floor every other backend is compared against.
+* ``thread`` — the shared :class:`ThreadPoolExecutor`.  Each partition
+  streams its batches through a per-partition queue as it produces them.
+  Real speedup only on free-threaded builds (PEP 703); on the stock GIL
+  it buys architecture, not parallelism.
+* ``process`` — true multicore: partition chains are *pickled* and shipped
+  to a persistent pool of worker processes, which stream
+  ``ColumnBatch`` columns back through one bounded result queue in
+  **morsels** of ~:data:`MORSEL_ROWS` rows.  Workers pull partition tasks
+  from a shared task queue (work stealing: whichever worker frees first
+  takes the next partition) and a parent-side demultiplexer reassembles
+  the streams deterministically — completion order never leaks into
+  results or counters.
+
+Process-backend shipping, in detail:
+
+* Under the ``fork`` start method (the Linux default; override with
+  ``REPRO_START_METHOD``) the pool's workers inherit the parent's memory,
+  so scans don't ship data at all: a :meth:`__reduce__` hook replaces the
+  ``Table``/``SortedIndex`` reference with a *token* into the module's
+  ship registry, and the forked worker rebuilds a normal scan around the
+  object it already has.  Staleness is governed by the catalog epoch
+  (:mod:`repro.engine.epoch`): any mutation since the pool forked
+  restarts it, so a worker can never scan a pre-mutation memory image.
+* Under ``spawn`` (pinned in CI for portability) — or for objects the
+  current fork image doesn't hold — scans materialize their resolved
+  partition slice into a picklable ``ShippedScan`` (plain column lists +
+  schema, no ``Table`` back-pointers).  Execution-time bounds are
+  preserved either way: pickling happens at execution start, and the
+  token path re-resolves bounds in the worker.
+* Serialization is accounted *outside* query :class:`Metrics` (parity!):
+  each exchange records ``exchange_stats`` — shipped chain bytes, morsel
+  count/bytes, rows shipped — for the backend that actually ran.
 
 Two exchange kinds, chosen by the planner from the physical property the
 subtree already declares (see
 :func:`repro.optimizer.properties.exchange_kind`):
 
 * :class:`MergeExchange` — when the subtree declares a non-empty
-  :class:`~repro.optimizer.properties.OrderSpec`: a k-way merge on the
-  ordering prefix interleaves the per-partition streams **without ever
-  introducing a sort** — the parallel form of the paper's whole program
-  (orders you can prove, you never re-establish).  The merge is stable
-  across partitions (ties go to the lower partition index), so over the
-  contiguous partitions the planner builds it reproduces the serial stream
-  bit-for-bit.
-* :class:`UnionExchange` — when the subtree declares no ordering: the
-  cheaper exchange, emitting partition streams in partition-index order
-  (deterministic; over contiguous partitions this *is* the serial stream).
+  :class:`~repro.optimizer.properties.OrderSpec`.  Planner-built
+  exchanges are ``contiguous``: the ``partition_clone`` contract says the
+  partition streams concatenate (in index order) to exactly the serial
+  stream, which honors the declared order — so the "merge" is a
+  streaming concatenation, no heap, no sort.  Test-built exchanges over
+  genuinely interleaving partitions use a streaming stable k-way
+  ``heapq.merge`` (ties to the lower partition index).
+* :class:`UnionExchange` — when the subtree declares no ordering: emit
+  partition streams in partition-index order (deterministic; over
+  contiguous partitions this *is* the serial stream).
 
 The execution contract — enforced query-by-query in the mode-matrix
-differential (``tests/harness/test_differential.py``) and property-tested
-in ``tests/engine/test_parallel.py``:
+differential (``tests/harness/test_differential.py``, including its
+process-backend leg) and property-tested in
+``tests/engine/test_parallel.py``:
 
 * **bit-identical rows**: a parallel execution emits exactly the serial
-  batch path's rows in exactly the serial order, at every worker count;
+  batch path's rows in exactly the serial order, at every worker count,
+  on every backend;
 * **counter-identical metrics**: every partition charges a private
   :class:`~repro.engine.operators.base.Metrics`, merged into the shared
-  one in partition order; per-execute charges (an ``index_probes`` probe)
-  are charged by partition 0 only, so totals equal the serial path's
+  one in partition-index order *after* the streams drain — regardless of
+  completion order; per-execute charges (an ``index_probes`` probe) are
+  charged by partition 0 only, so totals equal the serial path's
   exactly — exchanges themselves charge nothing, because the serial plan
   has no exchange;
-* **determinism**: results never depend on thread scheduling — partitions
-  are fixed at plan time, drained to completion, and reassembled in a
-  fixed order.
+* **determinism**: results never depend on thread or process scheduling —
+  partitions are fixed at plan time, drained to completion, and
+  reassembled in a fixed order.
 
-``LIMIT`` subtrees are never parallelized (``partition_kind ==
-"barrier"``): Limit stops pulling its child early, and an eager partition
-drain would charge scan work the serial path never does.
-
-Scheduling note: partitions are materialized (each worker drains its
-pipeline to a list of batches) rather than streamed through bounded
-queues — the same memory regime as ``Sort``/``MergeJoin``, with no
-abandoned-consumer deadlock risk.  Morsel-style streaming exchange and a
-process-pool backend are the ROADMAP follow-ons.
+Placement is **cost-gated**: :func:`insert_exchanges` skips chains whose
+source scans fewer than ``min_rows`` estimated rows (the planner passes
+:data:`PARALLEL_MIN_ROWS`, fed by epoch-keyed
+:class:`~repro.engine.stats.TableStats` row counts), so dimension-table
+scans never pay exchange overhead.  ``LIMIT`` subtrees are never
+parallelized (``partition_kind == "barrier"``): Limit stops pulling its
+child early, and an eager partition drain would charge scan work the
+serial path never does.
 """
 from __future__ import annotations
 
-import heapq
 import os
+import heapq
+import pickle
+import queue as queue_module
 import sys
 import threading
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from itertools import islice
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .batch import DEFAULT_BATCH_SIZE, ColumnBatch
+from .epoch import current_epoch
 from .operators.base import Metrics, Operator
 
 __all__ = [
     "Exchange",
     "UnionExchange",
     "MergeExchange",
+    "ExchangeBackend",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "MORSEL_ROWS",
+    "PARALLEL_MIN_ROWS",
     "partitionable",
     "partition_pipeline",
     "insert_exchanges",
     "host_capability",
+    "shutdown_process_pool",
 ]
+
+#: The recognized backend names, in cost order.
+BACKENDS: Tuple[str, ...] = ("inline", "thread", "process")
+
+#: What ``workers=K`` selects when no ``backend=`` is given — threads, the
+#: PR 4 behaviour (bounded overhead everywhere, speedup on free-threaded
+#: builds).
+DEFAULT_BACKEND = "thread"
+
+#: Target morsel size (rows) for process-backend result streaming: big
+#: enough to amortize one pickle + queue hop over thousands of rows, small
+#: enough that the parent overlaps reassembly with worker production.
+#: Override with ``REPRO_MORSEL_ROWS``.
+MORSEL_ROWS = max(1, int(os.environ.get("REPRO_MORSEL_ROWS", "16384")))
+
+#: Placement gate: chains whose source scans fewer estimated rows than
+#: this plan serial (exchange overhead would dominate — the snowflake
+#: dimension tables are the motivating case).  Chosen between the test
+#: workloads' dimension tables (≤ a few hundred rows) and their fact
+#: tables (thousands+).  Override with ``REPRO_PARALLEL_MIN_ROWS``.
+PARALLEL_MIN_ROWS = max(0, int(os.environ.get("REPRO_PARALLEL_MIN_ROWS", "1024")))
+
+#: Process-pool result-queue bound (messages in flight): backpressure so
+#: fast workers never buffer unbounded morsels in the queue itself.
+_RESULT_QUEUE_DEPTH = 16
+
+#: Seconds between liveness checks while waiting on the result queue.
+_PULL_TIMEOUT = 2.0
+
+
+def _resolve_start_method() -> str:
+    """``REPRO_START_METHOD`` if set, else ``fork`` where available
+    (Linux: cheap workers that inherit table memory), else ``spawn``."""
+    import multiprocessing
+
+    method = os.environ.get("REPRO_START_METHOD", "").strip()
+    if method:
+        return method
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
 
 
 def host_capability() -> dict:
-    """Can threads on this host actually run Python code in parallel?
+    """Can this host actually run Python code in parallel — and how?
 
-    CPython threads only execute bytecode concurrently on a free-threaded
-    build (PEP 703) with more than one core available; everywhere else the
-    worker pool buys architecture, not speedup.  The benchmark baseline
-    records this (``parallel_capable`` in ``extra_info``) and the
+    * ``parallel_capable`` — the **thread** backend scales: a free-threaded
+      build (PEP 703) with more than one core.
+    * ``process_capable`` — the **process** backend scales: more than one
+      core (the GIL is per-process, so a stock build is fine).
+    * ``start_method`` — how worker processes would be created here.
+
+    The benchmark baseline records all of this in ``extra_info`` and the
     bench/regression gates key their speedup-vs-overhead bars on it — one
-    definition, shared, so the two gates can never disagree.
+    definition, shared, so the gates can never disagree.
     """
     try:
         cpus = len(os.sched_getaffinity(0))
@@ -93,32 +188,9 @@ def host_capability() -> dict:
         "cpus": cpus,
         "gil_enabled": gil_enabled,
         "parallel_capable": cpus >= 2 and not gil_enabled,
+        "process_capable": cpus >= 2,
+        "start_method": _resolve_start_method(),
     }
-
-
-#: One process-wide worker pool, created lazily on the first threaded
-#: drain and reused by every exchange — spawning a pool per execution
-#: would put OS thread creation on the warm-query path, and a pool per
-#: cached plan would accumulate idle threads across the plan cache.
-#: Safe to share: exchanges never nest (placement stops at the first
-#: partitionable chain), and each drain submits, joins *all* futures,
-#: then merges counters — so concurrent executions just interleave tasks.
-#: ``workers`` chooses the partition count; concurrency is additionally
-#: bounded by the pool size.
-_SHARED_POOL: Optional[ThreadPoolExecutor] = None
-_SHARED_POOL_LOCK = threading.Lock()
-
-
-def _shared_pool() -> ThreadPoolExecutor:
-    global _SHARED_POOL
-    if _SHARED_POOL is None:
-        with _SHARED_POOL_LOCK:
-            if _SHARED_POOL is None:
-                _SHARED_POOL = ThreadPoolExecutor(
-                    max_workers=max(4, host_capability()["cpus"]),
-                    thread_name_prefix="repro-exchange",
-                )
-    return _SHARED_POOL
 
 
 # ----------------------------------------------------------------------
@@ -157,6 +229,568 @@ def partition_pipeline(op: Operator, index: int, count: int) -> Operator:
 
 
 # ----------------------------------------------------------------------
+# Ship registry: fork-inherited zero-copy scan shipping
+# ----------------------------------------------------------------------
+#: token -> live Table / SortedIndex.  Strong references, LRU-bounded:
+#: an entry both (a) lets a forked worker find the object it inherited
+#: and (b) pins the object so its ``id`` can never be reused while any
+#: pool snapshot still maps the token to it.
+_SHIP_REGISTRY: "OrderedDict[tuple, object]" = OrderedDict()
+_SHIP_REGISTRY_CAP = 64
+
+#: Tokens that may be shipped by reference *right now* — set (on this
+#: thread) only while the process backend pickles chains destined for a
+#: fork pool whose snapshot holds them.  Everywhere else (unit-test
+#: round-trips, spawn pools) scans materialize their columns instead.
+_ACTIVE_SHIP_TOKENS: frozenset = frozenset()
+
+
+def active_ship_tokens() -> frozenset:
+    """The tokens scans may currently ship by registry reference."""
+    return _ACTIVE_SHIP_TOKENS
+
+
+def shipped_object(token: tuple):
+    """Worker-side registry lookup (inherited through ``fork``)."""
+    return _SHIP_REGISTRY.get(token)
+
+
+def _register_shippable(token: tuple, obj) -> None:
+    """Pin an object in the registry and force its lazy caches (columnar
+    view / sorted index array) so a subsequent fork inherits them built."""
+    if token[0] == "table":
+        obj.columnar()
+    else:
+        len(obj)  # SortedIndex: force the sorted-array build
+    _SHIP_REGISTRY[token] = obj
+    _SHIP_REGISTRY.move_to_end(token)
+    while len(_SHIP_REGISTRY) > _SHIP_REGISTRY_CAP:
+        _SHIP_REGISTRY.popitem(last=False)
+
+
+def _collect_shippable(op: Operator) -> List[Tuple[tuple, object]]:
+    """(token, object) pairs for every scan leaf in the subtree.  An
+    ``IndexScan`` registers its index (which owns the table)."""
+    out: List[Tuple[tuple, object]] = []
+    seen = set()
+    stack = [op]
+    while stack:
+        node = stack.pop()
+        index = getattr(node, "index", None)
+        table = getattr(node, "table", None)
+        if index is not None:
+            token: Optional[tuple] = ("index", id(index))
+            obj: object = index
+        elif table is not None:
+            token = ("table", id(table))
+            obj = table
+        else:
+            token = None
+            obj = None
+        if token is not None and token not in seen:
+            seen.add(token)
+            out.append((token, obj))
+        stack.extend(node.children())
+    return out
+
+
+class _ShipContext:
+    """Context manager installing the ship-by-reference token set."""
+
+    def __init__(self, tokens: frozenset) -> None:
+        self.tokens = tokens
+        self._previous: frozenset = frozenset()
+
+    def __enter__(self) -> "_ShipContext":
+        global _ACTIVE_SHIP_TOKENS
+        self._previous = _ACTIVE_SHIP_TOKENS
+        _ACTIVE_SHIP_TOKENS = self.tokens
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _ACTIVE_SHIP_TOKENS
+        _ACTIVE_SHIP_TOKENS = self._previous
+
+
+# ----------------------------------------------------------------------
+# Partition streams: the unit every backend hands back
+# ----------------------------------------------------------------------
+class _InlineStream:
+    """A partition executed lazily on the calling thread."""
+
+    def __init__(self, partition: Operator, batch_size: int) -> None:
+        self._metrics = Metrics()
+        self._generator = partition.execute_batches(self._metrics, batch_size)
+        self._done = False
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return self._metrics.counters
+
+    def __iter__(self) -> Iterator[ColumnBatch]:
+        for batch in self._generator:
+            yield batch
+        self._done = True
+
+    def close(self) -> None:
+        """Drain to completion so counters always total the serial run's."""
+        if not self._done:
+            for _ in self._generator:
+                pass
+            self._done = True
+
+
+class _QueueStream:
+    """A partition producing into a (per-partition) thread-safe queue."""
+
+    def __init__(self) -> None:
+        self.queue: "queue_module.SimpleQueue" = queue_module.SimpleQueue()
+        self.counters: Dict[str, int] = {}
+        self._done = False
+        self._error: Optional[str] = None
+
+    def __iter__(self) -> Iterator[ColumnBatch]:
+        while True:
+            if self._done:
+                return
+            kind, payload = self.queue.get()
+            if kind == "m":
+                yield payload
+            elif kind == "d":
+                self.counters = payload
+                self._done = True
+                return
+            else:  # "e"
+                self._done = True
+                self._error = payload
+                raise RuntimeError(f"exchange worker failed: {payload}")
+
+    def close(self) -> None:
+        for _ in self:
+            pass
+        if self._error is not None:
+            raise RuntimeError(f"exchange worker failed: {self._error}")
+
+
+def _produce_to_queue(
+    partition: Operator, stream: _QueueStream, batch_size: int
+) -> None:
+    metrics = Metrics()
+    try:
+        for batch in partition.execute_batches(metrics, batch_size):
+            if len(batch):
+                stream.queue.put(("m", batch))
+        stream.queue.put(("d", metrics.counters))
+    except BaseException as exc:  # noqa: BLE001 - relayed to the consumer
+        stream.queue.put(("e", f"{type(exc).__name__}: {exc}"))
+
+
+class _BackendRun:
+    """What a backend hands the exchange: per-partition streams, a
+    ``close()`` that drains everything, and serialization stats."""
+
+    def __init__(self, streams: Sequence, stats: Optional[dict] = None) -> None:
+        self.streams = list(streams)
+        self.stats = stats if stats is not None else {}
+
+    def close(self) -> None:
+        for stream in self.streams:
+            stream.close()
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class ExchangeBackend:
+    """How partition pipelines actually execute.
+
+    ``run`` starts every partition and returns a :class:`_BackendRun`
+    whose streams yield :class:`ColumnBatch` morsels; after a stream is
+    exhausted (or the run is closed) its ``counters`` hold the
+    partition's private :class:`Metrics` totals.  The exchange merges
+    those in partition-index order — never completion order.
+    """
+
+    name = "?"
+
+    def run(self, partitions: Sequence[Operator], batch_size: int) -> _BackendRun:
+        raise NotImplementedError
+
+
+class InlineBackend(ExchangeBackend):
+    """No pool: lazy, single-threaded, the deterministic floor."""
+
+    name = "inline"
+
+    def run(self, partitions, batch_size):
+        for partition in partitions:
+            partition.prepare_parallel()
+        return _BackendRun(
+            [_InlineStream(partition, batch_size) for partition in partitions],
+            {"backend": "inline"},
+        )
+
+
+#: One process-wide thread pool, created lazily on the first threaded
+#: drain and reused by every exchange — spawning a pool per execution
+#: would put OS thread creation on the warm-query path.  Safe to share:
+#: per-partition queues are unbounded, so producers never block and every
+#: submitted task runs to completion regardless of interleaving (a
+#: *bounded* queue on a shared fixed-size pool could deadlock when two
+#: exchanges stream concurrently, e.g. under a merge join).
+_SHARED_POOL: Optional[ThreadPoolExecutor] = None
+_SHARED_POOL_LOCK = threading.Lock()
+
+
+def _shared_pool() -> ThreadPoolExecutor:
+    global _SHARED_POOL
+    if _SHARED_POOL is None:
+        with _SHARED_POOL_LOCK:
+            if _SHARED_POOL is None:
+                _SHARED_POOL = ThreadPoolExecutor(
+                    max_workers=max(4, host_capability()["cpus"]),
+                    thread_name_prefix="repro-exchange",
+                )
+    return _SHARED_POOL
+
+
+class ThreadBackend(ExchangeBackend):
+    """The shared thread pool; each partition streams batches through its
+    own queue as it produces them (no whole-partition materialization)."""
+
+    name = "thread"
+
+    def run(self, partitions, batch_size):
+        for partition in partitions:
+            partition.prepare_parallel()  # build shared caches single-threaded
+        streams = [_QueueStream() for _ in partitions]
+        pool = _shared_pool()
+        for partition, stream in zip(partitions, streams):
+            pool.submit(_produce_to_queue, partition, stream, batch_size)
+        return _BackendRun(streams, {"backend": "thread"})
+
+
+# ----------------------------------------------------------------------
+# The process backend: persistent worker pool + morsel demultiplexer
+# ----------------------------------------------------------------------
+def _process_worker(tasks, results) -> None:  # pragma: no cover - child process
+    """Worker main loop: pull (partition) tasks until the ``None`` pill.
+
+    Each task is a pre-pickled operator chain; results stream back as
+    pre-pickled morsels so serialization failures raise *here*, visibly,
+    instead of vanishing in a queue feeder thread.
+    """
+    while True:
+        task = tasks.get()
+        if task is None:
+            return
+        index, blob, batch_size, morsel_rows = task
+        metrics = Metrics()
+        try:
+            op = pickle.loads(blob)
+            pending: List[tuple] = []
+            pending_rows = 0
+            for batch in op.execute_batches(metrics, batch_size):
+                length = len(batch)
+                if not length:
+                    continue
+                pending.append((batch.columns, length))
+                pending_rows += length
+                if pending_rows >= morsel_rows:
+                    payload = pickle.dumps(pending, pickle.HIGHEST_PROTOCOL)
+                    results.put(("m", index, payload, pending_rows))
+                    pending = []
+                    pending_rows = 0
+            if pending:
+                payload = pickle.dumps(pending, pickle.HIGHEST_PROTOCOL)
+                results.put(("m", index, payload, pending_rows))
+            results.put(("d", index, metrics.counters, None))
+        except BaseException as exc:  # noqa: BLE001 - relayed to the parent
+            try:
+                results.put(("e", index, f"{type(exc).__name__}: {exc}", None))
+            except Exception:
+                return
+
+
+class _ProcessPool:
+    """A persistent pool of daemon worker processes.
+
+    ``snapshot`` maps ship tokens to the objects the workers inherited at
+    fork time (empty under spawn); ``fork_epoch`` is the catalog epoch
+    then.  Any epoch movement restarts the pool — the same staleness rule
+    the plan cache and ``Database.stats`` obey — so workers can never
+    scan a pre-mutation memory image.
+    """
+
+    def __init__(self, size: int, method: str) -> None:
+        import multiprocessing
+
+        context = multiprocessing.get_context(method)
+        self.method = method
+        self.size = size
+        self.tasks = context.Queue()
+        self.results = context.Queue(maxsize=_RESULT_QUEUE_DEPTH)
+        self.fork_epoch = current_epoch()
+        self.snapshot: Dict[tuple, object] = (
+            dict(_SHIP_REGISTRY) if method == "fork" else {}
+        )
+        self.broken = False
+        self.processes = [
+            context.Process(
+                target=_process_worker,
+                args=(self.tasks, self.results),
+                daemon=True,
+                name=f"repro-exchange-{i}",
+            )
+            for i in range(size)
+        ]
+        for process in self.processes:
+            process.start()
+
+    def alive(self) -> bool:
+        return all(process.is_alive() for process in self.processes)
+
+    def shutdown(self) -> None:
+        for process in self.processes:
+            process.terminate()
+        for process in self.processes:
+            process.join(timeout=2.0)
+        for q in (self.tasks, self.results):
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+
+
+_PROCESS_POOL: Optional[_ProcessPool] = None
+#: Serializes process-backend runs: the pool has one result queue, so one
+#: streaming run owns it at a time.  A *nested* run on the same thread
+#: (two exchanges pulled interleaved, e.g. under a merge join) falls back
+#: to the inline backend instead of deadlocking on the lock.
+_PROCESS_RUN_LOCK = threading.Lock()
+_PROCESS_RUN_OWNER: Optional[int] = None
+
+
+def shutdown_process_pool() -> None:
+    """Tear down the persistent process pool (tests; start-method swaps)."""
+    global _PROCESS_POOL
+    with _SHARED_POOL_LOCK:
+        if _PROCESS_POOL is not None:
+            _PROCESS_POOL.shutdown()
+            _PROCESS_POOL = None
+
+
+def _ensure_process_pool(needed: Sequence[Tuple[tuple, object]]) -> _ProcessPool:
+    """The live pool, restarted when its memory image went stale.
+
+    Restart conditions: no pool yet, a worker died, the configured start
+    method changed, or — fork pools only — the catalog epoch moved or a
+    needed object was never part of the fork image.  Registration happens
+    *before* the (re)fork so the children inherit every needed object
+    with its caches built.
+    """
+    global _PROCESS_POOL
+    method = _resolve_start_method()
+    for token, obj in needed:
+        if _SHIP_REGISTRY.get(token) is not obj:
+            _register_shippable(token, obj)
+    pool = _PROCESS_POOL
+    stale = (
+        pool is None
+        or pool.broken
+        or pool.method != method
+        or not pool.alive()
+        or (
+            pool.method == "fork"
+            and (
+                pool.fork_epoch != current_epoch()
+                or any(pool.snapshot.get(token) is not obj for token, obj in needed)
+            )
+        )
+    )
+    if stale:
+        if pool is not None:
+            pool.shutdown()
+        pool = _ProcessPool(max(4, host_capability()["cpus"]), method)
+        _PROCESS_POOL = pool
+    return pool
+
+
+class _ProcessRun(_BackendRun):
+    """Demultiplexer for one process-backend execution.
+
+    Workers tag every message with its partition index; the parent
+    buffers out-of-order morsels per partition so consumers (union in
+    partition order, merge interleaved) see deterministic streams no
+    matter which worker finished first.
+    """
+
+    def __init__(self, pool, partitions, blobs, batch_size) -> None:
+        self.pool = pool
+        self.partitions = list(partitions)
+        count = len(self.partitions)
+        self.buffers: List[deque] = [deque() for _ in range(count)]
+        self.done = [False] * count
+        self.partition_counters: List[Dict[str, int]] = [{} for _ in range(count)]
+        self.error: Optional[str] = None
+        self.finished = False
+        stats = {
+            "backend": "process",
+            "start_method": pool.method,
+            "chain_bytes": sum(len(blob) for blob in blobs),
+            "morsel_bytes": 0,
+            "morsels": 0,
+            "rows_shipped": 0,
+            "token_shipped_chains": 0,
+        }
+        super().__init__([_ProcessStream(self, i) for i in range(count)], stats)
+        # Work stealing: partitions go into one shared task queue; each of
+        # the pool's workers pulls the next one the moment it frees up.
+        for index, blob in enumerate(blobs):
+            pool.tasks.put((index, blob, batch_size, MORSEL_ROWS))
+
+    # ------------------------------------------------------------------
+    def pump(self) -> None:
+        """Receive one message, with worker-liveness checks."""
+        if self.error is not None:
+            raise RuntimeError(f"process exchange worker failed: {self.error}")
+        while True:
+            try:
+                message = self.pool.results.get(timeout=_PULL_TIMEOUT)
+                break
+            except queue_module.Empty:
+                if not self.pool.alive():
+                    self.pool.broken = True
+                    self._release()
+                    raise RuntimeError(
+                        "process exchange worker died unexpectedly"
+                    ) from None
+        kind, index, payload, extra = message
+        if kind == "m":
+            self.stats["morsel_bytes"] += len(payload)
+            self.stats["morsels"] += 1
+            self.stats["rows_shipped"] += extra
+            schema = self.partitions[index].schema
+            for columns, length in pickle.loads(payload):
+                self.buffers[index].append(ColumnBatch(schema, columns, length))
+        elif kind == "d":
+            self.partition_counters[index] = payload
+            self.done[index] = True
+            self._maybe_finish()
+        else:  # "e"
+            self.done[index] = True
+            self.error = payload
+            self._maybe_finish()
+            raise RuntimeError(f"process exchange worker failed: {payload}")
+
+    def _maybe_finish(self) -> None:
+        if all(self.done):
+            self._release()
+
+    def _release(self) -> None:
+        global _PROCESS_RUN_OWNER
+        if not self.finished:
+            self.finished = True
+            _PROCESS_RUN_OWNER = None
+            _PROCESS_RUN_LOCK.release()
+
+    def close(self) -> None:
+        """Drain every partition to completion and release the run lock.
+
+        Best-effort on the error path: a dead worker already surfaced (or
+        will never send more), so force-release and mark the pool for
+        restart rather than wait forever.
+        """
+        try:
+            while not all(self.done):
+                self.pump()
+        except BaseException:
+            self.pool.broken = True
+            self._release()
+            raise
+        finally:
+            self._release()
+
+
+class _ProcessStream:
+    def __init__(self, run: _ProcessRun, index: int) -> None:
+        self.run = run
+        self.index = index
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return self.run.partition_counters[self.index]
+
+    def __iter__(self) -> Iterator[ColumnBatch]:
+        buffer = self.run.buffers[self.index]
+        while True:
+            if buffer:
+                yield buffer.popleft()
+            elif self.run.done[self.index]:
+                return
+            else:
+                self.run.pump()
+
+    def close(self) -> None:
+        # Per-stream close defers to the run: counters require *every*
+        # partition drained, and the run lock must release exactly once.
+        self.run.close()
+
+
+class ProcessBackend(ExchangeBackend):
+    """True multicore: pickled chains out, morsel streams back."""
+
+    name = "process"
+
+    def run(self, partitions, batch_size):
+        global _PROCESS_RUN_OWNER
+        me = threading.get_ident()
+        if _PROCESS_RUN_OWNER == me:
+            # Nested run on this thread (two exchanges pulled interleaved,
+            # e.g. both inputs of a merge join): the result queue is owned
+            # by the outer run, so run this one inline — deterministic,
+            # bit-identical, just not process-parallel.
+            return InlineBackend().run(partitions, batch_size)
+        _PROCESS_RUN_LOCK.acquire()
+        _PROCESS_RUN_OWNER = me
+        try:
+            needed = _collect_shippable(partitions[0])
+            pool = _ensure_process_pool(needed)
+            tokens = frozenset(
+                token for token, obj in needed if pool.snapshot.get(token) is obj
+            )
+            with _ShipContext(tokens):
+                blobs = [
+                    pickle.dumps(partition, pickle.HIGHEST_PROTOCOL)
+                    for partition in partitions
+                ]
+            run = _ProcessRun(pool, partitions, blobs, batch_size)
+            run.stats["token_shipped_chains"] = len(tokens)
+            return run
+        except BaseException:
+            _PROCESS_RUN_OWNER = None
+            _PROCESS_RUN_LOCK.release()
+            raise
+
+
+_BACKEND_INSTANCES: Dict[str, ExchangeBackend] = {
+    "inline": InlineBackend(),
+    "thread": ThreadBackend(),
+    "process": ProcessBackend(),
+}
+
+
+def get_backend(name: str) -> ExchangeBackend:
+    try:
+        return _BACKEND_INSTANCES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown exchange backend {name!r} (expected one of {BACKENDS})"
+        ) from None
+
+
+# ----------------------------------------------------------------------
 # Exchange operators
 # ----------------------------------------------------------------------
 class Exchange(Operator):
@@ -167,7 +801,9 @@ class Exchange(Operator):
     ``subtree`` — when built by the planner — is the serial chain the
     partitions were cloned from: it is what ``children()`` exposes for
     EXPLAIN, and what row-mode ``execute`` runs (the deterministic serial
-    fallback, with exactly the serial plan's counters).
+    fallback, with exactly the serial plan's counters).  ``backend``
+    names the :class:`ExchangeBackend` batch execution drains through
+    (``workers <= 1`` or a single partition always degrades to inline).
     """
 
     #: "merge" or "union" — also the EXPLAIN vocabulary.
@@ -178,6 +814,8 @@ class Exchange(Operator):
         partitions: Sequence[Operator],
         workers: Optional[int] = None,
         subtree: Optional[Operator] = None,
+        backend: Optional[str] = None,
+        contiguous: bool = False,
     ) -> None:
         partitions = list(partitions)
         if not partitions:
@@ -189,6 +827,16 @@ class Exchange(Operator):
         self.partitions: List[Operator] = partitions
         self.workers = workers
         self.subtree = subtree
+        self.backend = backend if backend is not None else DEFAULT_BACKEND
+        get_backend(self.backend)  # validate eagerly
+        #: Planner-built exchanges are contiguous: the partition_clone
+        #: contract guarantees the streams concatenate (in index order)
+        #: to the serial stream.
+        self.contiguous = contiguous
+        #: Serialization accounting for the most recent batch execution
+        #: (kept out of query Metrics — the serial plan ships nothing, and
+        #: counter parity is the differential harness's contract).
+        self.exchange_stats: dict = {}
         template = subtree if subtree is not None else partitions[0]
         self.schema = template.schema
         self.ordering = tuple(template.ordering)
@@ -211,7 +859,7 @@ class Exchange(Operator):
         A planner-built exchange simply runs the serial subtree it
         replaced — bit- and counter-identical to the unparallelized plan
         by construction.  A bare exchange (test seam) drains its
-        partitions inline instead.
+        partitions through the batch path instead.
         """
         if self.subtree is not None:
             yield from self.subtree.execute(metrics)
@@ -222,46 +870,26 @@ class Exchange(Operator):
     def execute_batches(
         self, metrics: Metrics, batch_size: int = DEFAULT_BATCH_SIZE
     ) -> Iterator[ColumnBatch]:
-        results = self._drain_partitions(metrics, batch_size)
-        yield from self._emit(results, batch_size)
-
-    def _drain_partitions(
-        self, metrics: Metrics, batch_size: int
-    ) -> List[List[ColumnBatch]]:
-        """Run every partition to completion; merge counters in partition
-        order (deterministic regardless of thread scheduling)."""
-        for partition in self.partitions:
-            partition.prepare_parallel()
-        locals_: List[Metrics] = [Metrics() for _ in self.partitions]
         if self.workers <= 1 or len(self.partitions) <= 1:
-            # Deterministic single-threaded fallback: same partitions,
-            # same order, no pool.
-            results = [
-                list(partition.execute_batches(local, batch_size))
-                for partition, local in zip(self.partitions, locals_)
-            ]
+            backend = get_backend("inline")
         else:
-            pool = _shared_pool()
-            futures = [
-                pool.submit(_drain_one, partition, local, batch_size)
-                for partition, local in zip(self.partitions, locals_)
-            ]
-            results = [future.result() for future in futures]
-        for local in locals_:
-            for key, value in local.counters.items():
-                metrics.add(key, value)
-        return results
+            backend = get_backend(self.backend)
+        run = backend.run(self.partitions, batch_size)
+        try:
+            yield from self._emit_streams(run.streams, batch_size)
+        finally:
+            run.close()
+            # Deterministic counter merge: partition-index order, after
+            # every stream drained — completion order never matters.
+            for stream in run.streams:
+                for key, value in stream.counters.items():
+                    metrics.add(key, value)
+            self.exchange_stats = run.stats
 
-    def _emit(
-        self, results: List[List[ColumnBatch]], batch_size: int
+    def _emit_streams(
+        self, streams: Sequence, batch_size: int
     ) -> Iterator[ColumnBatch]:
         raise NotImplementedError
-
-
-def _drain_one(
-    partition: Operator, metrics: Metrics, batch_size: int
-) -> List[ColumnBatch]:
-    return list(partition.execute_batches(metrics, batch_size))
 
 
 class UnionExchange(Exchange):
@@ -272,8 +900,10 @@ class UnionExchange(Exchange):
 
     kind = "union"
 
-    def __init__(self, partitions, workers=None, subtree=None) -> None:
-        super().__init__(partitions, workers, subtree)
+    def __init__(
+        self, partitions, workers=None, subtree=None, backend=None, contiguous=False
+    ) -> None:
+        super().__init__(partitions, workers, subtree, backend, contiguous)
         # Concatenation makes no ordering promise: even if the partitions
         # are individually sorted, their ranges may interleave.  Never
         # advertise an OrderSpec this operator does not enforce — that is
@@ -281,30 +911,28 @@ class UnionExchange(Exchange):
         # planner only picks union for empty specs anyway.)
         self.ordering = ()
 
-    def _emit(
-        self, results: List[List[ColumnBatch]], batch_size: int
-    ) -> Iterator[ColumnBatch]:
-        for batches in results:
-            for batch in batches:
+    def _emit_streams(self, streams, batch_size):
+        for stream in streams:
+            for batch in stream:
                 if len(batch):
                     yield batch
 
 
 class MergeExchange(Exchange):
-    """Order-preserving exchange: k-way merge on the declared ordering.
+    """Order-preserving exchange: reassemble on the declared ordering.
 
     Each partition stream must individually honor ``keys`` (the chain's
-    declared :class:`~repro.optimizer.properties.OrderSpec`); the merge
-    interleaves them into one conforming stream without sorting anything.
-    Ties across partitions resolve to the lower partition index
-    (``heapq.merge`` is stable by input position), which over contiguous
-    partitions reproduces the serial stream's arrival order exactly.
+    declared :class:`~repro.optimizer.properties.OrderSpec`).
 
-    Fast path: when the partition boundary keys do not interleave (the
-    common case for contiguous range partitions), the merge degenerates
-    to concatenation and is emitted as such — the heap only runs when
-    streams genuinely overlap (e.g. the randomly-partitioned instances of
-    the property tests).
+    * ``contiguous`` (planner-built): the ``partition_clone`` contract
+      guarantees concatenation in partition order *is* the serial stream
+      — which honors the declared order — so emission is a streaming
+      concat: no heap, no materialization, no sort.
+    * otherwise (the randomly-partitioned property-test instances): a
+      streaming stable k-way ``heapq.merge`` interleaves the morsel
+      streams without sorting anything; ties across partitions resolve
+      to the lower partition index (``heapq.merge`` is stable by input
+      position).
     """
 
     kind = "merge"
@@ -314,9 +942,11 @@ class MergeExchange(Exchange):
         partitions: Sequence[Operator],
         workers: Optional[int] = None,
         subtree: Optional[Operator] = None,
+        backend: Optional[str] = None,
+        contiguous: bool = False,
         keys: Optional[Sequence[str]] = None,
     ) -> None:
-        super().__init__(partitions, workers, subtree)
+        super().__init__(partitions, workers, subtree, backend, contiguous)
         if keys is None:
             keys = self.ordering
         self.keys: Tuple[str, ...] = tuple(keys)
@@ -334,35 +964,16 @@ class MergeExchange(Exchange):
         positions = self._positions
         return tuple(row[p] for p in positions)
 
-    def _boundaries_disjoint(self, results: List[List[ColumnBatch]]) -> bool:
-        """True when partition key ranges touch only at boundaries in
-        partition order — then concatenation equals the stable merge."""
-        previous_last = None
-        for batches in results:
-            if not any(len(batch) for batch in batches):
-                continue
-            first = next(batch for batch in batches if len(batch))
-            last = next(batch for batch in reversed(batches) if len(batch))
-            positions = self._positions
-            first_key = tuple(first.columns[p][0] for p in positions)
-            if previous_last is not None and first_key < previous_last:
-                return False
-            previous_last = tuple(last.columns[p][-1] for p in positions)
-        return True
-
-    def _emit(
-        self, results: List[List[ColumnBatch]], batch_size: int
-    ) -> Iterator[ColumnBatch]:
-        if self._boundaries_disjoint(results):
-            for batches in results:
-                for batch in batches:
+    def _emit_streams(self, streams, batch_size):
+        if self.contiguous:
+            for stream in streams:
+                for batch in stream:
                     if len(batch):
                         yield batch
             return
-        streams = [
-            _rows_of(batches) for batches in results if any(len(b) for b in batches)
-        ]
-        merged = heapq.merge(*streams, key=self._key)
+        merged = heapq.merge(
+            *(_rows_of_stream(stream) for stream in streams), key=self._key
+        )
         schema = self.schema
         while True:
             chunk = list(islice(merged, batch_size))
@@ -371,15 +982,22 @@ class MergeExchange(Exchange):
             yield ColumnBatch.from_rows(schema, chunk)
 
 
-def _rows_of(batches: List[ColumnBatch]) -> Iterator[tuple]:
-    for batch in batches:
+def _rows_of_stream(stream) -> Iterator[tuple]:
+    for batch in stream:
         yield from batch.rows()
 
 
 # ----------------------------------------------------------------------
 # Exchange placement (called by the planner when ``workers`` is set)
 # ----------------------------------------------------------------------
-def insert_exchanges(root: Operator, workers: int, info=None) -> Operator:
+def insert_exchanges(
+    root: Operator,
+    workers: int,
+    info=None,
+    backend: Optional[str] = None,
+    min_rows: int = 0,
+    row_estimator=None,
+) -> Operator:
     """Wrap every maximal partitionable chain of a physical plan in an
     exchange of ``workers`` contiguous partitions.
 
@@ -389,27 +1007,65 @@ def insert_exchanges(root: Operator, workers: int, info=None) -> Operator:
     :class:`MergeExchange` keyed on it, the empty spec takes the cheaper
     :class:`UnionExchange`.  ``LIMIT`` subtrees are left serial (their
     ``partition_kind`` is ``"barrier"`` — exact early-termination parity).
+
+    ``min_rows > 0`` cost-gates placement: a chain whose source scans
+    fewer estimated rows stays serial (``row_estimator(table)`` supplies
+    the estimate — the planner passes epoch-keyed ``TableStats`` row
+    counts — with ``len(table.rows)`` as the fallback; chains with no
+    table, e.g. test seams, are never gated).  Direct callers default to
+    ``min_rows=0``: placement exactly where asked.
+
     ``info`` — a :class:`~repro.optimizer.planner.PlanInfo` — receives one
-    ``exchanges`` record per placement for EXPLAIN reporting.
+    ``exchanges`` record per placement (and a note per gated skip) for
+    EXPLAIN reporting.
     """
     if workers < 1:
         raise ValueError(f"workers must be positive, got {workers}")
-    return _place(root, workers, info)
+    backend = backend if backend is not None else DEFAULT_BACKEND
+    get_backend(backend)  # validate
+    return _place(root, workers, info, backend, min_rows, row_estimator)
 
 
-def _place(op: Operator, workers: int, info) -> Operator:
+def _chain_source_rows(op: Operator, row_estimator) -> Optional[int]:
+    """Estimated rows the chain's source scan reads (None: no estimate)."""
+    node = op
+    while node.partition_kind == "transparent":
+        node = node.child  # type: ignore[attr-defined]
+    table = getattr(node, "table", None)
+    if table is None:
+        return None
+    if row_estimator is not None:
+        try:
+            estimate = row_estimator(table)
+        except (KeyError, ValueError, AttributeError):
+            estimate = None
+        if estimate is not None:
+            return int(estimate)
+    return len(table.rows)
+
+
+def _place(op: Operator, workers: int, info, backend, min_rows, row_estimator) -> Operator:
     if op.partition_kind == "barrier":
         return op
     if partitionable(op):
-        return _make_exchange(op, workers, info)
+        if min_rows > 0:
+            rows = _chain_source_rows(op, row_estimator)
+            if rows is not None and rows < min_rows:
+                if info is not None:
+                    info.notes.append(
+                        f"exchange skipped over {op.label()}: ≈{rows} rows "
+                        f"< min-rows gate {min_rows}"
+                    )
+                return op
+        return _make_exchange(op, workers, info, backend)
     for child in tuple(op.children()):
-        replacement = _place(child, workers, info)
+        replacement = _place(child, workers, info, backend, min_rows, row_estimator)
         if replacement is not child:
             op.replace_child(child, replacement)
     return op
 
 
-def _make_exchange(subtree: Operator, workers: int, info) -> Exchange:
+def _make_exchange(subtree: Operator, workers: int, info, backend) -> Exchange:
     # Lazy import: the engine layer must not depend on the optimizer
     # package at import time (the optimizer imports the engine's
     # operators) — same rule as ``operators.base.order_spec``.
@@ -421,10 +1077,21 @@ def _make_exchange(subtree: Operator, workers: int, info) -> Exchange:
     ]
     if exchange_kind(spec) == "merge":
         exchange: Exchange = MergeExchange(
-            partitions, workers=workers, subtree=subtree, keys=tuple(spec)
+            partitions,
+            workers=workers,
+            subtree=subtree,
+            backend=backend,
+            contiguous=True,
+            keys=tuple(spec),
         )
     else:
-        exchange = UnionExchange(partitions, workers=workers, subtree=subtree)
+        exchange = UnionExchange(
+            partitions,
+            workers=workers,
+            subtree=subtree,
+            backend=backend,
+            contiguous=True,
+        )
     if info is not None:
         info.exchanges.append(
             (exchange.kind, len(partitions), tuple(spec), subtree.label())

@@ -120,6 +120,13 @@ class PlanCacheEntry:
 class PlanCache:
     """A bounded LRU of physical plans keyed on (fingerprint, mode).
 
+    The mode string carries every planning dimension that changes the
+    physical tree: reasoning mode (``"od"``/``"fd"``), join ordering
+    (``"od+syntactic"``), and parallel placement with its worker count
+    *and* exchange backend (``"od+w4+thread"``, ``"od+w4+proc"``) — so
+    serial/parallel plannings, different worker counts, and different
+    backends never serve each other's trees.
+
     The epoch is *not* part of the key: at most one entry exists per
     logical tree and mode, and a lookup under a newer epoch explicitly
     drops the stale entry (counted) rather than letting it shadow-rot.

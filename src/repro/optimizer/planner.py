@@ -167,9 +167,12 @@ class PlanInfo:
     #: care about.
     execution: str = "row (iterator)"
     #: Parallel planning: the worker count exchanges were placed for
-    #: (``None`` — serial plan), and one record per placed exchange:
+    #: (``None`` — serial plan), the exchange backend they drain through
+    #: (``"inline"``/``"thread"``/``"process"``), and one record per
+    #: placed exchange:
     #: ``(kind, partitions, ordering keys, partitioned subtree label)``.
     workers: Optional[int] = None
+    backend: Optional[str] = None
     exchanges: List[tuple] = field(default_factory=list)
     #: One :class:`~repro.optimizer.joinorder.JoinOrderDecision` per join
     #: block the cost-based search ordered (empty for syntactic planning
@@ -192,6 +195,10 @@ class PlanInfo:
         lines = [f"plan mode: {self.mode}"]
         lines.append(f"execution: {self.execution}")
         if self.workers is not None:
+            lines.append(
+                f"parallel: {self.workers} workers, "
+                f"{self.backend or 'thread'} backend"
+            )
             if self.exchanges:
                 for kind, partitions, keys, label in self.exchanges:
                     detail = f" on [{', '.join(keys)}]" if keys else ""
@@ -253,6 +260,8 @@ class Planner:
         mode: Optional[str] = None,
         workers: Optional[int] = None,
         join_order: str = "cost",
+        backend: Optional[str] = None,
+        parallel_min_rows: Optional[int] = None,
     ):
         self.database = database
         if mode is None:
@@ -266,6 +275,13 @@ class Planner:
         self.mode = mode
         self.workers = workers
         self.join_order = join_order
+        #: Exchange backend for placed exchanges (None → the parallel
+        #: module's default); validated at placement time.
+        self.backend = backend
+        #: Cost gate for exchange placement (None → the module default,
+        #: read at plan time so env/monkeypatch overrides apply).  Tests
+        #: pass 0 to force placement on tiny tables.
+        self.parallel_min_rows = parallel_min_rows
         self.info = PlanInfo(mode=mode)
         self.resolver: Optional[NameResolver] = None
         #: id(theory) -> (theory, stats snapshot at first acquisition); the
@@ -310,12 +326,36 @@ class Planner:
             # (merge preserves it, union suffices without one).  Purely a
             # tree transform — results and counter totals stay exactly
             # the serial plan's (the mode-matrix differential's gate).
-            from ..engine.parallel import insert_exchanges  # lazy: avoids cycle
+            # Placement is cost-gated on epoch-keyed TableStats row
+            # counts: chains over small (dimension) tables stay serial.
+            from ..engine import parallel  # lazy: avoids cycle
 
             self.info.workers = self.workers
-            op = insert_exchanges(op, self.workers, self.info)
+            self.info.backend = self.backend or parallel.DEFAULT_BACKEND
+            min_rows = (
+                self.parallel_min_rows
+                if self.parallel_min_rows is not None
+                else parallel.PARALLEL_MIN_ROWS
+            )
+            op = parallel.insert_exchanges(
+                op,
+                self.workers,
+                self.info,
+                backend=self.backend,
+                min_rows=min_rows,
+                row_estimator=self._estimated_rows,
+            )
         op.plan_info = self.info  # type: ignore[attr-defined]
         return op
+
+    def _estimated_rows(self, table) -> Optional[int]:
+        """Scan-size estimate for the exchange cost gate: the epoch-keyed
+        ``TableStats`` row count (recollected after any mutation, so the
+        gate can never reason from pre-insert sizes)."""
+        try:
+            return self.database.stats(table.name).row_count
+        except KeyError:
+            return None
 
     # ------------------------------------------------------------------
     # Property-framework access (theories interned, stats attributed)

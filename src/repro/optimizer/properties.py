@@ -266,10 +266,12 @@ def exchange_kind(spec: Sequence[str]) -> str:
     A subtree that declares a non-empty :class:`OrderSpec` owes that order
     to its consumers, so its partition streams must be **merged** on the
     ordering prefix (a k-way merge — never a re-sort; that is the whole
-    point of carrying the property).  The empty spec owes nothing, so the
-    cheaper concatenating **union** exchange suffices.  Returns ``"merge"``
-    or ``"union"`` — the vocabulary
-    :func:`repro.engine.parallel.insert_exchanges` and ``EXPLAIN`` share.
+    point of carrying the property; over the planner's contiguous
+    partitions the merge degenerates to a streaming concatenation).  The
+    empty spec owes nothing, so the cheaper concatenating **union**
+    exchange suffices.  Returns ``"merge"`` or ``"union"`` — the
+    vocabulary :func:`repro.engine.parallel.insert_exchanges` and
+    ``EXPLAIN`` share.
     """
     spec = spec if isinstance(spec, OrderSpec) else OrderSpec(spec)
     return "union" if spec.empty else "merge"

@@ -40,7 +40,9 @@ from repro.engine.operators import (
 from repro.engine.operators.base import Metrics, Operator
 from repro.engine.expr import Cmp, Col, Lit
 from repro.engine.index import SortedIndex
+from repro.engine import parallel as parallel_mod
 from repro.engine.parallel import (
+    BACKENDS,
     MergeExchange,
     UnionExchange,
     insert_exchanges,
@@ -66,7 +68,9 @@ class StaticSource(Operator):
         self.ordering = tuple(ordering)
 
     def execute(self, metrics: Metrics):
-        yield from self.static_rows
+        for row in self.static_rows:
+            metrics.add("rows_scanned")
+            yield row
 
 
 SCHEMA = Schema.of(("a", DataType.INT), ("b", DataType.INT), ("c", DataType.INT))
@@ -127,6 +131,82 @@ def test_merge_exchange_conforms_to_declared_order(instance):
     assert exchange.provides() == OrderSpec(keys)
     out = assert_declared_order_observed(exchange)
     assert sorted(out) == sorted(rows), "merge-exchange lost or invented rows"
+
+
+@st.composite
+def backend_instances(draw):
+    """Smaller instances than merge_instances: each example runs every
+    backend twice, and the process backend pays real IPC per run."""
+    rows = draw(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 50)),
+            max_size=40,
+        )
+    )
+    partition_count = draw(st.integers(1, 4))
+    assignment = draw(
+        st.lists(
+            st.integers(0, partition_count - 1),
+            min_size=len(rows),
+            max_size=len(rows),
+        )
+    )
+    key_width = draw(st.integers(1, 3))
+    return rows, assignment, partition_count, key_width
+
+
+@settings(max_examples=12, deadline=None)
+@given(backend_instances())
+def test_merge_exchange_identical_across_backends(instance):
+    """The backend is an execution detail, never a semantic one: over
+    randomly partitioned morsel streams (empty partitions and
+    single-morsel partitions included), every backend — inline, thread,
+    process — produces bit-identical rows and identical Metrics counters,
+    across repeated runs, and the merged stream conforms to the declared
+    OrderSpec."""
+    rows, assignment, partition_count, key_width = instance
+    keys = ("a", "b", "c")[:key_width]
+    positions = [SCHEMA.position(key) for key in keys]
+
+    def keyfn(row):
+        return tuple(row[p] for p in positions)
+
+    def build(backend):
+        return MergeExchange(
+            [
+                StaticSource(
+                    SCHEMA,
+                    sorted(
+                        (r for r, where in zip(rows, assignment) if where == p),
+                        key=keyfn,
+                    ),
+                    ordering=keys,
+                )
+                for p in range(partition_count)
+            ],
+            workers=3,
+            keys=keys,
+            backend=backend,
+        )
+
+    reference_rows = None
+    reference_counters = None
+    for backend in BACKENDS:
+        exchange = build(backend)
+        for _ in range(2):  # repeated runs: no scheduling leakage
+            out, metrics = exchange.run_batches(7)
+            if reference_rows is None:
+                reference_rows = out
+                reference_counters = metrics.counters
+                assert sorted(out) == sorted(rows)
+                observed = [keyfn(row) for row in out]
+                assert observed == sorted(observed), (
+                    "merged stream violates the declared OrderSpec"
+                )
+            assert out == reference_rows, f"{backend} backend drifted in rows"
+            assert metrics.counters == reference_counters, (
+                f"{backend} backend drifted in counters"
+            )
 
 
 def test_merge_exchange_requires_ordering():
@@ -321,6 +401,92 @@ def test_row_mode_execute_falls_back_to_the_serial_subtree(table):
 
 
 # ----------------------------------------------------------------------
+# Process backend mechanics: morsel streaming, shipping accounting
+# ----------------------------------------------------------------------
+def test_process_backend_streams_multiple_morsels(table, monkeypatch):
+    """With the morsel size forced tiny, a partition's results cross the
+    result queue in several morsels — and the reassembled stream is still
+    bit- and counter-identical to serial, with the serialization cost
+    accounted in exchange_stats (never in query Metrics)."""
+    monkeypatch.setattr(parallel_mod, "MORSEL_ROWS", 8)
+    serial_rows, serial_metrics = Filter(
+        SeqScan(table), Cmp("<=", Col("t.a"), Lit(4))
+    ).run_batches(16)
+    exchange = insert_exchanges(
+        Filter(SeqScan(table), Cmp("<=", Col("t.a"), Lit(4))),
+        2,
+        backend="process",
+    )
+    rows, metrics = exchange.run_batches(16)
+    assert rows == serial_rows
+    assert metrics.counters == serial_metrics.counters
+    stats = exchange.exchange_stats
+    assert stats["backend"] == "process"
+    assert stats["morsels"] >= 2, "tiny morsel size must split the stream"
+    assert stats["rows_shipped"] == len(serial_rows)
+    assert stats["chain_bytes"] > 0
+
+
+def test_backend_is_rejected_when_unknown(table):
+    chain = Filter(SeqScan(table), Cmp("<=", Col("t.a"), Lit(4)))
+    with pytest.raises(ValueError):
+        insert_exchanges(chain, 2, backend="greenlet")
+    with pytest.raises(ValueError):
+        UnionExchange([SeqScan(table)], backend="greenlet")
+
+
+# ----------------------------------------------------------------------
+# Satellite: the min-rows placement gate
+# ----------------------------------------------------------------------
+def test_min_rows_gate_keeps_snowflake_dimensions_serial():
+    """The placement bugfix: exchanges used to land on every partitionable
+    chain regardless of size.  In the snowflake workload the fact scan
+    (thousands of rows) must parallelize while every dimension chain
+    (≤ a few hundred rows) plans serial — with the skip visible in the
+    planner notes — and overriding the gate to 0 parallelizes the
+    dimensions too."""
+    from repro.workloads.snowflake import build_snowflake
+
+    flake = build_snowflake(
+        days=150, sales_rows=4_000, items=60, brands=12, stores=8
+    )
+    database = flake.database
+    sql = (
+        "SELECT r.r_name, SUM(f.f_qty) AS qty, COUNT(*) AS n "
+        "FROM region r "
+        "JOIN store st ON r.r_region_sk = st.st_region_sk "
+        "JOIN sales f ON st.st_store_sk = f.f_store_sk "
+        "GROUP BY r_name ORDER BY r_name"
+    )
+    plan = database.plan(sql, workers=4, use_cache=False)
+    info = plan.plan_info
+    labels = [label for (_, _, _, label) in info.exchanges]
+    assert labels, "the fact chain must still parallelize"
+    assert all("sales" in label for label in labels), (
+        f"only fact chains may carry exchanges, got {labels}"
+    )
+    assert any("min-rows gate" in note for note in info.notes), (
+        "gated dimension chains must leave a visible planner note"
+    )
+
+    import unittest.mock as mock
+
+    with mock.patch.object(parallel_mod, "PARALLEL_MIN_ROWS", 0):
+        ungated = database.plan(sql, workers=4, use_cache=False)
+    ungated_labels = [label for (_, _, _, label) in ungated.plan_info.exchanges]
+    assert len(ungated_labels) > len(labels), (
+        "gate override must parallelize the dimension chains as well"
+    )
+
+    # The gate is a pure cost call: gated and ungated plans agree with
+    # serial on rows and counters.
+    serial = database.execute(sql)
+    gated = database.execute(sql, workers=4)
+    assert gated.rows == serial.rows
+    assert gated.metrics.counters == serial.metrics.counters
+
+
+# ----------------------------------------------------------------------
 # Database-level wiring
 # ----------------------------------------------------------------------
 @pytest.fixture(scope="module")
@@ -365,6 +531,40 @@ def test_database_rejects_bad_worker_counts(tax_db):
         tax_db.explain(GROUPED_SQL, batch_size=-5, workers=2)
 
 
+def test_database_backends_match_serial(tax_db):
+    serial = tax_db.execute(ORDERED_SQL)
+    for backend in BACKENDS:
+        result = tax_db.execute(
+            ORDERED_SQL, batch_size=13, workers=4, backend=backend
+        )
+        assert result.backend == backend
+        assert result.rows == serial.rows
+        assert result.metrics.counters == serial.metrics.counters
+
+
+def test_database_rejects_bad_backends(tax_db):
+    with pytest.raises(ValueError):
+        tax_db.execute(GROUPED_SQL, workers=2, backend="greenlet")
+    with pytest.raises(ValueError):  # backend= requires workers=
+        tax_db.plan(GROUPED_SQL, backend="process")
+
+
+def test_backends_cache_under_their_own_mode(tax_db):
+    """Backend-qualified mode keys (od+w2+thread / od+w2+proc /
+    od+w2+inline): backends never serve each other's plans — the
+    exchange operators carry their backend."""
+    tax_db.plan_cache.clear()
+    thread_plan = tax_db.plan(ORDERED_SQL, workers=2)
+    process_plan = tax_db.plan(ORDERED_SQL, workers=2, backend="process")
+    inline_plan = tax_db.plan(ORDERED_SQL, workers=2, backend="inline")
+    assert thread_plan is not process_plan
+    assert process_plan is not inline_plan
+    assert thread_plan is not inline_plan
+    assert tax_db.plan(ORDERED_SQL, workers=2, backend="process") is process_plan
+    assert tax_db.plan(ORDERED_SQL, workers=2, backend="thread") is thread_plan
+    assert tax_db.plan(ORDERED_SQL, workers=2) is thread_plan
+
+
 def test_parallel_plans_cache_under_their_own_mode(tax_db):
     tax_db.plan_cache.clear()
     serial = tax_db.plan(ORDERED_SQL)
@@ -387,6 +587,14 @@ def test_explain_reports_partitions_and_exchange_kind(tax_db):
     )
     assert "UnionExchange(3 partitions)" in grouped
     assert "exchange: union-exchange, 3 partitions" in grouped
+
+
+def test_explain_reports_the_backend(tax_db):
+    text = tax_db.explain(ORDERED_SQL, workers=4, backend="process", verbose=True)
+    assert "parallel: 4 workers, process backend" in text
+    assert "parallel (4 workers, batch size 1024, process backend)" in text
+    default = tax_db.explain(ORDERED_SQL, workers=4, verbose=True)
+    assert "parallel: 4 workers, thread backend" in default
 
 
 # ----------------------------------------------------------------------

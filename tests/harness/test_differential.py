@@ -35,12 +35,18 @@ row counters must match the row path's totals exactly.
 Completing the mode matrix, every query also runs **parallel**
 (``workers=K`` — partitioned chains behind order-preserving exchanges)
 at every count in ``REPRO_DIFF_WORKERS`` (default ``2``; the
-``parallel-correctness`` CI job runs ``1,2,4``), both plan-cache-cold
-(fresh exchange placement) and plan-cache-warm (the cached parallel
-tree re-executed, which doubles as a determinism check).  Every parallel
-leg must be bit-identical to the serial rows with exactly the serial
-counter totals — partitioning, thread scheduling, and exchange
-reassembly must be invisible.
+``parallel-correctness`` CI job runs ``1,2,4``) on every exchange
+backend in ``REPRO_DIFF_BACKEND`` (default ``thread``; CI runs a
+``thread`` × ``process`` matrix with the spawn start method pinned),
+both plan-cache-cold (fresh exchange placement) and plan-cache-warm
+(the cached parallel tree re-executed, which doubles as a determinism
+check).  Every parallel leg must be bit-identical to the serial rows
+with exactly the serial counter totals — partitioning, thread/process
+scheduling, morsel reassembly, and result shipping must be invisible.
+The parallel legs force the placement gate to 0 so even the small
+differential workloads genuinely exercise exchanges (the gate's own
+behaviour is pinned by its regression test in
+``tests/engine/test_parallel.py``).
 
 Finally the **join-order leg**: every query is re-planned with
 ``join_order="syntactic"`` (the parse order — the pre-search planner).
@@ -58,10 +64,12 @@ differ in the last bits across fold orders).
 from __future__ import annotations
 
 import os
+from unittest import mock
 
 import pytest
 
 from repro.core.dependency import fd, od
+from repro.engine import parallel as parallel_mod
 from repro.engine.database import Database
 from repro.engine.schema import Schema
 from repro.engine.types import DataType
@@ -110,6 +118,16 @@ WORKER_COUNTS = tuple(
     int(workers)
     for workers in os.environ.get("REPRO_DIFF_WORKERS", "2").split(",")
     if workers.strip()
+)
+
+#: Exchange backends the parallel legs drain through; override with a
+#: comma-separated ``REPRO_DIFF_BACKEND`` (the parallel-correctness CI
+#: job runs a ``thread`` × ``process`` matrix).  Empty disables the
+#: parallel legs.
+BACKENDS = tuple(
+    backend.strip()
+    for backend in os.environ.get("REPRO_DIFF_BACKEND", "thread").split(",")
+    if backend.strip()
 )
 
 
@@ -183,41 +201,60 @@ def run_differential(database, sql, order_keys=()):
         )
 
     # Parallel mode: the same query over partitioned chains behind
-    # order-preserving exchanges.  Cold first (fresh exchange placement —
-    # parallel plans cache under their own "od+wK" mode key, so this
-    # never evicts or serves the serial entries), then warm (the cached
-    # parallel tree re-executed: also a determinism check).  Every leg
-    # must reproduce the serial rows bit-for-bit with the serial counter
-    # totals.
-    if BATCH_SIZES and WORKER_COUNTS:
+    # order-preserving exchanges, on every configured backend.  Cold
+    # first (fresh exchange placement — parallel plans cache under their
+    # own backend-qualified "od+wK+backend" mode key, so this never
+    # evicts or serves the serial entries, and backends never serve each
+    # other's trees), then warm (the cached parallel tree re-executed:
+    # also a determinism check).  Every leg must reproduce the serial
+    # rows bit-for-bit with the serial counter totals.  The placement
+    # gate is forced to 0 here so even the small workloads genuinely
+    # partition (the gate itself is pinned in tests/engine/test_parallel).
+    if BATCH_SIZES and WORKER_COUNTS and BACKENDS:
         parallel_batch = BATCH_SIZES[0]
-        for workers in WORKER_COUNTS:
-            par_cold = database.execute(
-                sql, optimize=True, batch_size=parallel_batch, workers=workers
-            )
-            label = f"parallel_cold[w{workers}]"
-            assert par_cold.plan.plan_info.cache_state == "miss", label
-            assert par_cold.plan is not cold.plan, (
-                f"{label}: parallel and serial plans must never mix"
-            )
-            assert par_cold.columns == cold.columns, f"{label}: column mismatch"
-            assert par_cold.rows == cold.rows, (
-                f"{label}: parallel rows differ from serial rows"
-            )
-            assert par_cold.metrics.counters == cold.metrics.counters, (
-                f"{label}: counters differ (parallel "
-                f"{par_cold.metrics.counters} vs serial {cold.metrics.counters})"
-            )
-            par_warm = database.execute(
-                sql, optimize=True, batch_size=parallel_batch, workers=workers
-            )
-            label = f"parallel_warm[w{workers}]"
-            assert par_warm.plan is par_cold.plan, f"{label}: not the cached plan"
-            assert par_warm.plan.plan_info.cache_state == "hit", label
-            assert par_warm.rows == cold.rows, f"{label}: rows drifted"
-            assert par_warm.metrics.counters == cold.metrics.counters, (
-                f"{label}: counters drifted"
-            )
+        with mock.patch.object(parallel_mod, "PARALLEL_MIN_ROWS", 0):
+            for backend in BACKENDS:
+                for workers in WORKER_COUNTS:
+                    par_cold = database.execute(
+                        sql,
+                        optimize=True,
+                        batch_size=parallel_batch,
+                        workers=workers,
+                        backend=backend,
+                    )
+                    label = f"parallel_cold[{backend},w{workers}]"
+                    assert par_cold.plan.plan_info.cache_state == "miss", label
+                    assert par_cold.plan is not cold.plan, (
+                        f"{label}: parallel and serial plans must never mix"
+                    )
+                    assert par_cold.backend == backend, label
+                    assert par_cold.columns == cold.columns, (
+                        f"{label}: column mismatch"
+                    )
+                    assert par_cold.rows == cold.rows, (
+                        f"{label}: parallel rows differ from serial rows"
+                    )
+                    assert par_cold.metrics.counters == cold.metrics.counters, (
+                        f"{label}: counters differ (parallel "
+                        f"{par_cold.metrics.counters} vs serial "
+                        f"{cold.metrics.counters})"
+                    )
+                    par_warm = database.execute(
+                        sql,
+                        optimize=True,
+                        batch_size=parallel_batch,
+                        workers=workers,
+                        backend=backend,
+                    )
+                    label = f"parallel_warm[{backend},w{workers}]"
+                    assert par_warm.plan is par_cold.plan, (
+                        f"{label}: not the cached plan"
+                    )
+                    assert par_warm.plan.plan_info.cache_state == "hit", label
+                    assert par_warm.rows == cold.rows, f"{label}: rows drifted"
+                    assert par_warm.metrics.counters == cold.metrics.counters, (
+                        f"{label}: counters drifted"
+                    )
 
     # Join-order leg: the parse (syntactic) order, planned under its own
     # join-order-qualified mode key, must agree with the cost-based
@@ -245,14 +282,16 @@ def run_differential(database, sql, order_keys=()):
         assert syn_batch.metrics.counters == syn_cold.metrics.counters, (
             "joinorder batch: counters differ"
         )
-    if BATCH_SIZES and WORKER_COUNTS:
-        syn_par = database.execute(
-            sql,
-            optimize=True,
-            join_order="syntactic",
-            batch_size=BATCH_SIZES[0],
-            workers=WORKER_COUNTS[0],
-        )
+    if BATCH_SIZES and WORKER_COUNTS and BACKENDS:
+        with mock.patch.object(parallel_mod, "PARALLEL_MIN_ROWS", 0):
+            syn_par = database.execute(
+                sql,
+                optimize=True,
+                join_order="syntactic",
+                batch_size=BATCH_SIZES[0],
+                workers=WORKER_COUNTS[0],
+                backend=BACKENDS[0],
+            )
         assert syn_par.rows == syn_cold.rows, "joinorder parallel: rows differ"
         assert syn_par.metrics.counters == syn_cold.metrics.counters, (
             "joinorder parallel: counters differ"
