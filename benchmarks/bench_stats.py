@@ -1,0 +1,177 @@
+"""Estimate-vs-actual Q-error: histogram statistics vs the uniform baseline.
+
+Every skewed snowflake template (``SNOWFLAKE_SKEWED_QUERIES`` — fact
+dates beta(2,2)-distributed, promo calendar overlapping only the thin
+tail) plans and executes under both estimation modes:
+
+* ``uniform`` — the pre-histogram model: min/max interpolation,
+  ``rows/ndv`` equalities, NDV-under-containment joins (with this PR's
+  degenerate-case bug fixes, so the comparison isolates the *model*);
+* ``histogram`` — equi-depth histograms, KMV sketch overlap, FD key
+  caps, OD interleaved-merge join bounds.
+
+Per template the Q-error ``max(est/actual, actual/est)`` of the root
+cardinality estimate is recorded; ``test_stats_qerror_claim`` is the
+acceptance record: the histogram mode's median Q-error must beat the
+uniform baseline's, and the planted SK1 plan flip must hold — under
+uniform statistics the search drags the item-filtered fact through the
+promo hash, under histogram statistics it probes the promo join first,
+measurably cheaper in deterministic ``Metrics.work``.
+``tests/harness/test_bench_regression.py`` re-checks the committed
+claims plus a live proxy on every CI run.
+"""
+from __future__ import annotations
+
+import statistics
+
+from repro.engine.stats import set_estimation_mode
+from repro.optimizer.costing import estimate_plan
+from repro.workloads.snowflake import skewed_query_sql
+from repro.workloads.tpcds_lite import DATE_QUERIES
+
+#: The template whose join order must flip between the modes.
+FLIP_QUERY = "SK1"
+
+
+def _canon_rows(rows):
+    """Different join orders accumulate float SUMs in different orders;
+    compare result multisets up to last-ulp noise."""
+    return sorted(
+        (
+            tuple(round(v, 6) if isinstance(v, float) else v for v in row)
+            for row in rows
+        ),
+        key=repr,
+    )
+
+
+def _measure_mode(db, sqls: dict, mode: str) -> dict:
+    """Per-template (estimate, actual, work, join orders) under one mode."""
+    previous = set_estimation_mode(mode)
+    try:
+        out = {}
+        for qid, sql in sqls.items():
+            plan = db.plan(sql, use_cache=False)
+            estimate = max(1.0, estimate_plan(db, plan).rows)
+            orders = tuple(d.chosen for d in plan.plan_info.join_orders)
+            result = db.execute(sql, use_cache=False)
+            actual = max(1, len(result.rows))
+            out[qid] = {
+                "estimate": estimate,
+                "actual": actual,
+                "qerror": max(estimate / actual, actual / estimate),
+                "work": result.metrics.work,
+                "orders": orders,
+                "rows": _canon_rows(result.rows),
+            }
+        return out
+    finally:
+        set_estimation_mode(previous)
+
+
+# ----------------------------------------------------------------------
+# The acceptance claim, asserted where the baseline is recorded
+# ----------------------------------------------------------------------
+def test_stats_qerror_claim(benchmark, snowflake):
+    """Median Q-error must improve and the SK1 join order must flip to a
+    measurably cheaper plan."""
+    db = snowflake.database
+    sqls = skewed_query_sql(snowflake)
+
+    def measure():
+        uniform = _measure_mode(db, sqls, "uniform")
+        histogram = _measure_mode(db, sqls, "histogram")
+        return uniform, histogram
+
+    uniform, histogram = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    for qid in sqls:
+        assert uniform[qid]["rows"] == histogram[qid]["rows"], (
+            f"{qid}: result rows differ between estimation modes — "
+            "estimates must never change answers"
+        )
+
+    median_uniform = statistics.median(e["qerror"] for e in uniform.values())
+    median_histogram = statistics.median(e["qerror"] for e in histogram.values())
+    benchmark.extra_info["median_q_uniform"] = round(median_uniform, 3)
+    benchmark.extra_info["median_q_histogram"] = round(median_histogram, 3)
+    benchmark.extra_info["qerror_uniform"] = {
+        qid: round(e["qerror"], 2) for qid, e in uniform.items()
+    }
+    benchmark.extra_info["qerror_histogram"] = {
+        qid: round(e["qerror"], 2) for qid, e in histogram.items()
+    }
+
+    flip_uniform = uniform[FLIP_QUERY]
+    flip_histogram = histogram[FLIP_QUERY]
+    benchmark.extra_info["flip_query"] = FLIP_QUERY
+    benchmark.extra_info["flip_uniform_order"] = " ".join(flip_uniform["orders"])
+    benchmark.extra_info["flip_histogram_order"] = " ".join(
+        flip_histogram["orders"]
+    )
+    benchmark.extra_info["flip_work_uniform"] = round(flip_uniform["work"])
+    benchmark.extra_info["flip_work_histogram"] = round(flip_histogram["work"])
+    work_ratio = flip_uniform["work"] / max(1.0, flip_histogram["work"])
+    benchmark.extra_info["flip_work_ratio"] = round(work_ratio, 3)
+
+    assert median_histogram < median_uniform, (
+        f"histogram statistics lost their edge: median Q-error "
+        f"{median_histogram:.2f} vs uniform baseline {median_uniform:.2f}"
+    )
+    assert flip_uniform["orders"] != flip_histogram["orders"], (
+        f"{FLIP_QUERY} no longer flips its join order between modes"
+    )
+    assert work_ratio >= 1.1, (
+        f"the {FLIP_QUERY} flip is no longer measurably cheaper: "
+        f"uniform-order work is only {work_ratio:.2f}x the histogram-order "
+        "work (acceptance bar: 1.1x)"
+    )
+
+
+def test_stats_qerror_tpcds(benchmark, tpcds):
+    """Q-error over TPC-DS-lite date windows (fact dates equally skewed):
+    tail and peak windows on the three biggest date-range templates."""
+    db = tpcds.database
+    days = tpcds.days
+    sqls = {}
+    for qid in ("Q1", "Q2", "Q3"):
+        template = dict(DATE_QUERIES)[qid]
+        for label, (first, length) in {
+            "tail": (0, max(7, int(days * 0.05))),
+            "peak": (int(days * 0.47), max(7, int(days * 0.06))),
+        }.items():
+            lo, hi = tpcds.date_range(first, length)
+            sqls[f"{qid}-{label}"] = template.format(lo=lo, hi=hi)
+
+    def measure():
+        uniform = _measure_mode(db, sqls, "uniform")
+        histogram = _measure_mode(db, sqls, "histogram")
+        return uniform, histogram
+
+    uniform, histogram = benchmark.pedantic(measure, rounds=1, iterations=1)
+    median_uniform = statistics.median(e["qerror"] for e in uniform.values())
+    median_histogram = statistics.median(e["qerror"] for e in histogram.values())
+    benchmark.extra_info["median_q_uniform"] = round(median_uniform, 3)
+    benchmark.extra_info["median_q_histogram"] = round(median_histogram, 3)
+    assert median_histogram <= median_uniform, (
+        f"histogram statistics regressed on TPC-DS-lite: median Q-error "
+        f"{median_histogram:.2f} vs uniform {median_uniform:.2f}"
+    )
+
+
+# ----------------------------------------------------------------------
+# What the subsystem costs: the single collection pass
+# ----------------------------------------------------------------------
+def test_stats_collection_pass(benchmark, snowflake):
+    """One full ``collect_stats`` pass over the fact table — histograms,
+    sketches, and dependency facts included.  Not gated; documents the
+    price of the per-epoch recollection."""
+    from repro.engine.stats import collect_stats
+
+    db = snowflake.database
+    table = db.table("sales")
+    indexes = db.indexes_on("sales")
+    stats = benchmark(lambda: collect_stats(table, indexes=indexes))
+    column = stats.column("f_date_sk")
+    benchmark.extra_info["histogram_buckets"] = len(column.histogram.counts)
+    benchmark.extra_info["rows"] = stats.row_count

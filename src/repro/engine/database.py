@@ -140,7 +140,12 @@ class Database:
         epoch = current_epoch()
         entry = self._stats.get(table_name)
         if refresh or entry is None or entry[0] != epoch:
-            entry = (epoch, collect_stats(self.table(table_name)))
+            entry = (
+                epoch,
+                collect_stats(
+                    self.table(table_name), indexes=self.indexes_on(table_name)
+                ),
+            )
             self._stats[table_name] = entry
         return entry[1]
 

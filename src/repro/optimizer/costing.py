@@ -33,12 +33,18 @@ from ..engine.operators import (
 from ..engine.stats import (
     DEFAULT_SELECTIVITY,
     ColumnStats,
+    JoinKeyStats,
     TableStats,
-    equijoin_rows,
+    estimate_equijoin,
 )
 from .properties import OrderSpec
 
-__all__ = ["PlanEstimate", "estimate_plan", "DEFAULT_SELECTIVITY"]
+__all__ = [
+    "PlanEstimate",
+    "estimate_plan",
+    "join_key_stats",
+    "DEFAULT_SELECTIVITY",
+]
 
 
 @dataclass(frozen=True)
@@ -105,7 +111,12 @@ def _predicate_selectivity(database, op, predicate: Expr) -> float:
     if isinstance(predicate, InList) and isinstance(predicate.operand, Col):
         stats = _column_stats(database, op, predicate.operand.name)
         if stats:
-            return min(1.0, len(predicate.values) * stats.equality_selectivity())
+            # Per-value equality mass (histogram-aware: a list of heavy
+            # hitters is not the same as a list of tail values).
+            return min(
+                1.0,
+                sum(stats.equality_selectivity(v) for v in predicate.values),
+            )
         return DEFAULT_SELECTIVITY
     if isinstance(predicate, Cmp):
         column = None
@@ -117,14 +128,98 @@ def _predicate_selectivity(database, op, predicate: Expr) -> float:
             stats = _column_stats(database, op, column)
             if stats is not None:
                 if predicate.op == "=":
-                    return stats.equality_selectivity()
+                    return stats.equality_selectivity(literal)
                 if predicate.op in ("<", "<="):
-                    return stats.range_selectivity(None, literal)
+                    return stats.range_selectivity(
+                        None, literal, high_inclusive=(predicate.op == "<=")
+                    )
                 if predicate.op in (">", ">="):
-                    return stats.range_selectivity(literal, None)
+                    return stats.range_selectivity(
+                        literal, None, low_inclusive=(predicate.op == ">=")
+                    )
                 if predicate.op in ("<>", "!="):
-                    return 1.0 - stats.equality_selectivity()
+                    return 1.0 - stats.equality_selectivity(literal)
     return DEFAULT_SELECTIVITY
+
+
+def _covered_by_scan(scan, predicate: Expr) -> bool:
+    """True when an index scan already applied this range predicate.
+
+    The access-path rewrite keeps the originating range predicate as a
+    residual filter above the :class:`IndexScan` for safety; estimating
+    it again would square the selectivity (a ``BETWEEN`` over 3% of the
+    key domain used to estimate 0.09% of the rows).  Conservative match:
+    a single-column scan range on the leading key whose bounds equal the
+    predicate's literals.
+    """
+    if not isinstance(scan, IndexScan) or not scan.index.key_columns:
+        return False
+    key = scan.index.key_columns[0]
+    low = scan.low[0] if scan.low and len(scan.low) == 1 else None
+    high = scan.high[0] if scan.high and len(scan.high) == 1 else None
+
+    def _is_key(col: Expr) -> bool:
+        if not isinstance(col, Col):
+            return False
+        try:
+            return scan.schema.resolve(col.name).split(".", 1)[-1] == key
+        except (KeyError, ValueError):
+            return False
+
+    if isinstance(predicate, Between):
+        return (
+            _is_key(predicate.operand)
+            and isinstance(predicate.low, Lit)
+            and isinstance(predicate.high, Lit)
+            and predicate.low.value == low
+            and predicate.high.value == high
+        )
+    if isinstance(predicate, Cmp) and isinstance(predicate.right, Lit):
+        if not _is_key(predicate.left):
+            return False
+        if predicate.op == "=":
+            return predicate.right.value == low and low == high
+        if predicate.op in (">=", ">"):
+            return predicate.right.value == low and high is None
+        if predicate.op in ("<=", "<"):
+            return predicate.right.value == high and low is None
+    return False
+
+
+def _filter_selectivity(database, op) -> float:
+    """Selectivity of a Filter's predicate, skipping conjuncts the child
+    index scan already applied (see :func:`_covered_by_scan`)."""
+    predicate = op.predicate
+    child = op.child
+    conjuncts = (
+        list(predicate.operands)
+        if isinstance(predicate, BoolOp) and predicate.op == "AND"
+        else [predicate]
+    )
+    out = 1.0
+    for conjunct in conjuncts:
+        if _covered_by_scan(child, conjunct):
+            continue
+        out *= _predicate_selectivity(database, child, conjunct)
+    return out
+
+
+def join_key_stats(database, op) -> list:
+    """Per-key-pair :class:`JoinKeyStats` for a physical join operator.
+
+    Shared by :func:`estimate_plan` and the join-order search so both
+    read the same column profiles (histogram, sketch, keyness,
+    OD-orderedness) when pricing a join.
+    """
+    pairs = []
+    for left_key, right_key in zip(op.left_keys, op.right_keys):
+        pairs.append(
+            JoinKeyStats(
+                left=_column_stats(database, op.left, left_key),
+                right=_column_stats(database, op.right, right_key),
+            )
+        )
+    return pairs
 
 
 def _group_cardinality(database, op, child_rows: float) -> float:
@@ -157,8 +252,13 @@ def estimate_plan(database, op: Operator) -> PlanEstimate:
         return PlanEstimate(rows, probe_cost(1) + scan_cost(rows))
     if isinstance(op, Filter):
         child = estimate_plan(database, op.child)
-        selectivity = _predicate_selectivity(database, op.child, op.predicate)
-        rows = max(0.0, child.rows * selectivity)
+        selectivity = _filter_selectivity(database, op)
+        # Reconciled with the ≥1-row floors used everywhere else: a
+        # non-empty input never estimates below one surviving row (a
+        # zero here would zero out every join subtree DP builds on top
+        # of it), while a provably empty input stays 0.
+        rows = child.rows * selectivity
+        rows = 0.0 if child.rows <= 0 else min(child.rows, max(1.0, rows))
         return PlanEstimate(rows, child.cost + Cost(cpu=0.1 * child.rows))
     if isinstance(op, Project):
         child = estimate_plan(database, op.child)
@@ -196,20 +296,13 @@ def estimate_plan(database, op: Operator) -> PlanEstimate:
     if isinstance(op, (HashJoin, MergeJoin, NestedLoopJoin)):
         left = estimate_plan(database, op.left)
         right = estimate_plan(database, op.right)
-        # NDV-based equi-join cardinality (containment assumption); key
-        # pairs without statistics fall back to the max-side denominator
-        # inside equijoin_rows.
-        key_ndvs = []
-        for left_key, right_key in zip(op.left_keys, op.right_keys):
-            left_stats = _column_stats(database, op.left, left_key)
-            right_stats = _column_stats(database, op.right, right_key)
-            key_ndvs.append(
-                (
-                    left_stats.distinct if left_stats is not None else None,
-                    right_stats.distinct if right_stats is not None else None,
-                )
-            )
-        rows = equijoin_rows(left.rows, right.rows, key_ndvs)
+        # FD/OD-aware equi-join cardinality: histogram merge-overlap for
+        # OD-ordered keys, sketch-measured domain intersection, key caps
+        # from the declared FDs — with NDV-under-containment as the
+        # fallback (and the whole model in "uniform" estimation mode).
+        rows = estimate_equijoin(
+            left.rows, right.rows, join_key_stats(database, op)
+        )
         if isinstance(op, HashJoin):
             extra = hash_cost(right.rows, left.rows)
         elif isinstance(op, MergeJoin):

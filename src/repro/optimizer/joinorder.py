@@ -58,9 +58,9 @@ from ..engine.operators import (
     Project,
     SeqScan,
 )
-from ..engine.stats import equijoin_rows
+from ..engine.stats import estimate_equijoin
 from .context import alias_constraints
-from .costing import PlanEstimate, _column_stats, estimate_plan
+from .costing import PlanEstimate, _column_stats, estimate_plan, join_key_stats
 from .joingraph import BaseRelation, JoinEdge, JoinGraph, extract_join_graph
 from .properties import PhysicalProperty
 from .rewrites import split_conjuncts
@@ -268,20 +268,13 @@ def _join_estimate(
 ) -> PlanEstimate:
     """Incremental join estimate: the children's estimates already live
     on the frontier entries, so only the join's own arm is computed —
-    the same NDV lookup and extra cost as ``estimate_plan``'s join case
-    (which re-estimation of every candidate's whole subtree would
-    duplicate at super-linear search cost)."""
-    key_ndvs = []
-    for left_key, right_key in zip(op.left_keys, op.right_keys):
-        left_stats = _column_stats(database, op.left, left_key)
-        right_stats = _column_stats(database, op.right, right_key)
-        key_ndvs.append(
-            (
-                left_stats.distinct if left_stats is not None else None,
-                right_stats.distinct if right_stats is not None else None,
-            )
-        )
-    rows = equijoin_rows(probe_est.rows, build_est.rows, key_ndvs)
+    the same FD/OD-aware cardinality model and extra cost as
+    ``estimate_plan``'s join case (which re-estimation of every
+    candidate's whole subtree would duplicate at super-linear search
+    cost), via the shared ``join_key_stats`` profile lookup."""
+    rows = estimate_equijoin(
+        probe_est.rows, build_est.rows, join_key_stats(database, op)
+    )
     if isinstance(op, MergeJoin):
         extra = Cost(cpu=0.2 * (probe_est.rows + build_est.rows))
     else:  # HashJoin: the build side is the right input

@@ -37,7 +37,14 @@ from ..engine.table import Table
 from ..engine.types import DataType
 from .datedim import build_date_dim
 
-__all__ = ["Snowflake", "build_snowflake", "SNOWFLAKE_QUERIES"]
+__all__ = [
+    "Snowflake",
+    "build_snowflake",
+    "SNOWFLAKE_QUERIES",
+    "SNOWFLAKE_SKEWED_QUERIES",
+    "PROMO_KINDS",
+    "skewed_query_sql",
+]
 
 
 def sales_schema() -> Schema:
@@ -80,6 +87,19 @@ def region_schema() -> Schema:
     )
 
 
+def promo_schema() -> Schema:
+    return Schema.of(
+        ("p_promo_sk", DataType.INT),
+        ("p_date_sk", DataType.INT),
+        ("p_kind", DataType.STR),
+    )
+
+
+#: Promotion kinds per covered day — the expansion factor of
+#: ``sales ⋈ promo`` inside the covered window.
+PROMO_KINDS = 8
+
+
 _REGIONS = ("Africa", "America", "Asia", "Europe", "Oceania", "Polar")
 
 
@@ -98,6 +118,11 @@ class Snowflake:
         low = self.start + datetime.timedelta(days=first_day)
         high = low + datetime.timedelta(days=length_days - 1)
         return low.isoformat(), high.isoformat()
+
+    def sk_window(self, first_day: int, length_days: int) -> Tuple[int, int]:
+        """A (low, high) surrogate-key window inside the calendar —
+        the parameter form the skewed templates take."""
+        return self.sk_base + first_day, self.sk_base + first_day + length_days - 1
 
 
 def build_snowflake(
@@ -171,6 +196,24 @@ def build_snowflake(
     database.tables["sales"] = sales
     database.create_index("sales_date", "sales", ["f_date_sk"], clustered=True)
     database.create_index("sales_item", "sales", ["f_item_sk"])
+
+    # The promotion calendar covers only the opening ~3% of the calendar
+    # — the *thin tail* of the beta(2,2)-distributed fact dates — with
+    # PROMO_KINDS rows per covered day.  ``sales ⋈ promo`` therefore has
+    # a partial key-domain overlap that sits exactly where the fact is
+    # sparsest: the containment assumption (|f|·|p|/max ndv) cannot see
+    # that, while the histogram interleaved-merge estimate can — the
+    # skewed templates below are built on that contrast.
+    promo = Table("promo", promo_schema())
+    promo_days = max(7, int(days * 0.03))
+    promo.load(
+        (day * PROMO_KINDS + kind + 1, sk_base + day, f"kind_{kind}")
+        for day in range(promo_days)
+        for kind in range(PROMO_KINDS)
+    )
+    database.tables["promo"] = promo
+    promo.declare(fd("p_promo_sk", "p_date_sk,p_kind"))
+    database.create_index("promo_date", "promo", ["p_date_sk"], clustered=True)
     return Snowflake(database, start, days, sales_rows, sk_base)
 
 
@@ -253,3 +296,98 @@ SNOWFLAKE_QUERIES: Tuple[Tuple[str, str, Tuple[str, ...]], ...] = (
         ORDER BY b_name, r_name
     """, ("b_name", "r_name")),
 )
+
+
+#: Skewed templates for the statistics subsystem: the fact's dates are
+#: beta(2,2)-distributed (dense mid-calendar, thin tails), so uniform
+#: min/max selectivity misestimates tail/center windows by up to an
+#: order of magnitude, and the containment join heuristic cannot see
+#: that the promo calendar overlaps only the thin tail of the fact's
+#: key domain.  Each entry is (id, template, substitution keys) — the
+#: template takes ``lo``/``hi`` surrogate-key window bounds via
+#: ``.format`` (``Snowflake.sk_window``); templates without a window
+#: ignore them.  ``SK1`` is the planted plan flip: under uniform
+#: statistics the mild item filter (est ≈20% of the fact) looks cheaper
+#: than the promo join (containment est ≈|f|·|p|/730 ≈ 24% of the
+#: fact), so the search joins item first and drags ≈12k rows through
+#: the promo hash; histogram statistics put the promo join at its true
+#: ≈2% and flip the order, probing the promo hash first.
+SNOWFLAKE_SKEWED_QUERIES: Tuple[Tuple[str, str, Tuple[str, ...]], ...] = (
+    # The planted flip: promo (thin-tail overlap) vs a mild item filter.
+    ("SK1", """
+        SELECT p.p_kind, COUNT(*) AS n, SUM(f.f_amount) AS amt
+        FROM sales f
+        JOIN item i ON f.f_item_sk = i.i_item_sk
+        JOIN promo p ON f.f_date_sk = p.p_date_sk
+        WHERE i.i_price >= 240
+        GROUP BY p_kind
+        ORDER BY p_kind
+    """, ("p_kind",)),
+    # Tail window: uniform overestimates ~10x (window/span vs true mass).
+    ("SK2", """
+        SELECT f.f_date_sk, f.f_amount, i.i_price
+        FROM item i
+        JOIN sales f ON i.i_item_sk = f.f_item_sk
+        WHERE f.f_date_sk BETWEEN {lo} AND {hi}
+          AND i.i_price >= 150
+        ORDER BY f_date_sk
+    """, ("f_date_sk",)),
+    # Center window: uniform underestimates ~1.5x (beta(2,2) peak).
+    ("SK3", """
+        SELECT f.f_date_sk, f.f_amount, i.i_price
+        FROM item i
+        JOIN sales f ON i.i_item_sk = f.f_item_sk
+        WHERE f.f_date_sk BETWEEN {lo} AND {hi}
+          AND i.i_price >= 150
+        ORDER BY f_date_sk
+    """, ("f_date_sk",)),
+    # Partial key-domain overlap, no window: containment vs merge.
+    ("SK4", """
+        SELECT f.f_date_sk, f.f_amount, p.p_kind
+        FROM sales f
+        JOIN promo p ON f.f_date_sk = p.p_date_sk
+        ORDER BY f_date_sk
+    """, ("f_date_sk",)),
+    # Equality on the distribution peak: a heavy hitter vs rows/ndv.
+    ("SK5", """
+        SELECT f.f_date_sk, f.f_amount, st.st_city
+        FROM sales f
+        JOIN store st ON f.f_store_sk = st.st_store_sk
+        WHERE f.f_date_sk = {lo}
+        ORDER BY f_date_sk
+    """, ("f_date_sk",)),
+    # Equality deep in the tail: far fewer rows than rows/ndv.
+    ("SK6", """
+        SELECT f.f_date_sk, f.f_amount, st.st_city
+        FROM sales f
+        JOIN store st ON f.f_store_sk = st.st_store_sk
+        WHERE f.f_date_sk = {lo}
+        ORDER BY f_date_sk
+    """, ("f_date_sk",)),
+)
+
+
+def skewed_query_sql(workload: "Snowflake") -> dict:
+    """qid → instantiated SQL for every skewed template.
+
+    Window positions are fractions of the calendar so the set scales with
+    the workload: SK2 covers the thin opening tail, SK3 the dense
+    beta(2,2) peak, SK5/SK6 probe single days at the peak and deep in the
+    tail.  Shared by ``benchmarks/bench_stats.py`` and the regression
+    gate in ``tests/harness/test_bench_regression.py`` so the committed
+    Q-error claims and the live proxy always measure the same queries.
+    """
+    days = workload.days
+    base = workload.sk_base
+    windows = {
+        "SK1": (0, 0),
+        "SK4": (0, 0),
+        "SK2": workload.sk_window(0, max(7, int(days * 0.06))),
+        "SK3": workload.sk_window(int(days * 0.45), max(7, int(days * 0.10))),
+        "SK5": (base + days // 2, base + days // 2),
+        "SK6": (base + 2, base + 2),
+    }
+    return {
+        qid: template.format(lo=windows[qid][0], hi=windows[qid][1])
+        for qid, template, _ in SNOWFLAKE_SKEWED_QUERIES
+    }

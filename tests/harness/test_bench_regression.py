@@ -334,6 +334,113 @@ def test_joinorder_not_regressed():
     assert db.execute(sn3, join_order="syntactic").metrics.get("sorts") == 1
 
 
+def test_stats_not_regressed():
+    """Proxy for bench_stats::test_stats_qerror_claim.
+
+    1. the committed baseline must document the estimation edge: on the
+       skewed snowflake templates the histogram mode's median Q-error
+       beats the uniform baseline's, and the planted SK1 join-order flip
+       is recorded with measurably cheaper work (≥1.1×);
+    2. live, on a tiny skewed snowflake fixture: identical result rows
+       under both estimation modes (estimates must never change
+       answers), a strictly better live median Q-error, and the SK1 flip
+       itself — different join orders with the histogram-chosen order no
+       more expensive in deterministic ``Metrics.work``.  A statistics
+       regression (histograms silently ignored, the merge bound falling
+       back to containment, the covered-predicate fix lost) trips CI
+       deterministically.
+    """
+    import json as _json
+    import statistics
+
+    path = ROOT / "BENCH_bench_stats.json"
+    if not path.exists():
+        pytest.skip("no committed baseline BENCH_bench_stats.json")
+    entries = _json.loads(path.read_text())
+    claim = entries.get("test_stats_qerror_claim", {}).get("extra_info", {})
+    recorded_uniform = claim.get("median_q_uniform")
+    recorded_histogram = claim.get("median_q_histogram")
+    if recorded_uniform is not None and recorded_histogram is not None:
+        assert recorded_histogram < recorded_uniform, (
+            f"committed baseline lost the estimation edge: median Q-error "
+            f"{recorded_histogram} (histogram) vs {recorded_uniform} (uniform)"
+        )
+    recorded_flip_ratio = claim.get("flip_work_ratio")
+    if recorded_flip_ratio is not None:
+        assert claim.get("flip_uniform_order") != claim.get(
+            "flip_histogram_order"
+        ), "committed baseline no longer records the SK1 join-order flip"
+        assert recorded_flip_ratio >= 1.1, (
+            f"committed baseline's SK1 flip is no longer measurably "
+            f"cheaper: {recorded_flip_ratio}x (gate 1.1x)"
+        )
+
+    from repro.engine.stats import set_estimation_mode
+    from repro.optimizer.costing import estimate_plan
+    from repro.workloads.snowflake import build_snowflake, skewed_query_sql
+
+    def canon(rows):
+        # Different join orders accumulate float SUMs in different
+        # orders; compare up to last-ulp noise.
+        return sorted(
+            (
+                tuple(
+                    round(v, 6) if isinstance(v, float) else v for v in row
+                )
+                for row in rows
+            ),
+            key=repr,
+        )
+
+    workload = build_snowflake(
+        days=120, sales_rows=3_000, items=60, brands=12, stores=8
+    )
+    db = workload.database
+    sqls = skewed_query_sql(workload)
+    measured = {}
+    for mode in ("uniform", "histogram"):
+        previous = set_estimation_mode(mode)
+        try:
+            out = {}
+            for qid, sql in sqls.items():
+                plan = db.plan(sql, use_cache=False)
+                estimate = max(1.0, estimate_plan(db, plan).rows)
+                orders = tuple(
+                    d.chosen for d in plan.plan_info.join_orders
+                )
+                result = db.execute(sql, use_cache=False)
+                actual = max(1, len(result.rows))
+                out[qid] = {
+                    "qerror": max(estimate / actual, actual / estimate),
+                    "orders": orders,
+                    "work": result.metrics.work,
+                    "rows": canon(result.rows),
+                }
+            measured[mode] = out
+        finally:
+            set_estimation_mode(previous)
+    uniform, histogram = measured["uniform"], measured["histogram"]
+
+    for qid in sqls:
+        assert uniform[qid]["rows"] == histogram[qid]["rows"], (
+            f"{qid}: result rows differ between estimation modes"
+        )
+    live_uniform = statistics.median(e["qerror"] for e in uniform.values())
+    live_histogram = statistics.median(e["qerror"] for e in histogram.values())
+    assert live_histogram < live_uniform, (
+        f"histogram statistics lost their live edge: median Q-error "
+        f"{live_histogram:.2f} vs uniform {live_uniform:.2f}"
+    )
+    assert uniform["SK1"]["orders"] != histogram["SK1"]["orders"], (
+        "SK1 no longer flips its join order between estimation modes"
+    )
+    assert histogram["SK1"]["work"] <= uniform["SK1"]["work"], (
+        f"the SK1 flip picked a pricier plan: histogram-order work "
+        f"{histogram['SK1']['work']:.0f} vs uniform-order "
+        f"{uniform['SK1']['work']:.0f}"
+    )
+
+
 def test_memoized_oracle_repeats_not_regressed():
     """Proxy for bench_inference::test_memoized_repeat_queries[8]."""
     from repro.core.dependency import od
