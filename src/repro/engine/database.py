@@ -17,6 +17,7 @@ from collections import OrderedDict
 from ..core.dependency import Statement
 from .batch import DEFAULT_BATCH_SIZE
 from .epoch import bump_epoch, current_epoch
+from .errors import CancelToken, QueryError, QueryTimeout
 from .index import SortedIndex
 from .operators.base import Metrics, Operator
 from .schema import Schema
@@ -41,6 +42,19 @@ class QueryResult:
     #: Exchange backend the parallel run drained through (``"inline"`` /
     #: ``"thread"`` / ``"process"``), ``None`` for serial execution.
     backend: Optional[str] = None
+    #: Fault-tolerance accounting for this execution (summed across the
+    #: plan's exchanges; zero/None on the fault-free path): partition
+    #: attempts that were retried, and the deepest backend any partition
+    #: degraded to (``None`` — no degradation).  Lives here and in
+    #: ``exchange_stats``, never in :class:`Metrics` — recovered runs
+    #: stay counter-identical to serial.
+    retries: int = 0
+    degraded_to: Optional[str] = None
+    #: Whether this execution hit its deadline.  Always ``False`` on a
+    #: returned result (a timeout raises :class:`QueryTimeout` instead);
+    #: the mirror field on ``plan_info.recovery`` records timeouts for
+    #: EXPLAIN post-mortems.
+    timed_out: bool = False
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -302,6 +316,38 @@ class Database:
             return f"vectorized (batch size {batch_size})"
         return "row (iterator)"
 
+    @staticmethod
+    def _collect_recovery(plan: Operator) -> Dict[str, object]:
+        """Sum fault-tolerance accounting over the plan's exchanges.
+
+        Walks the physical tree for ``exchange_stats`` (set by the most
+        recent batch execution) and totals ``retries`` and
+        ``degraded_partitions``; ``degraded_to`` reports the *deepest*
+        rung any partition fell to (``process`` → ``thread`` →
+        ``inline``).
+        """
+        depth = {None: 0, "thread": 1, "inline": 2}
+        totals: Dict[str, object] = {
+            "retries": 0,
+            "degraded_partitions": 0,
+            "degraded_to": None,
+        }
+        stack = [plan]
+        while stack:
+            node = stack.pop()
+            stats = getattr(node, "exchange_stats", None)
+            if stats:
+                totals["retries"] += stats.get("retries", 0)
+                totals["degraded_partitions"] += stats.get("degraded_partitions", 0)
+                rung = stats.get("degraded_to")
+                if depth.get(rung, 0) > depth.get(totals["degraded_to"], 0):
+                    totals["degraded_to"] = rung
+            # Exchanges expose their serial subtree as children(); the
+            # partition clones hold no exchanges, so children() covers
+            # every exchange in the tree exactly once.
+            stack.extend(node.children())
+        return totals
+
     def execute(
         self,
         sql: str,
@@ -311,6 +357,7 @@ class Database:
         workers: Optional[int] = None,
         join_order: str = "cost",
         backend: Optional[str] = None,
+        timeout_s: Optional[float] = None,
     ) -> QueryResult:
         """Run a query to completion.
 
@@ -327,6 +374,15 @@ class Database:
         Results and ``Metrics`` counter totals are identical across all
         modes and backends (gated by the mode-matrix differential
         harness); only the speed differs.
+
+        ``timeout_s`` sets a deadline: a :class:`CancelToken` rides the
+        execution's ``Metrics`` and every operator loop checks it
+        per-batch (per ~1k rows in row mode), so a past-deadline query
+        raises :class:`~repro.engine.errors.QueryTimeout` promptly,
+        producers are unblocked, and the worker pools stay healthy for
+        the next query.  Worker/partition failures are retried and
+        degraded transparently (see :mod:`repro.engine.parallel`); the
+        result's ``retries``/``degraded_to`` report what recovery ran.
         """
         batch_size = self._resolve_batch(batch_size, workers)
         plan = self.plan(
@@ -338,12 +394,27 @@ class Database:
             backend=backend,
         )
         info = getattr(plan, "plan_info", None)
-        if batch_size is not None:
-            rows, metrics = plan.run_batches(batch_size)
-        else:
-            rows, metrics = plan.run()
+        token = CancelToken(timeout_s) if timeout_s is not None else None
+        try:
+            if batch_size is not None:
+                rows, metrics = plan.run_batches(batch_size, token=token)
+            else:
+                rows, metrics = plan.run(token=token)
+        except QueryError as exc:
+            if info is not None:
+                info.execution = self._execution_desc(batch_size, workers, backend)
+                recovery = self._collect_recovery(plan)
+                recovery["timed_out"] = isinstance(exc, QueryTimeout)
+                recovery["failed"] = type(exc).__name__
+                info.recovery = recovery
+            raise
+        recovery = self._collect_recovery(plan)
         if info is not None:
             info.execution = self._execution_desc(batch_size, workers, backend)
+            if recovery["retries"] or recovery["degraded_partitions"]:
+                info.recovery = dict(recovery, timed_out=False)
+            else:
+                info.recovery = {}
         return QueryResult(
             plan.schema.names,
             rows,
@@ -352,6 +423,9 @@ class Database:
             batch_size,
             workers,
             (backend or "thread") if workers is not None else None,
+            retries=recovery["retries"],  # type: ignore[arg-type]
+            degraded_to=recovery["degraded_to"],  # type: ignore[arg-type]
+            timed_out=False,
         )
 
     def explain(

@@ -110,6 +110,7 @@ class _AggregateBase(Operator):
         kernels = self._kernels()
         states = self._fresh_states()
         for batch in self.child.execute_batches(metrics, batch_size):
+            metrics.check_cancel()
             length = len(batch)
             if counter is not None:
                 metrics.add(counter, length)
@@ -190,6 +191,7 @@ class HashAggregate(_AggregateBase):
             for spec, kernel in zip(self.aggregates, kernels)
         ]
         for batch in self.child.execute_batches(metrics, batch_size):
+            metrics.check_cancel()
             length = len(batch)
             metrics.add("hash_build_rows", length)
             keys = self._batch_keys(batch)
@@ -286,6 +288,7 @@ class StreamAggregate(_AggregateBase):
         out: List[tuple] = []
         schema = self.schema
         for batch in self.child.execute_batches(metrics, batch_size):
+            metrics.check_cancel()
             length = len(batch)
             if not length:
                 continue

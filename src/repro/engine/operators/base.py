@@ -52,12 +52,28 @@ def order_spec(columns: Sequence[str] = ()) -> "Any":
 
 @dataclass
 class Metrics:
-    """Work counters shared by all operators of one execution."""
+    """Work counters shared by all operators of one execution.
+
+    ``token`` is the execution's optional
+    :class:`~repro.engine.errors.CancelToken`: operators call
+    :meth:`check_cancel` once per batch (and per ~1k rows in row-mode
+    scans) so deadlines and consumer-side cancellation land
+    cooperatively.  It is *not* a counter — parity comparisons look only
+    at :attr:`counters`, and worker-side Metrics never carry one (the
+    consumer enforces deadlines while pumping).
+    """
 
     counters: Dict[str, int] = field(default_factory=dict)
+    token: Optional[Any] = None
 
     def add(self, key: str, amount: int = 1) -> None:
         self.counters[key] = self.counters.get(key, 0) + amount
+
+    def check_cancel(self) -> None:
+        """Raise the typed timeout/cancel error if the token says stop."""
+        token = self.token
+        if token is not None:
+            token.check()
 
     def get(self, key: str) -> int:
         return self.counters.get(key, 0)
@@ -159,7 +175,11 @@ class Operator:
         This default adapts the row path (exact metrics parity by
         construction); operators with columnar fast paths override it.
         """
-        yield from batches_from_rows(self.schema, self.execute(metrics), batch_size)
+        for batch in batches_from_rows(
+            self.schema, self.execute(metrics), batch_size
+        ):
+            metrics.check_cancel()
+            yield batch
 
     def children(self) -> Sequence["Operator"]:
         return ()
@@ -177,18 +197,20 @@ class Operator:
         """The full plan tree as text."""
         return "\n".join(self.explain_lines())
 
-    def run(self) -> "tuple[List[tuple], Metrics]":
-        """Execute to completion, returning (rows, metrics)."""
-        metrics = Metrics()
+    def run(self, token: Optional[Any] = None) -> "tuple[List[tuple], Metrics]":
+        """Execute to completion, returning (rows, metrics).  ``token``
+        is an optional :class:`~repro.engine.errors.CancelToken` enforced
+        cooperatively throughout."""
+        metrics = Metrics(token=token)
         rows = list(self.execute(metrics))
         return rows, metrics
 
     def run_batches(
-        self, batch_size: int = DEFAULT_BATCH_SIZE
+        self, batch_size: int = DEFAULT_BATCH_SIZE, token: Optional[Any] = None
     ) -> "tuple[List[tuple], Metrics]":
         """Execute in vectorized mode to completion, flattening batches
         back to row tuples — bit-identical to :meth:`run`."""
-        metrics = Metrics()
+        metrics = Metrics(token=token)
         rows: List[tuple] = []
         for batch in self.execute_batches(metrics, batch_size):
             rows.extend(batch.rows())

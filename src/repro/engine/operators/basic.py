@@ -67,6 +67,7 @@ class Filter(Operator):
                 self.predicate, self.child.schema
             )
         for batch in self.child.execute_batches(metrics, batch_size):
+            metrics.check_cancel()
             length = len(batch)
             metrics.add("rows_filtered", length)
             out = batch.filter(kernel(batch.columns, length))
@@ -162,6 +163,7 @@ class Project(Operator):
             ]
         schema = self.schema
         for batch in self.child.execute_batches(metrics, batch_size):
+            metrics.check_cancel()
             length = len(batch)
             if not length:
                 continue
@@ -289,6 +291,7 @@ class HashDistinct(Operator):
         add = seen.add
         schema = self.schema
         for batch in self.child.execute_batches(metrics, batch_size):
+            metrics.check_cancel()
             metrics.add("hash_probe_rows", len(batch))
             out: List[tuple] = []
             append = out.append
@@ -336,6 +339,7 @@ class SortedDistinct(Operator):
         previous: Optional[tuple] = None  # carried across batch boundaries
         schema = self.schema
         for batch in self.child.execute_batches(metrics, batch_size):
+            metrics.check_cancel()
             out: List[tuple] = []
             append = out.append
             for row in batch.rows():

@@ -54,6 +54,7 @@ class _JoinBase(Operator):
         nested-loop joins consume a side wholesale)."""
         rows: List[tuple] = []
         for batch in side.execute_batches(metrics, batch_size):
+            metrics.check_cancel()
             rows.extend(batch.rows())
         return rows
 
@@ -104,6 +105,7 @@ class HashJoin(_JoinBase):
         table: Dict = {}
         setdefault = table.setdefault
         for batch in self.right.execute_batches(metrics, batch_size):
+            metrics.check_cancel()
             metrics.add("hash_build_rows", len(batch))
             if single:
                 position = self._right_positions[0]
@@ -117,6 +119,7 @@ class HashJoin(_JoinBase):
         get = table.get
         out: List[tuple] = []
         for batch in self.left.execute_batches(metrics, batch_size):
+            metrics.check_cancel()
             metrics.add("hash_probe_rows", len(batch))
             produced = 0
             if single:
@@ -250,6 +253,7 @@ class NestedLoopJoin(_JoinBase):
         ]
         out: List[tuple] = []
         for batch in self.left.execute_batches(metrics, batch_size):
+            metrics.check_cancel()
             produced = 0
             for row in batch.rows():
                 left_key = tuple(row[i] for i in self._left_positions)

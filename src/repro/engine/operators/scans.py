@@ -67,7 +67,9 @@ class SeqScan(Operator):
         else:
             start, stop = self._bounds()
             rows = self.table.rows[start:stop]
-        for row in rows:
+        for position, row in enumerate(rows):
+            if not position & 1023:  # cooperative cancel, ~per-1k rows
+                metrics.check_cancel()
             metrics.add("rows_scanned")
             yield row
 
@@ -83,6 +85,7 @@ class SeqScan(Operator):
         schema = self.schema
         for start in range(first, last, batch_size):
             stop = min(start + batch_size, last)
+            metrics.check_cancel()
             metrics.add("rows_scanned", stop - start)
             yield ColumnBatch(
                 schema, [column[start:stop] for column in columns], stop - start
@@ -179,7 +182,9 @@ class IndexScan(Operator):
         if self.partition is None or self.partition[0] == 0:
             metrics.add("index_probes")
         start, stop = self._position_bounds()
-        for row in self.index.scan_positions(start, stop):
+        for position, row in enumerate(self.index.scan_positions(start, stop)):
+            if not position & 1023:  # cooperative cancel, ~per-1k rows
+                metrics.check_cancel()
             metrics.add("rows_scanned")
             yield row
 
@@ -195,6 +200,7 @@ class IndexScan(Operator):
         scan = self.index.scan_positions(start, stop)
         schema = self.schema
         while True:
+            metrics.check_cancel()
             chunk = list(islice(scan, batch_size))
             if not chunk:
                 return
@@ -294,7 +300,9 @@ class ShippedScan(Operator):
     def execute(self, metrics: Metrics) -> Iterator[tuple]:
         if self.charge_probe:
             metrics.add("index_probes")
-        for row in zip(*self.columns):
+        for position, row in enumerate(zip(*self.columns)):
+            if not position & 1023:  # cooperative cancel, ~per-1k rows
+                metrics.check_cancel()
             metrics.add("rows_scanned")
             yield row
 
@@ -306,6 +314,7 @@ class ShippedScan(Operator):
         schema = self.schema
         for start in range(0, self.length, batch_size):
             stop = min(start + batch_size, self.length)
+            metrics.check_cancel()
             metrics.add("rows_scanned", stop - start)
             yield ColumnBatch(
                 schema, [column[start:stop] for column in self.columns], stop - start

@@ -58,6 +58,7 @@ class Sort(Operator):
         (same key, same input order → same output), re-emit in chunks."""
         rows: List[tuple] = []
         for batch in self.child.execute_batches(metrics, batch_size):
+            metrics.check_cancel()
             rows.extend(batch.rows())
         metrics.add("sorts")
         metrics.add("sort_rows", len(rows))

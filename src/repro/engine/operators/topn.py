@@ -78,6 +78,7 @@ class TopN(Operator):
         heap: List[tuple] = []
         arrival = 0
         for batch in self.child.execute_batches(metrics, batch_size):
+            metrics.check_cancel()
             metrics.add("topn_rows", len(batch))
             for row in batch.rows():
                 key = tuple(row[i] for i in positions)

@@ -1,5 +1,5 @@
 """Parallel batch execution: partitioned pipelines + order-preserving
-exchanges over pluggable backends.
+exchanges over pluggable, fault-tolerant backends.
 
 The :class:`~repro.engine.batch.ColumnBatch` stream of PR 3 is the natural
 *exchange granule* for parallelism: a partitionable leaf (a scan) is split
@@ -15,9 +15,9 @@ Three backends (``Database.execute(..., workers=K, backend=...)``):
   thread, in partition order for union and interleaved on demand for
   merge.  The deterministic floor every other backend is compared against.
 * ``thread`` — the shared :class:`ThreadPoolExecutor`.  Each partition
-  streams its batches through a per-partition queue as it produces them.
-  Real speedup only on free-threaded builds (PEP 703); on the stock GIL
-  it buys architecture, not parallelism.
+  streams its batches through a bounded per-partition channel.  Real
+  speedup only on free-threaded builds (PEP 703); on the stock GIL it
+  buys architecture, not parallelism.
 * ``process`` — true multicore: partition chains are *pickled* and shipped
   to a persistent pool of worker processes, which stream
   ``ColumnBatch`` columns back through one bounded result queue in
@@ -26,6 +26,41 @@ Three backends (``Database.execute(..., workers=K, backend=...)``):
   takes the next partition) and a parent-side demultiplexer reassembles
   the streams deterministically — completion order never leaks into
   results or counters.
+
+Fault tolerance (the thread and process backends *recover*; inline is
+the floor they degrade to):
+
+* **Release-on-completion**: the consumer sees a partition's batches
+  only after its terminal "done" message arrives.  A failed attempt's
+  partial output is discarded wholesale and the retry re-produces the
+  partition from scratch — partitions are deterministic, so recovered
+  runs stay bit- and counter-identical to serial, and consumers can
+  never observe duplicated or torn streams.
+* **Attempt tags**: every worker message carries the attempt number it
+  belongs to; messages from superseded attempts are discarded, so a
+  re-dispatched partition racing a not-actually-dead original is
+  harmless.
+* **Retry, then degrade**: a failed partition attempt (worker death,
+  in-kernel exception, dropped result stream) is re-enqueued with capped
+  exponential backoff up to :data:`RETRY_LIMIT` times
+  (``REPRO_RETRY_LIMIT``, default 2); past that, the partition walks the
+  degradation ladder — ``process`` → ``thread`` → ``inline`` — re-running
+  *only the failed partition*.  When even inline fails, the typed
+  :class:`~repro.engine.errors.ExecutionFailed` carries the first
+  worker-side traceback.  Recovery accounting (``retries``,
+  ``degraded_partitions``, ``degraded_to``) lives in
+  ``Exchange.exchange_stats``, never in query :class:`Metrics` — the
+  parity invariant survives every recovery path.
+* **Deadlines/cancellation**: the consumer-side pump checks the
+  execution's :class:`~repro.engine.errors.CancelToken` between morsels;
+  on timeout the run *aborts* (producers unblocked, pool marked for
+  restart) instead of draining, and the next query gets a healthy pool.
+  Workers never see the token — no cross-process signalling needed.
+* **Deterministic fault injection**: producers call the
+  :mod:`repro.engine.faults` seam before emitting each batch, so the
+  chaos harness can replay kills/raises/delays/drops on a fixed
+  schedule (``REPRO_FAULTS``).  With no plans active the seam is one
+  falsy check.
 
 Process-backend shipping, in detail:
 
@@ -65,12 +100,12 @@ subtree already declares (see
 
 The execution contract — enforced query-by-query in the mode-matrix
 differential (``tests/harness/test_differential.py``, including its
-process-backend leg) and property-tested in
+process-backend and chaos legs) and property-tested in
 ``tests/engine/test_parallel.py``:
 
 * **bit-identical rows**: a parallel execution emits exactly the serial
   batch path's rows in exactly the serial order, at every worker count,
-  on every backend;
+  on every backend — *including recovered runs*;
 * **counter-identical metrics**: every partition charges a private
   :class:`~repro.engine.operators.base.Metrics`, merged into the shared
   one in partition-index order *after* the streams drain — regardless of
@@ -93,19 +128,24 @@ serial path never does.
 """
 from __future__ import annotations
 
+import atexit
 import os
 import heapq
 import pickle
 import queue as queue_module
 import sys
 import threading
+import time
+import traceback
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from itertools import islice
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from . import faults as faults_mod
 from .batch import DEFAULT_BATCH_SIZE, ColumnBatch
 from .epoch import current_epoch
+from .errors import ExecutionFailed, QueryError
 from .operators.base import Metrics, Operator
 
 __all__ = [
@@ -117,6 +157,7 @@ __all__ = [
     "DEFAULT_BACKEND",
     "MORSEL_ROWS",
     "PARALLEL_MIN_ROWS",
+    "RETRY_LIMIT",
     "partitionable",
     "partition_pipeline",
     "insert_exchanges",
@@ -145,12 +186,35 @@ MORSEL_ROWS = max(1, int(os.environ.get("REPRO_MORSEL_ROWS", "16384")))
 #: tables (thousands+).  Override with ``REPRO_PARALLEL_MIN_ROWS``.
 PARALLEL_MIN_ROWS = max(0, int(os.environ.get("REPRO_PARALLEL_MIN_ROWS", "1024")))
 
+#: How many times a failed partition attempt is re-enqueued (with capped
+#: exponential backoff) before the run degrades backend→backend.
+#: Override with ``REPRO_RETRY_LIMIT``.
+RETRY_LIMIT = max(0, int(os.environ.get("REPRO_RETRY_LIMIT", "2")))
+
+#: Retry backoff: ``base * 2^(failures-1)`` seconds, capped.  Short on
+#: purpose — the failures this engine retries (a dead worker, an
+#: injected fault) are not congestion, so the cap keeps recovered-run
+#: latency bounded while still spacing genuinely flapping retries out.
+RETRY_BACKOFF_S = 0.02
+RETRY_BACKOFF_CAP_S = 0.25
+
 #: Process-pool result-queue bound (messages in flight): backpressure so
 #: fast workers never buffer unbounded morsels in the queue itself.
 _RESULT_QUEUE_DEPTH = 16
 
-#: Seconds between liveness checks while waiting on the result queue.
-_PULL_TIMEOUT = 2.0
+#: Thread-backend per-partition channel bound (messages in flight): the
+#: same backpressure for thread producers.  Bounded queues need the
+#: consumer-close contract below — see :class:`_Channel`.
+_STREAM_QUEUE_DEPTH = 64
+
+#: Seconds between worker-liveness checks while the process-backend
+#: consumer waits on the result queue.  Short: it is also the detection
+#: latency for a killed worker.
+_PULL_TIMEOUT = 0.25
+
+#: Seconds a producer/consumer waits on a channel before re-checking the
+#: closed/finished flags (thread backend).
+_CHANNEL_POLL = 0.05
 
 
 def _resolve_start_method() -> str:
@@ -313,15 +377,219 @@ class _ShipContext:
 
 
 # ----------------------------------------------------------------------
+# Internal recovery plumbing
+# ----------------------------------------------------------------------
+class _ConsumerClosed(Exception):
+    """Producer-side signal: the consumer closed the channel; stop."""
+
+
+class _AttemptFailed(Exception):
+    """One local (degraded-rung) attempt failed, with the relayed
+    worker traceback when one exists."""
+
+    def __init__(self, message: str, tb: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.tb = tb
+
+
+def _backoff(failures: int) -> None:
+    time.sleep(min(RETRY_BACKOFF_S * (2 ** max(0, failures - 1)), RETRY_BACKOFF_CAP_S))
+
+
+class _Channel:
+    """A bounded per-partition message queue with consumer-close semantics
+    (the hardened successor of the old unbounded ``_QueueStream``).
+
+    The bound gives thread producers backpressure; backpressure demands
+    an early-termination contract, or a consumer that stops mid-stream
+    (``Limit`` above an exchange, a timeout, an aborted run) would leave
+    its producer blocked on a full queue forever.  The contract:
+    producers :meth:`put` in a short-timeout loop re-checking ``closed``;
+    the consumer's :meth:`close` raises the flag *and drains pending
+    items*, so a blocked producer frees within one poll interval.
+    ``producer_finished`` (set in the producer's ``finally``) lets the
+    consumer distinguish a silently-dead producer — the dropped-results
+    fault — from a slow one.
+    """
+
+    __slots__ = ("queue", "closed", "producer_finished")
+
+    def __init__(self, depth: Optional[int] = None) -> None:
+        self.queue: "queue_module.Queue" = queue_module.Queue(
+            maxsize=depth if depth is not None else _STREAM_QUEUE_DEPTH
+        )
+        self.closed = False
+        self.producer_finished = False
+
+    def put(self, item) -> None:
+        """Producer side: block with backpressure, bail when closed."""
+        while True:
+            if self.closed:
+                raise _ConsumerClosed()
+            try:
+                self.queue.put(item, timeout=_CHANNEL_POLL)
+                return
+            except queue_module.Full:
+                continue
+
+    def close(self) -> None:
+        """Consumer side: signal producers to stop, and unblock any
+        producer currently waiting on a full queue by draining it."""
+        self.closed = True
+        try:
+            while True:
+                self.queue.get_nowait()
+        except queue_module.Empty:
+            pass
+
+
+def _produce_to_channel(
+    partition: Operator,
+    channel: _Channel,
+    batch_size: int,
+    index: int,
+    attempt: int,
+    plans: Tuple,
+    backend: str = "thread",
+) -> None:
+    """Thread-side producer for one partition attempt.
+
+    Message protocol: ``("m", batch)`` morsels, then exactly one terminal
+    ``("d", counters)`` or ``("e", (message, traceback))``.  The injected
+    drop-results fault ends the stream with *no* terminal message — which
+    the consumer detects via ``producer_finished``.
+    """
+    metrics = Metrics()
+    try:
+        batch_no = 0
+        for batch in partition.execute_batches(metrics, batch_size):
+            if plans:
+                faults_mod.fire(plans, index, batch_no, attempt, backend)
+            batch_no += 1
+            if len(batch):
+                channel.put(("m", batch))
+        channel.put(("d", metrics.counters))
+    except _ConsumerClosed:
+        pass
+    except faults_mod.DropResults:
+        pass  # the injected lost-result-stream fault: finish silently
+    except BaseException as exc:  # noqa: BLE001 - relayed to the consumer
+        try:
+            channel.put(
+                ("e", (f"{type(exc).__name__}: {exc}", traceback.format_exc()))
+            )
+        except _ConsumerClosed:
+            pass
+    finally:
+        channel.producer_finished = True
+
+
+def _drain_channel(channel: _Channel, buffer: deque, token) -> Tuple[str, object]:
+    """Consume one partition channel to its terminal state.
+
+    Returns ``("done", counters)``, ``("error", (message, traceback))``,
+    or ``("dropped", (message, None))`` when the producer finished
+    without a terminal message (the lost-result-stream fault).  Checks
+    the cancel token between polls so deadlines land while waiting.
+    """
+    while True:
+        if token is not None:
+            token.check()
+        try:
+            kind, payload = channel.queue.get(timeout=_CHANNEL_POLL)
+        except queue_module.Empty:
+            if channel.producer_finished and channel.queue.empty():
+                return (
+                    "dropped",
+                    ("worker finished without delivering results", None),
+                )
+            continue
+        if kind == "m":
+            buffer.append(payload)
+        elif kind == "d":
+            return ("done", payload)
+        else:  # "e"
+            return ("error", payload)
+
+
+def _run_partition_locally(
+    partition: Operator,
+    batch_size: int,
+    index: int,
+    attempt: int,
+    plans: Tuple,
+    token,
+    rung: str,
+) -> Tuple[List[ColumnBatch], Dict[str, int]]:
+    """One degraded attempt of a single partition on this process.
+
+    ``rung == "thread"``: produce through a fresh channel on the shared
+    thread pool (the consumer enforces the token).  ``rung == "inline"``:
+    run the partition directly on this thread, token on its Metrics.
+    Returns ``(batches, counters)``; raises :class:`_AttemptFailed` (or
+    the original exception) on failure.
+    """
+    partition.prepare_parallel()
+    if rung == "thread":
+        channel = _Channel()
+        _shared_pool().submit(
+            _produce_to_channel,
+            partition,
+            channel,
+            batch_size,
+            index,
+            attempt,
+            plans,
+            "thread",
+        )
+        buffer: deque = deque()
+        try:
+            outcome, payload = _drain_channel(channel, buffer, token)
+        except BaseException:
+            channel.close()
+            raise
+        if outcome == "done":
+            return list(buffer), payload  # type: ignore[return-value]
+        message, tb = payload  # type: ignore[misc]
+        raise _AttemptFailed(message, tb)
+    # inline: the last rung — deterministic, no pool, no queue.
+    metrics = Metrics(token=token)
+    batches: List[ColumnBatch] = []
+    batch_no = 0
+    for batch in partition.execute_batches(metrics, batch_size):
+        if plans:
+            faults_mod.fire(plans, index, batch_no, attempt, "inline")
+        batch_no += 1
+        if len(batch):
+            batches.append(batch)
+    return batches, metrics.counters
+
+
+# ----------------------------------------------------------------------
 # Partition streams: the unit every backend hands back
 # ----------------------------------------------------------------------
 class _InlineStream:
     """A partition executed lazily on the calling thread."""
 
-    def __init__(self, partition: Operator, batch_size: int) -> None:
-        self._metrics = Metrics()
-        self._generator = partition.execute_batches(self._metrics, batch_size)
+    def __init__(
+        self,
+        partition: Operator,
+        batch_size: int,
+        token=None,
+        index: int = 0,
+        plans: Tuple = (),
+    ) -> None:
+        self._metrics = Metrics(token=token)
+        self._generator = self._produce(partition, batch_size, index, plans)
         self._done = False
+
+    def _produce(self, partition, batch_size, index, plans):
+        batch_no = 0
+        for batch in partition.execute_batches(self._metrics, batch_size):
+            if plans:
+                faults_mod.fire(plans, index, batch_no, 0, "inline")
+            batch_no += 1
+            yield batch
 
     @property
     def counters(self) -> Dict[str, int]:
@@ -339,55 +607,46 @@ class _InlineStream:
                 pass
             self._done = True
 
+    def abort(self) -> None:
+        """Stop without draining (error/timeout/abandonment path)."""
+        self._generator.close()
+        self._done = True
 
-class _QueueStream:
-    """A partition producing into a (per-partition) thread-safe queue."""
 
-    def __init__(self) -> None:
-        self.queue: "queue_module.SimpleQueue" = queue_module.SimpleQueue()
-        self.counters: Dict[str, int] = {}
-        self._done = False
-        self._error: Optional[str] = None
+class _BufferedStream:
+    """The consumer's view of one partition on a recovering backend.
+
+    **Release-on-completion**: iteration first drives the run until this
+    partition's terminal "done" message arrived, then yields the buffered
+    batches.  Failed attempts' partial buffers are discarded wholesale
+    before a retry, so the consumer can never see duplicated or torn
+    streams — the property that makes retrying mid-stream safe at all.
+    """
+
+    def __init__(self, run: "_RecoveringRun", index: int) -> None:
+        self.run = run
+        self.index = index
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return self.run.partition_counters[self.index]
 
     def __iter__(self) -> Iterator[ColumnBatch]:
-        while True:
-            if self._done:
-                return
-            kind, payload = self.queue.get()
-            if kind == "m":
-                yield payload
-            elif kind == "d":
-                self.counters = payload
-                self._done = True
-                return
-            else:  # "e"
-                self._done = True
-                self._error = payload
-                raise RuntimeError(f"exchange worker failed: {payload}")
+        self.run.ensure_done(self.index)
+        buffer = self.run.buffers[self.index]
+        while buffer:
+            yield buffer.popleft()
 
     def close(self) -> None:
-        for _ in self:
-            pass
-        if self._error is not None:
-            raise RuntimeError(f"exchange worker failed: {self._error}")
-
-
-def _produce_to_queue(
-    partition: Operator, stream: _QueueStream, batch_size: int
-) -> None:
-    metrics = Metrics()
-    try:
-        for batch in partition.execute_batches(metrics, batch_size):
-            if len(batch):
-                stream.queue.put(("m", batch))
-        stream.queue.put(("d", metrics.counters))
-    except BaseException as exc:  # noqa: BLE001 - relayed to the consumer
-        stream.queue.put(("e", f"{type(exc).__name__}: {exc}"))
+        # Per-stream close defers to the run: counters require *every*
+        # partition drained (and locks must release exactly once).
+        self.run.close()
 
 
 class _BackendRun:
     """What a backend hands the exchange: per-partition streams, a
-    ``close()`` that drains everything, and serialization stats."""
+    ``close()`` that drains everything, an ``abort()`` that stops
+    producers *without* draining, and serialization/recovery stats."""
 
     def __init__(self, streams: Sequence, stats: Optional[dict] = None) -> None:
         self.streams = list(streams)
@@ -396,6 +655,114 @@ class _BackendRun:
     def close(self) -> None:
         for stream in self.streams:
             stream.close()
+
+    def abort(self) -> None:
+        for stream in self.streams:
+            abort = getattr(stream, "abort", None)
+            if abort is not None:
+                abort()
+            else:
+                stream.close()
+
+
+class _RecoveringRun(_BackendRun):
+    """Shared recovery machinery for the thread and process runs.
+
+    Tracks, per partition: the buffered batches of the current attempt,
+    the attempt id (stale-message discard + fault-seam gating), the
+    failure count, and the first failure's ``(message, traceback)``.
+    Subclasses provide :meth:`ensure_done` (make progress until a
+    partition completes) and :meth:`_redispatch` (start another attempt
+    on the backend's own pool); retry/degradation policy lives here.
+    """
+
+    #: The degradation rungs tried, in order, once retries are exhausted.
+    ladder: Tuple[str, ...] = ()
+
+    def __init__(self, partitions, batch_size, token, plans, stats) -> None:
+        self.partitions = list(partitions)
+        count = len(self.partitions)
+        self.batch_size = batch_size
+        self.token = token
+        self.plans = plans
+        self.buffers: List[deque] = [deque() for _ in range(count)]
+        self.done = [False] * count
+        self.partition_counters: List[Dict[str, int]] = [{} for _ in range(count)]
+        self.failures = [0] * count
+        self.attempt_ids = [0] * count
+        self.first_failure: List[Optional[tuple]] = [None] * count
+        stats.setdefault("retries", 0)
+        stats.setdefault("degraded_partitions", 0)
+        stats.setdefault("degraded_to", None)
+        super().__init__([_BufferedStream(self, i) for i in range(count)], stats)
+
+    # -- subclass hooks -------------------------------------------------
+    def ensure_done(self, index: int) -> None:
+        raise NotImplementedError
+
+    def _redispatch(self, index: int) -> None:
+        raise NotImplementedError
+
+    # -- policy ---------------------------------------------------------
+    def _record_failure(self, index: int, error: tuple) -> None:
+        if self.first_failure[index] is None:
+            self.first_failure[index] = error
+
+    def _partition_failed(self, index: int, error: tuple) -> None:
+        """One attempt failed: discard its output, then retry (capped
+        exponential backoff) or walk the degradation ladder."""
+        self._record_failure(index, error)
+        self.failures[index] += 1
+        self.buffers[index].clear()
+        self.attempt_ids[index] += 1  # supersede in-flight stale messages
+        if self.failures[index] <= RETRY_LIMIT:
+            self.stats["retries"] += 1
+            _backoff(self.failures[index])
+            self._redispatch(index)
+        else:
+            self._degrade(index, error)
+
+    def _degrade(self, index: int, error: tuple) -> None:
+        """Re-run just this partition down the backend ladder; raise the
+        typed :class:`ExecutionFailed` only when even inline fails."""
+        depth = {"thread": 1, "inline": 2}
+        for rung in self.ladder:
+            self.attempt_ids[index] += 1
+            self.buffers[index].clear()
+            try:
+                batches, counters = _run_partition_locally(
+                    self.partitions[index],
+                    self.batch_size,
+                    index,
+                    self.attempt_ids[index],
+                    self.plans,
+                    self.token,
+                    rung,
+                )
+            except QueryError:
+                raise  # timeouts/cancellation propagate untyped-free
+            except _AttemptFailed as exc:
+                error = (str(exc), exc.tb)
+                self._record_failure(index, error)
+                continue
+            except BaseException as exc:  # noqa: BLE001 - next rung
+                error = (f"{type(exc).__name__}: {exc}", traceback.format_exc())
+                self._record_failure(index, error)
+                continue
+            self.buffers[index].extend(batches)
+            self.partition_counters[index] = counters
+            self.done[index] = True
+            self.stats["degraded_partitions"] += 1
+            current = self.stats["degraded_to"]
+            if current is None or depth.get(rung, 0) > depth.get(current, 0):
+                self.stats["degraded_to"] = rung
+            return
+        first = self.first_failure[index] or error
+        raise ExecutionFailed(
+            f"partition {index} failed after {self.failures[index]} attempt(s) "
+            f"and degradation through {self.ladder!r}: {first[0]}",
+            worker_traceback=first[1],
+        )
 
 
 # ----------------------------------------------------------------------
@@ -408,38 +775,54 @@ class ExchangeBackend:
     whose streams yield :class:`ColumnBatch` morsels; after a stream is
     exhausted (or the run is closed) its ``counters`` hold the
     partition's private :class:`Metrics` totals.  The exchange merges
-    those in partition-index order — never completion order.
+    those in partition-index order — never completion order.  ``token``
+    is the execution's optional :class:`~repro.engine.errors.CancelToken`
+    (enforced consumer-side).
     """
 
     name = "?"
 
-    def run(self, partitions: Sequence[Operator], batch_size: int) -> _BackendRun:
+    def run(
+        self, partitions: Sequence[Operator], batch_size: int, token=None
+    ) -> _BackendRun:
         raise NotImplementedError
 
 
 class InlineBackend(ExchangeBackend):
-    """No pool: lazy, single-threaded, the deterministic floor."""
+    """No pool: lazy, single-threaded, the deterministic floor — and the
+    last rung of every degradation ladder."""
 
     name = "inline"
 
-    def run(self, partitions, batch_size):
+    def run(self, partitions, batch_size, token=None):
         for partition in partitions:
             partition.prepare_parallel()
+        plans = faults_mod.resolve(faults_mod.active_plans(), len(partitions))
         return _BackendRun(
-            [_InlineStream(partition, batch_size) for partition in partitions],
+            [
+                _InlineStream(partition, batch_size, token, index, plans)
+                for index, partition in enumerate(partitions)
+            ],
             {"backend": "inline"},
         )
 
 
 #: One process-wide thread pool, created lazily on the first threaded
 #: drain and reused by every exchange — spawning a pool per execution
-#: would put OS thread creation on the warm-query path.  Safe to share:
-#: per-partition queues are unbounded, so producers never block and every
-#: submitted task runs to completion regardless of interleaving (a
-#: *bounded* queue on a shared fixed-size pool could deadlock when two
-#: exchanges stream concurrently, e.g. under a merge join).
+#: would put OS thread creation on the warm-query path.  Channels are
+#: *bounded* (backpressure), so a nested/concurrent thread run on one
+#: consumer thread could starve the pool; :class:`ThreadBackend` guards
+#: that by degrading nested runs to inline (same rule as the process
+#: backend's run lock).
 _SHARED_POOL: Optional[ThreadPoolExecutor] = None
 _SHARED_POOL_LOCK = threading.Lock()
+
+#: Per-thread count of open thread-backend runs (the nested-run guard).
+_THREAD_RUN_STATE = threading.local()
+
+
+def _thread_run_depth() -> int:
+    return getattr(_THREAD_RUN_STATE, "depth", 0)
 
 
 def _shared_pool() -> ThreadPoolExecutor:
@@ -454,20 +837,81 @@ def _shared_pool() -> ThreadPoolExecutor:
     return _SHARED_POOL
 
 
+class _ThreadRun(_RecoveringRun):
+    """One thread-backend execution: per-partition bounded channels on
+    the shared pool, with retry and inline degradation."""
+
+    ladder = ("inline",)
+
+    def __init__(self, partitions, batch_size, token, plans) -> None:
+        super().__init__(partitions, batch_size, token, plans, {"backend": "thread"})
+        self.channels: List[Optional[_Channel]] = [None] * len(self.partitions)
+        self.finished = False
+        _THREAD_RUN_STATE.depth = _thread_run_depth() + 1
+        for index in range(len(self.partitions)):
+            self._redispatch(index)
+
+    def _redispatch(self, index: int) -> None:
+        channel = _Channel()
+        self.channels[index] = channel
+        _shared_pool().submit(
+            _produce_to_channel,
+            self.partitions[index],
+            channel,
+            self.batch_size,
+            index,
+            self.attempt_ids[index],
+            self.plans,
+            "thread",
+        )
+
+    def ensure_done(self, index: int) -> None:
+        while not self.done[index]:
+            outcome, payload = _drain_channel(
+                self.channels[index], self.buffers[index], self.token
+            )
+            if outcome == "done":
+                self.partition_counters[index] = payload  # type: ignore[assignment]
+                self.done[index] = True
+            else:  # "error" or "dropped": one attempt failed
+                self._partition_failed(index, payload)  # type: ignore[arg-type]
+
+    def close(self) -> None:
+        try:
+            for index in range(len(self.partitions)):
+                self.ensure_done(index)
+        finally:
+            self._finish()
+
+    def abort(self) -> None:
+        for channel in self.channels:
+            if channel is not None:
+                channel.close()
+        self._finish()
+
+    def _finish(self) -> None:
+        if not self.finished:
+            self.finished = True
+            _THREAD_RUN_STATE.depth = max(0, _thread_run_depth() - 1)
+
+
 class ThreadBackend(ExchangeBackend):
     """The shared thread pool; each partition streams batches through its
-    own queue as it produces them (no whole-partition materialization)."""
+    own bounded channel, released to the consumer on completion."""
 
     name = "thread"
 
-    def run(self, partitions, batch_size):
+    def run(self, partitions, batch_size, token=None):
         for partition in partitions:
             partition.prepare_parallel()  # build shared caches single-threaded
-        streams = [_QueueStream() for _ in partitions]
-        pool = _shared_pool()
-        for partition, stream in zip(partitions, streams):
-            pool.submit(_produce_to_queue, partition, stream, batch_size)
-        return _BackendRun(streams, {"backend": "thread"})
+        if _thread_run_depth():
+            # A nested run on this consumer thread (two exchanges pulled
+            # interleaved) could starve the bounded channels on the shared
+            # fixed-size pool — run it inline instead, like the process
+            # backend's nested-run rule.
+            return InlineBackend().run(partitions, batch_size, token)
+        plans = faults_mod.resolve(faults_mod.active_plans(), len(partitions))
+        return _ThreadRun(partitions, batch_size, token, plans)
 
 
 # ----------------------------------------------------------------------
@@ -476,21 +920,32 @@ class ThreadBackend(ExchangeBackend):
 def _process_worker(tasks, results) -> None:  # pragma: no cover - child process
     """Worker main loop: pull (partition) tasks until the ``None`` pill.
 
-    Each task is a pre-pickled operator chain; results stream back as
-    pre-pickled morsels so serialization failures raise *here*, visibly,
-    instead of vanishing in a queue feeder thread.
+    Each task is a pre-pickled operator chain tagged with its attempt id
+    and the active fault plans; results stream back as pre-pickled
+    morsels so serialization failures raise *here*, visibly, instead of
+    vanishing in a queue feeder thread.  Message protocol (all 5-tuples
+    ``(kind, index, attempt, payload, extra)``): ``"s"`` started (payload
+    = worker pid, for parent-side failure attribution), ``"m"`` morsel,
+    then one terminal ``"d"`` (counters) or ``"e"`` ((message,
+    traceback)).  A kill fault exits before the terminal; a drop fault
+    skips it silently.
     """
     while True:
         task = tasks.get()
         if task is None:
             return
-        index, blob, batch_size, morsel_rows = task
+        index, blob, batch_size, morsel_rows, attempt, plans = task
         metrics = Metrics()
         try:
+            results.put(("s", index, attempt, os.getpid(), None))
             op = pickle.loads(blob)
             pending: List[tuple] = []
             pending_rows = 0
+            batch_no = 0
             for batch in op.execute_batches(metrics, batch_size):
+                if plans:
+                    faults_mod.fire(plans, index, batch_no, attempt, "process")
+                batch_no += 1
                 length = len(batch)
                 if not length:
                     continue
@@ -498,18 +953,43 @@ def _process_worker(tasks, results) -> None:  # pragma: no cover - child process
                 pending_rows += length
                 if pending_rows >= morsel_rows:
                     payload = pickle.dumps(pending, pickle.HIGHEST_PROTOCOL)
-                    results.put(("m", index, payload, pending_rows))
+                    results.put(("m", index, attempt, payload, pending_rows))
                     pending = []
                     pending_rows = 0
             if pending:
                 payload = pickle.dumps(pending, pickle.HIGHEST_PROTOCOL)
-                results.put(("m", index, payload, pending_rows))
-            results.put(("d", index, metrics.counters, None))
+                results.put(("m", index, attempt, payload, pending_rows))
+            results.put(("d", index, attempt, metrics.counters, None))
+        except faults_mod.DropResults:
+            continue  # the injected lost-result-stream fault: go silent
         except BaseException as exc:  # noqa: BLE001 - relayed to the parent
             try:
-                results.put(("e", index, f"{type(exc).__name__}: {exc}", None))
+                results.put(
+                    (
+                        "e",
+                        index,
+                        attempt,
+                        (f"{type(exc).__name__}: {exc}", traceback.format_exc()),
+                        None,
+                    )
+                )
             except Exception:
                 return
+
+
+#: Registered once, on first pool creation: workers are daemons (they die
+#: with the parent regardless), but an explicit interpreter-exit shutdown
+#: also terminates promptly, joins, and closes the queues' feeder threads
+#: — no orphan windows, no noisy atexit races.  (Lifecycle regression:
+#: ``tests/engine/test_fault_tolerance.py``.)
+_ATEXIT_REGISTERED = False
+
+
+def _register_pool_atexit() -> None:
+    global _ATEXIT_REGISTERED
+    if not _ATEXIT_REGISTERED:
+        _ATEXIT_REGISTERED = True
+        atexit.register(shutdown_process_pool)
 
 
 class _ProcessPool:
@@ -526,6 +1006,7 @@ class _ProcessPool:
         import multiprocessing
 
         context = multiprocessing.get_context(method)
+        self.context = context
         self.method = method
         self.size = size
         self.tasks = context.Queue()
@@ -546,9 +1027,32 @@ class _ProcessPool:
         ]
         for process in self.processes:
             process.start()
+        _register_pool_atexit()
 
     def alive(self) -> bool:
         return all(process.is_alive() for process in self.processes)
+
+    def respawn_dead(self) -> None:
+        """Replace dead workers in place, keeping the shared queues.
+
+        A ``fork`` respawn re-forks from the *current* parent image; the
+        staleness rules of :func:`_ensure_process_pool` guarantee that
+        image still matches ``snapshot`` (any epoch movement would have
+        restarted the whole pool before this run began), so token lookups
+        in the replacement stay valid.
+        """
+        for i, process in enumerate(self.processes):
+            if process.is_alive():
+                continue
+            process.join(timeout=1.0)
+            replacement = self.context.Process(
+                target=_process_worker,
+                args=(self.tasks, self.results),
+                daemon=True,
+                name=f"repro-exchange-{i}",
+            )
+            replacement.start()
+            self.processes[i] = replacement
 
     def shutdown(self) -> None:
         for process in self.processes:
@@ -573,7 +1077,8 @@ _PROCESS_RUN_OWNER: Optional[int] = None
 
 
 def shutdown_process_pool() -> None:
-    """Tear down the persistent process pool (tests; start-method swaps)."""
+    """Tear down the persistent process pool (tests; start-method swaps;
+    the interpreter-exit hook)."""
     global _PROCESS_POOL
     with _SHARED_POOL_LOCK:
         if _PROCESS_POOL is not None:
@@ -584,11 +1089,13 @@ def shutdown_process_pool() -> None:
 def _ensure_process_pool(needed: Sequence[Tuple[tuple, object]]) -> _ProcessPool:
     """The live pool, restarted when its memory image went stale.
 
-    Restart conditions: no pool yet, a worker died, the configured start
-    method changed, or — fork pools only — the catalog epoch moved or a
-    needed object was never part of the fork image.  Registration happens
-    *before* the (re)fork so the children inherit every needed object
-    with its caches built.
+    Restart conditions: no pool yet, the pool was marked broken, the
+    configured start method changed, or — fork pools only — the catalog
+    epoch moved or a needed object was never part of the fork image.
+    (A merely *dead worker* is no longer a restart condition: the run
+    respawns dead workers in place and retries their partitions.)
+    Registration happens *before* the (re)fork so the children inherit
+    every needed object with its caches built.
     """
     global _PROCESS_POOL
     method = _resolve_start_method()
@@ -600,7 +1107,7 @@ def _ensure_process_pool(needed: Sequence[Tuple[tuple, object]]) -> _ProcessPool
         pool is None
         or pool.broken
         or pool.method != method
-        or not pool.alive()
+        or not any(process.is_alive() for process in pool.processes)
         or (
             pool.method == "fork"
             and (
@@ -614,26 +1121,30 @@ def _ensure_process_pool(needed: Sequence[Tuple[tuple, object]]) -> _ProcessPool
             pool.shutdown()
         pool = _ProcessPool(max(4, host_capability()["cpus"]), method)
         _PROCESS_POOL = pool
+    elif not pool.alive():
+        pool.respawn_dead()
     return pool
 
 
-class _ProcessRun(_BackendRun):
-    """Demultiplexer for one process-backend execution.
+class _ProcessRun(_RecoveringRun):
+    """Demultiplexer for one process-backend execution, with recovery.
 
-    Workers tag every message with its partition index; the parent
-    buffers out-of-order morsels per partition so consumers (union in
-    partition order, merge interleaved) see deterministic streams no
-    matter which worker finished first.
+    Workers tag every message with partition index *and attempt id*; the
+    parent buffers morsels per partition (released on completion), tracks
+    which worker pid runs which partition, and on worker death respawns
+    the worker and re-enqueues the attributable partitions.  Retries
+    exhausted → the partition degrades thread → inline.  A corrupt result
+    queue (a worker killed mid-write) is unrecoverable for the whole
+    pool: every outstanding partition degrades and the pool restarts on
+    the next query.
     """
 
-    def __init__(self, pool, partitions, blobs, batch_size) -> None:
+    ladder = ("thread", "inline")
+
+    def __init__(self, pool, partitions, blobs, batch_size, token, plans) -> None:
         self.pool = pool
-        self.partitions = list(partitions)
-        count = len(self.partitions)
-        self.buffers: List[deque] = [deque() for _ in range(count)]
-        self.done = [False] * count
-        self.partition_counters: List[Dict[str, int]] = [{} for _ in range(count)]
-        self.error: Optional[str] = None
+        self.blobs = list(blobs)
+        self.running_pid: List[Optional[int]] = [None] * len(self.blobs)
         self.finished = False
         stats = {
             "backend": "process",
@@ -644,30 +1155,48 @@ class _ProcessRun(_BackendRun):
             "rows_shipped": 0,
             "token_shipped_chains": 0,
         }
-        super().__init__([_ProcessStream(self, i) for i in range(count)], stats)
+        super().__init__(partitions, batch_size, token, plans, stats)
         # Work stealing: partitions go into one shared task queue; each of
         # the pool's workers pulls the next one the moment it frees up.
-        for index, blob in enumerate(blobs):
-            pool.tasks.put((index, blob, batch_size, MORSEL_ROWS))
+        for index in range(len(self.blobs)):
+            self._redispatch(index)
 
     # ------------------------------------------------------------------
+    def _redispatch(self, index: int) -> None:
+        self.running_pid[index] = None
+        self.pool.tasks.put(
+            (
+                index,
+                self.blobs[index],
+                self.batch_size,
+                MORSEL_ROWS,
+                self.attempt_ids[index],
+                self.plans,
+            )
+        )
+
+    def ensure_done(self, index: int) -> None:
+        while not self.done[index]:
+            self.pump()
+
     def pump(self) -> None:
-        """Receive one message, with worker-liveness checks."""
-        if self.error is not None:
-            raise RuntimeError(f"process exchange worker failed: {self.error}")
-        while True:
-            try:
-                message = self.pool.results.get(timeout=_PULL_TIMEOUT)
-                break
-            except queue_module.Empty:
-                if not self.pool.alive():
-                    self.pool.broken = True
-                    self._release()
-                    raise RuntimeError(
-                        "process exchange worker died unexpectedly"
-                    ) from None
-        kind, index, payload, extra = message
-        if kind == "m":
+        """Receive one message (or time out into a liveness check)."""
+        if self.token is not None:
+            self.token.check()
+        try:
+            message = self.pool.results.get(timeout=_PULL_TIMEOUT)
+        except queue_module.Empty:
+            self._check_liveness()
+            return
+        except Exception as exc:  # corrupt stream: pool unrecoverable
+            self._pool_failed(f"result queue failed: {type(exc).__name__}: {exc}")
+            return
+        kind, index, attempt, payload, extra = message
+        if self.done[index] or attempt != self.attempt_ids[index]:
+            return  # stale: a retry superseded this attempt
+        if kind == "s":
+            self.running_pid[index] = payload
+        elif kind == "m":
             self.stats["morsel_bytes"] += len(payload)
             self.stats["morsels"] += 1
             self.stats["rows_shipped"] += extra
@@ -677,16 +1206,74 @@ class _ProcessRun(_BackendRun):
         elif kind == "d":
             self.partition_counters[index] = payload
             self.done[index] = True
-            self._maybe_finish()
         else:  # "e"
-            self.done[index] = True
-            self.error = payload
-            self._maybe_finish()
-            raise RuntimeError(f"process exchange worker failed: {payload}")
+            self._partition_failed(index, payload)
 
-    def _maybe_finish(self) -> None:
-        if all(self.done):
+    def _check_liveness(self) -> None:
+        """After a pull timeout: respawn dead workers and fail the
+        partitions attributable to them (recorded pid dead, or unknown —
+        their "started" message may have died with the worker)."""
+        dead_pids = {
+            process.pid
+            for process in self.pool.processes
+            if not process.is_alive()
+        }
+        if not dead_pids:
+            return
+        try:
+            self.pool.respawn_dead()
+        except Exception as exc:  # pragma: no cover - spawn failure
+            self._pool_failed(f"could not respawn dead workers: {exc!r}")
+            return
+        for index in range(len(self.partitions)):
+            if self.done[index]:
+                continue
+            pid = self.running_pid[index]
+            if pid is None or pid in dead_pids:
+                self._partition_failed(
+                    index, ("worker process died while running this partition", None)
+                )
+
+    def _pool_failed(self, reason: str) -> None:
+        """The pool itself is unrecoverable: mark it broken and degrade
+        every outstanding partition locally."""
+        self.pool.broken = True
+        for index in range(len(self.partitions)):
+            if not self.done[index]:
+                self._record_failure(index, (reason, None))
+                self.attempt_ids[index] += 1
+                self.buffers[index].clear()
+                self._degrade(index, (reason, None))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain every partition to completion and release the run lock."""
+        try:
+            while not all(self.done):
+                self.pump()
+        except BaseException:
+            self.pool.broken = True
+            raise
+        finally:
+            if self.pool.broken:
+                try:
+                    self.pool.shutdown()
+                except Exception:  # pragma: no cover - best effort
+                    pass
             self._release()
+
+    def abort(self) -> None:
+        """Stop without draining (error/timeout/abandonment): outstanding
+        workers may be mid-stream, so restart the pool rather than let
+        them block forever on the bounded result queue.  The next query
+        sees a healthy, fresh pool."""
+        if not all(self.done):
+            self.pool.broken = True
+            try:
+                self.pool.shutdown()
+            except Exception:  # pragma: no cover - best effort
+                pass
+        self._release()
 
     def _release(self) -> None:
         global _PROCESS_RUN_OWNER
@@ -695,55 +1282,19 @@ class _ProcessRun(_BackendRun):
             _PROCESS_RUN_OWNER = None
             _PROCESS_RUN_LOCK.release()
 
-    def close(self) -> None:
-        """Drain every partition to completion and release the run lock.
 
-        Best-effort on the error path: a dead worker already surfaced (or
-        will never send more), so force-release and mark the pool for
-        restart rather than wait forever.
-        """
-        try:
-            while not all(self.done):
-                self.pump()
-        except BaseException:
-            self.pool.broken = True
-            self._release()
-            raise
-        finally:
-            self._release()
-
-
-class _ProcessStream:
-    def __init__(self, run: _ProcessRun, index: int) -> None:
-        self.run = run
-        self.index = index
-
-    @property
-    def counters(self) -> Dict[str, int]:
-        return self.run.partition_counters[self.index]
-
-    def __iter__(self) -> Iterator[ColumnBatch]:
-        buffer = self.run.buffers[self.index]
-        while True:
-            if buffer:
-                yield buffer.popleft()
-            elif self.run.done[self.index]:
-                return
-            else:
-                self.run.pump()
-
-    def close(self) -> None:
-        # Per-stream close defers to the run: counters require *every*
-        # partition drained, and the run lock must release exactly once.
-        self.run.close()
+class _PoolUnavailable(Exception):
+    """Internal: the process pool could not be built at all."""
 
 
 class ProcessBackend(ExchangeBackend):
-    """True multicore: pickled chains out, morsel streams back."""
+    """True multicore: pickled chains out, morsel streams back — with
+    worker recovery, and whole-run degradation to the thread backend when
+    no pool can be built at all."""
 
     name = "process"
 
-    def run(self, partitions, batch_size):
+    def run(self, partitions, batch_size, token=None):
         global _PROCESS_RUN_OWNER
         me = threading.get_ident()
         if _PROCESS_RUN_OWNER == me:
@@ -751,22 +1302,37 @@ class ProcessBackend(ExchangeBackend):
             # e.g. both inputs of a merge join): the result queue is owned
             # by the outer run, so run this one inline — deterministic,
             # bit-identical, just not process-parallel.
-            return InlineBackend().run(partitions, batch_size)
+            return InlineBackend().run(partitions, batch_size, token)
         _PROCESS_RUN_LOCK.acquire()
         _PROCESS_RUN_OWNER = me
         try:
             needed = _collect_shippable(partitions[0])
-            pool = _ensure_process_pool(needed)
+            try:
+                pool = _ensure_process_pool(needed)
+            except Exception as exc:
+                raise _PoolUnavailable(f"{type(exc).__name__}: {exc}") from exc
             tokens = frozenset(
-                token for token, obj in needed if pool.snapshot.get(token) is obj
+                token_ for token_, obj in needed if pool.snapshot.get(token_) is obj
             )
             with _ShipContext(tokens):
                 blobs = [
                     pickle.dumps(partition, pickle.HIGHEST_PROTOCOL)
                     for partition in partitions
                 ]
-            run = _ProcessRun(pool, partitions, blobs, batch_size)
+            plans = faults_mod.resolve(faults_mod.active_plans(), len(partitions))
+            run = _ProcessRun(pool, partitions, blobs, batch_size, token, plans)
             run.stats["token_shipped_chains"] = len(tokens)
+            return run
+        except _PoolUnavailable as exc:
+            # No pool at all (e.g. a platform without working
+            # multiprocessing): degrade the whole run to threads.
+            _PROCESS_RUN_OWNER = None
+            _PROCESS_RUN_LOCK.release()
+            run = ThreadBackend().run(partitions, batch_size, token)
+            run.stats["degraded_to"] = "thread"
+            run.stats["degraded_partitions"] = len(partitions)
+            run.stats.setdefault("retries", 0)
+            run.stats["degraded_reason"] = str(exc)
             return run
         except BaseException:
             _PROCESS_RUN_OWNER = None
@@ -833,9 +1399,10 @@ class Exchange(Operator):
         #: contract guarantees the streams concatenate (in index order)
         #: to the serial stream.
         self.contiguous = contiguous
-        #: Serialization accounting for the most recent batch execution
-        #: (kept out of query Metrics — the serial plan ships nothing, and
-        #: counter parity is the differential harness's contract).
+        #: Serialization + recovery accounting for the most recent batch
+        #: execution (kept out of query Metrics — the serial plan ships
+        #: and retries nothing, and counter parity is the differential
+        #: harness's contract).
         self.exchange_stats: dict = {}
         template = subtree if subtree is not None else partitions[0]
         self.schema = template.schema
@@ -874,17 +1441,23 @@ class Exchange(Operator):
             backend = get_backend("inline")
         else:
             backend = get_backend(self.backend)
-        run = backend.run(self.partitions, batch_size)
+        run = backend.run(self.partitions, batch_size, token=metrics.token)
         try:
             yield from self._emit_streams(run.streams, batch_size)
-        finally:
-            run.close()
-            # Deterministic counter merge: partition-index order, after
-            # every stream drained — completion order never matters.
-            for stream in run.streams:
-                for key, value in stream.counters.items():
-                    metrics.add(key, value)
+        except BaseException:
+            # Error, timeout, or an abandoning consumer (GeneratorExit):
+            # stop producers without draining — abort leaves the pools
+            # healthy (or marked for restart) for the next query.
+            run.abort()
             self.exchange_stats = run.stats
+            raise
+        run.close()
+        # Deterministic counter merge: partition-index order, after
+        # every stream drained — completion order never matters.
+        for stream in run.streams:
+            for key, value in stream.counters.items():
+                metrics.add(key, value)
+        self.exchange_stats = run.stats
 
     def _emit_streams(
         self, streams: Sequence, batch_size: int

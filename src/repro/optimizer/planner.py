@@ -174,6 +174,13 @@ class PlanInfo:
     workers: Optional[int] = None
     backend: Optional[str] = None
     exchanges: List[tuple] = field(default_factory=list)
+    #: Fault-tolerance accounting for the most recent *execution* of this
+    #: plan (set by ``Database.execute``; empty when the run was
+    #: fault-free): ``retries``, ``degraded_partitions``, ``degraded_to``
+    #: (deepest rung), ``timed_out``, and — when the query raised —
+    #: ``failed`` (the typed error's class name).  Like ``execution``,
+    #: sample it right after the run you care about.
+    recovery: Dict[str, object] = field(default_factory=dict)
     #: One :class:`~repro.optimizer.joinorder.JoinOrderDecision` per join
     #: block the cost-based search ordered (empty for syntactic planning
     #: and single-relation queries).
@@ -211,6 +218,19 @@ class PlanInfo:
                     f"parallel: no partitionable subtree at workers="
                     f"{self.workers} (plan runs serial)"
                 )
+        if self.recovery:
+            r = self.recovery
+            parts = [
+                f"{r.get('retries', 0)} retried attempt(s)",
+                f"{r.get('degraded_partitions', 0)} partition(s) degraded",
+            ]
+            if r.get("degraded_to"):
+                parts.append(f"deepest fallback {r['degraded_to']}")
+            if r.get("timed_out"):
+                parts.append("deadline exceeded")
+            elif r.get("failed"):
+                parts.append(f"failed with {r['failed']}")
+            lines.append(f"fault tolerance: {', '.join(parts)}")
         for rewrite in self.date_rewrites:
             lines.append(f"join eliminated: {rewrite.describe()}")
         for decision in self.join_orders:

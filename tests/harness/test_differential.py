@@ -533,3 +533,108 @@ def test_random_no_stale_plan_after_table():
             "unrelated", Schema.of(("x", DataType.INT))
         ),
     )
+
+
+# ----------------------------------------------------------------------
+# The chaos leg: injected faults, typed outcomes, healthy pools
+# ----------------------------------------------------------------------
+# Every scenario runs one query under a deterministic fault plan (see
+# repro.engine.faults) and must land in exactly one of two places:
+#
+# * ``recovered`` — rows AND Metrics counters bit-identical to fault-free
+#   serial execution (retries and backend degradation are invisible
+#   except in exchange_stats/QueryResult accounting);
+# * a typed error — ``ExecutionFailed`` when every recovery rung is
+#   exhausted, ``QueryTimeout`` when the scenario pairs the fault with a
+#   deadline (the process backend cannot distinguish a silently-dropped
+#   result stream from a slow worker, so its drop scenario *must* carry
+#   a deadline; the thread backend detects the drop directly and
+#   recovers).
+#
+# After every scenario the same backend must serve a fault-free run with
+# full parity — no pool is ever left poisoned.  ``REPRO_CHAOS_BACKENDS``
+# filters the matrix (the fault-correctness CI job pins one backend per
+# matrix entry).
+from repro.engine import faults as faults_mod
+from repro.engine.errors import ExecutionFailed, QueryTimeout
+
+CHAOS_BACKENDS = tuple(
+    backend.strip()
+    for backend in os.environ.get(
+        "REPRO_CHAOS_BACKENDS", "thread,process"
+    ).split(",")
+    if backend.strip()
+)
+
+CHAOS_SQL = (
+    "SELECT bracket, COUNT(*) AS n, SUM(payable) AS total FROM taxes "
+    "WHERE income > 20000 GROUP BY bracket ORDER BY bracket"
+)
+
+#: (id, backend, fault spec, timeout_s, expected outcome)
+CHAOS_SCENARIOS = (
+    ("thread-raise-once", "thread", "raise:partition=0,attempts=1", None, "recovered"),
+    ("thread-raise-seeded", "thread", "raise:partition=seeded,seed=3,attempts=1", None, "recovered"),
+    ("thread-drop-once", "thread", "drop_results:partition=1,attempts=1", None, "recovered"),
+    ("thread-drop-persistent", "thread", "drop_results:partition=1,attempts=99", None, "recovered"),
+    ("thread-raise-persistent", "thread", "raise:partition=0,attempts=99", None, "failed"),
+    ("thread-delay-deadline", "thread", "delay:delay=1.0", 0.25, "timeout"),
+    ("process-kill-once", "process", "kill_worker:partition=0,attempts=1", None, "recovered"),
+    ("process-kill-persistent", "process", "kill_worker:partition=0,attempts=99", None, "recovered"),
+    ("process-raise-once", "process", "raise:partition=0,attempts=1", None, "recovered"),
+    ("process-raise-persistent", "process", "raise:partition=0,attempts=99", None, "failed"),
+    ("process-delay-deadline", "process", "delay:delay=1.0", 0.25, "timeout"),
+    ("process-drop-deadline", "process", "drop_results:partition=0,attempts=99", 1.0, "timeout"),
+)
+
+
+@pytest.mark.parametrize(
+    "scenario_id,backend,spec,timeout_s,expected",
+    CHAOS_SCENARIOS,
+    ids=[s[0] for s in CHAOS_SCENARIOS],
+)
+def test_chaos_matrix(tax_db, scenario_id, backend, spec, timeout_s, expected):
+    if backend not in CHAOS_BACKENDS:
+        pytest.skip(f"backend {backend!r} not in REPRO_CHAOS_BACKENDS")
+    serial = tax_db.execute(CHAOS_SQL, batch_size=64)
+    with mock.patch.object(parallel_mod, "PARALLEL_MIN_ROWS", 0):
+        faults_mod.install(faults_mod.parse_plans(spec))
+        try:
+            if expected == "recovered":
+                result = tax_db.execute(
+                    CHAOS_SQL, workers=2, backend=backend, batch_size=64
+                )
+                assert result.rows == serial.rows, f"{scenario_id}: rows differ"
+                assert result.metrics.counters == serial.metrics.counters, (
+                    f"{scenario_id}: counters differ — recovery leaked into "
+                    f"Metrics"
+                )
+                assert result.retries >= 1 or result.degraded_to is not None, (
+                    f"{scenario_id}: the fault should have forced recovery"
+                )
+            elif expected == "failed":
+                with pytest.raises(ExecutionFailed):
+                    tax_db.execute(
+                        CHAOS_SQL, workers=2, backend=backend, batch_size=64
+                    )
+            else:  # "timeout"
+                with pytest.raises(QueryTimeout):
+                    tax_db.execute(
+                        CHAOS_SQL,
+                        workers=2,
+                        backend=backend,
+                        batch_size=64,
+                        timeout_s=timeout_s,
+                    )
+        finally:
+            faults_mod.clear()
+        # The pool must be healthy again: a fault-free run on the same
+        # backend with full row and counter parity.
+        after = tax_db.execute(CHAOS_SQL, workers=2, backend=backend, batch_size=64)
+    assert after.rows == serial.rows, f"{scenario_id}: post-fault rows differ"
+    assert after.metrics.counters == serial.metrics.counters, (
+        f"{scenario_id}: post-fault counters differ"
+    )
+    assert after.retries == 0 and after.degraded_to is None, (
+        f"{scenario_id}: the fault-free follow-up should not have recovered"
+    )
