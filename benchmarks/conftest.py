@@ -122,6 +122,20 @@ def snowflake():
 
 
 @pytest.fixture(scope="session")
+def rewrite_pack_db():
+    from repro.workloads.rewrite_pack import build_rewrite_pack
+
+    database = build_rewrite_pack(
+        fact_rows=scaled(30_000),
+        wide_rows=scaled(20_000),
+        order_rows=scaled(40_000),
+        customers=scaled(20_000),
+    )
+    _warm(database)
+    return database
+
+
+@pytest.fixture(scope="session")
 def date_db():
     from repro.engine.database import Database
     from repro.workloads.datedim import build_date_dim

@@ -24,7 +24,22 @@ from .schema import Schema
 from .stats import TableStats, collect_stats
 from .table import Table
 
-__all__ = ["Database", "QueryResult"]
+__all__ = ["Database", "ForeignKey", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A declared referential constraint: every ``child_columns`` tuple in
+    ``child_table`` appears among ``parent_columns`` in ``parent_table``.
+
+    Declared via :meth:`Database.declare_foreign_key` (containment checked
+    at declaration) and re-verified at the current catalog epoch before
+    any rewrite relies on it (:meth:`Database.verified_foreign_key`)."""
+
+    child_table: str
+    child_columns: Tuple[str, ...]
+    parent_table: str
+    parent_columns: Tuple[str, ...]
 
 
 @dataclass
@@ -98,6 +113,10 @@ class Database:
         #: so entries never go stale; the memo spares repeated templates
         #: the parse/bind/fingerprint work.
         self._logical_memo: "OrderedDict[str, object]" = OrderedDict()
+        #: Declared referential constraints (see :class:`ForeignKey`) and
+        #: the epoch-keyed memo of their containment re-verifications.
+        self._foreign_keys: List[ForeignKey] = []
+        self._fk_checks: Dict[ForeignKey, Tuple[int, bool]] = {}
 
     # ------------------------------------------------------------------
     # Catalog
@@ -142,6 +161,87 @@ class Database:
 
     def constraints_on(self, table_name: str) -> List[Statement]:
         return list(self.table(table_name).constraints)
+
+    def declare_foreign_key(
+        self,
+        child_table: str,
+        child_columns: Sequence[str],
+        parent_table: str,
+        parent_columns: Sequence[str],
+    ) -> ForeignKey:
+        """Register a referential constraint, verifying containment now.
+
+        The declaration is the *proof obligation* the rewrite pack's join
+        elimination relies on (every fact row matches a dimension row);
+        it is re-verified against the data at plan time through
+        :meth:`verified_foreign_key`, so a later load that orphans rows
+        silently disables the rewrite instead of corrupting results.
+        """
+        child = self.table(child_table)
+        parent = self.table(parent_table)
+        child_columns = tuple(child.schema.resolve(c) for c in child_columns)
+        parent_columns = tuple(parent.schema.resolve(c) for c in parent_columns)
+        if not child_columns or len(child_columns) != len(parent_columns):
+            raise ValueError(
+                "foreign key requires matching non-empty column lists"
+            )
+        fk = ForeignKey(child_table, child_columns, parent_table, parent_columns)
+        if not self._fk_contained(fk):
+            raise ValueError(
+                f"foreign key violated: {child_table}({', '.join(child_columns)}) "
+                f"has values missing from {parent_table}"
+                f"({', '.join(parent_columns)})"
+            )
+        if fk not in self._foreign_keys:
+            self._foreign_keys.append(fk)
+        bump_epoch("declare-fk")
+        return fk
+
+    def foreign_keys_on(self, child_table: str) -> List[ForeignKey]:
+        return [fk for fk in self._foreign_keys if fk.child_table == child_table]
+
+    def _fk_contained(self, fk: ForeignKey) -> bool:
+        """One O(|child| + |parent|) set-containment pass."""
+        child = self.table(fk.child_table)
+        parent = self.table(fk.parent_table)
+        child_positions = [child.schema.position(c) for c in fk.child_columns]
+        parent_positions = [parent.schema.position(c) for c in fk.parent_columns]
+        parent_keys = {
+            tuple(row[p] for p in parent_positions) for row in parent.rows
+        }
+        return all(
+            tuple(row[p] for p in child_positions) in parent_keys
+            for row in child.rows
+        )
+
+    def verified_foreign_key(
+        self,
+        child_table: str,
+        child_columns: Sequence[str],
+        parent_table: str,
+        parent_columns: Sequence[str],
+    ) -> bool:
+        """Is a matching declared FK still valid on the current data?
+
+        Matches the declared constraint by its (child, parent) column
+        *pairs* regardless of order, then re-verifies containment —
+        memoized per catalog epoch, so repeated plannings of one template
+        pay the O(n) pass once until the next mutation.
+        """
+        want = frozenset(zip(child_columns, parent_columns))
+        for fk in self._foreign_keys:
+            if (
+                fk.child_table == child_table
+                and fk.parent_table == parent_table
+                and frozenset(zip(fk.child_columns, fk.parent_columns)) == want
+            ):
+                epoch = current_epoch()
+                cached = self._fk_checks.get(fk)
+                if cached is None or cached[0] != epoch:
+                    cached = (epoch, self._fk_contained(fk))
+                    self._fk_checks[fk] = cached
+                return cached[1]
+        return False
 
     def stats(self, table_name: str, refresh: bool = False) -> TableStats:
         """Cached table statistics, invalidated by the catalog epoch.
@@ -200,6 +300,7 @@ class Database:
         workers: Optional[int] = None,
         join_order: str = "cost",
         backend: Optional[str] = None,
+        rewrites: str = "on",
     ) -> Operator:
         """Parse, bind, optimize (optionally) and return the physical plan.
 
@@ -227,6 +328,12 @@ class Database:
         Syntactic plans cache under a join-order-qualified mode key
         (``"od+syntactic"``), so the two orderings never serve each
         other's trees.
+
+        ``rewrites`` switches the logical rewrite pack (eager
+        aggregation, scan consolidation, FD join elimination — see
+        :mod:`repro.optimizer.rewrite_pack`); ``"off"`` plans cache under
+        a rewrite-qualified mode key (``"od+norw"``) so the two regimes
+        never serve each other's trees.
         """
         from ..optimizer.planner import Planner  # lazy: avoids import cycle
 
@@ -234,6 +341,8 @@ class Database:
             raise ValueError(f"workers must be positive, got {workers}")
         if join_order not in ("cost", "syntactic"):
             raise ValueError(f"unknown join_order {join_order!r}")
+        if rewrites not in ("on", "off"):
+            raise ValueError(f"unknown rewrites setting {rewrites!r}")
         if backend is not None:
             if workers is None:
                 raise ValueError("backend= requires workers=")
@@ -250,6 +359,7 @@ class Database:
                 workers=workers,
                 join_order=join_order,
                 backend=backend,
+                rewrites=rewrites,
             ).plan(logical)
             plan.plan_info.cache_state = "bypass"
             return plan
@@ -257,6 +367,8 @@ class Database:
         mode = "od" if optimize else "fd"
         if join_order != "cost":
             mode = f"{mode}+{join_order}"
+        if rewrites != "on":
+            mode = f"{mode}+norw"
         if workers is not None:
             token = self._BACKEND_MODE_TOKENS[backend or "thread"]
             mode = f"{mode}+w{workers}+{token}"
@@ -273,6 +385,7 @@ class Database:
             workers=workers,
             join_order=join_order,
             backend=backend,
+            rewrites=rewrites,
         ).plan(logical)
         info = plan.plan_info  # type: ignore[attr-defined]
         info.fingerprint = fp
@@ -358,6 +471,7 @@ class Database:
         join_order: str = "cost",
         backend: Optional[str] = None,
         timeout_s: Optional[float] = None,
+        rewrites: str = "on",
     ) -> QueryResult:
         """Run a query to completion.
 
@@ -392,6 +506,7 @@ class Database:
             workers=workers,
             join_order=join_order,
             backend=backend,
+            rewrites=rewrites,
         )
         info = getattr(plan, "plan_info", None)
         token = CancelToken(timeout_s) if timeout_s is not None else None
@@ -438,6 +553,7 @@ class Database:
         workers: Optional[int] = None,
         join_order: str = "cost",
         backend: Optional[str] = None,
+        rewrites: str = "on",
     ) -> str:
         """The physical plan as text.
 
@@ -462,6 +578,7 @@ class Database:
             workers=workers,
             join_order=join_order,
             backend=backend,
+            rewrites=rewrites,
         )
         text = plan.explain()
         info = getattr(plan, "plan_info", None)

@@ -79,6 +79,10 @@ class LogicalAggregate:
     child: "LogicalNode"
     group_columns: Tuple[str, ...]
     aggregates: Tuple[AggSpec, ...]
+    #: True for the below-the-join stage introduced by eager aggregation
+    #: (repro.optimizer.rewrite_pack); the binder never sets it, so plan
+    #: fingerprints (computed on bound trees) are unaffected.
+    partial: bool = False
 
     def children(self) -> tuple:
         return (self.child,)
@@ -87,7 +91,8 @@ class LogicalAggregate:
         parts = list(self.group_columns) + [
             f"{spec.render()} AS {spec.name}" for spec in self.aggregates
         ]
-        return f"Aggregate [{', '.join(parts)}]"
+        stage = "PartialAggregate" if self.partial else "Aggregate"
+        return f"{stage} [{', '.join(parts)}]"
 
 
 @dataclass(frozen=True)

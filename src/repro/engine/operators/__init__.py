@@ -1,5 +1,10 @@
 """Physical operators for the mini engine (iterator model + metrics)."""
-from .aggregate import HashAggregate, StreamAggregate
+from .aggregate import (
+    HashAggregate,
+    PartialHashAggregate,
+    PartialStreamAggregate,
+    StreamAggregate,
+)
 from .base import AggSpec, Metrics, Operator
 from .basic import Filter, HashDistinct, Limit, Project, SortedDistinct
 from .joins import HashJoin, MergeJoin, NestedLoopJoin
@@ -23,6 +28,8 @@ __all__ = [
     "TopN",
     "HashAggregate",
     "StreamAggregate",
+    "PartialHashAggregate",
+    "PartialStreamAggregate",
     "HashJoin",
     "MergeJoin",
     "NestedLoopJoin",

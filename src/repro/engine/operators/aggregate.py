@@ -26,7 +26,12 @@ from ..types import DataType
 from .base import AggSpec, Metrics, Operator
 from .basic import _infer_dtype
 
-__all__ = ["HashAggregate", "StreamAggregate"]
+__all__ = [
+    "HashAggregate",
+    "StreamAggregate",
+    "PartialHashAggregate",
+    "PartialStreamAggregate",
+]
 
 
 def _output_schema(
@@ -224,7 +229,9 @@ class HashAggregate(_AggregateBase):
                 if func == "COUNT":
                     results.append(counts[key])
                 elif func == "SUM":
-                    results.append(accumulator[key])
+                    # SQL: SUM of zero rows is NULL — never let the
+                    # defaultdict fabricate an int 0 for an uncounted key.
+                    results.append(accumulator[key] if counts[key] else None)
                 elif func == "AVG":
                     results.append(accumulator[key] / counts[key])
                 else:
@@ -325,3 +332,19 @@ class StreamAggregate(_AggregateBase):
             out.append(self._emit((current_key,) if single else current_key, states))
         if out:
             yield ColumnBatch.from_rows(schema, out)
+
+
+class PartialHashAggregate(HashAggregate):
+    """A rewrite-introduced partial fold placed *below* a join (eager
+    aggregation).  Execution is exactly :class:`HashAggregate` — the split
+    into partial + final stages is the logical rewrite's responsibility
+    (`repro.optimizer.rewrite_pack`), which only fires for decomposable
+    aggregates (COUNT/SUM/MIN/MAX) with integer-typed SUM arguments so the
+    recombined results are value-identical to the unrewritten fold.  The
+    subclass exists so EXPLAIN trees and tests can tell the stages apart."""
+
+
+class PartialStreamAggregate(StreamAggregate):
+    """Streaming variant of :class:`PartialHashAggregate` — chosen by the
+    planner when the partial group columns are provably ordered (the same
+    order-property reasoning that picks :class:`StreamAggregate`)."""

@@ -296,7 +296,9 @@ class _AggState:
         if self.func == "COUNT":
             return self.count
         if self.func == "SUM":
-            return self.total
+            # SQL: SUM over zero rows is NULL, not 0 — ``total`` starts at
+            # the int 0 only as an accumulator identity, never a result.
+            return self.total if self.count else None
         if self.func == "AVG":
             return self.total / self.count if self.count else None
         if self.func == "MIN":

@@ -55,6 +55,8 @@ from ..engine.operators import (
     Limit,
     MergeJoin,
     Operator,
+    PartialHashAggregate,
+    PartialStreamAggregate,
     Project,
     SeqScan,
     Sort,
@@ -135,6 +137,10 @@ class PlanInfo:
 
     mode: str
     date_rewrites: list = field(default_factory=list)
+    #: One :class:`~repro.optimizer.rewrite_pack.RewriteRecord` per applied
+    #: rewrite-pack rule (eager aggregation, scan consolidation, FD join
+    #: elimination); empty when the pack was off or nothing fired.
+    rewrites: list = field(default_factory=list)
     avoided_sorts: int = 0
     stream_aggregates: int = 0
     notes: List[str] = field(default_factory=list)
@@ -233,6 +239,10 @@ class PlanInfo:
             lines.append(f"fault tolerance: {', '.join(parts)}")
         for rewrite in self.date_rewrites:
             lines.append(f"join eliminated: {rewrite.describe()}")
+        if self.rewrites:
+            lines.append(
+                "rewrites: " + ", ".join(r.describe() for r in self.rewrites)
+            )
         for decision in self.join_orders:
             lines.append(f"join order: {decision.describe()}")
         if self.estimate is not None:
@@ -282,6 +292,7 @@ class Planner:
         join_order: str = "cost",
         backend: Optional[str] = None,
         parallel_min_rows: Optional[int] = None,
+        rewrites: str = "on",
     ):
         self.database = database
         if mode is None:
@@ -292,9 +303,14 @@ class Planner:
             raise ValueError(f"workers must be positive, got {workers}")
         if join_order not in ("cost", "syntactic"):
             raise ValueError(f"unknown join_order {join_order!r}")
+        if rewrites not in ("on", "off"):
+            raise ValueError(f"unknown rewrites setting {rewrites!r}")
         self.mode = mode
         self.workers = workers
         self.join_order = join_order
+        #: The logical rewrite pack switch ("on"/"off"); the pack itself
+        #: only runs in "od" mode (see :mod:`repro.optimizer.rewrite_pack`).
+        self.rewrites = rewrites
         #: Exchange backend for placed exchanges (None → the parallel
         #: module's default); validated at placement time.
         self.backend = backend
@@ -326,6 +342,17 @@ class Planner:
             self.info.date_rewrites = applied
             if applied:
                 logical = push_filters(logical, self.resolver)
+            if self.rewrites == "on":
+                # The rewrite pack (eager aggregation, scan consolidation,
+                # FD join elimination) runs after the date rewrite so an
+                # eliminated date join never blocks aggregate placement.
+                # Because it runs before physical planning, the estimate
+                # below automatically prices the post-rewrite tree.
+                from .rewrite_pack import apply_rewrites  # lazy: cycle
+
+                logical, self.info.rewrites = apply_rewrites(
+                    self.database, logical, self.resolver
+                )
         planned = self._plan(logical, Desired())
         self._finalize_oracle_stats()
         op = planned.op
@@ -607,12 +634,15 @@ class Planner:
         resolved_group = tuple(
             child.op.schema.resolve(c) for c in node.group_columns
         )
+        partial = getattr(node, "partial", False)
         if self._partition_ok(child.statements, child.prop.order, resolved_group):
-            op: Operator = StreamAggregate(child.op, resolved_group, node.aggregates)
+            stream_cls = PartialStreamAggregate if partial else StreamAggregate
+            op: Operator = stream_cls(child.op, resolved_group, node.aggregates)
             self.info.stream_aggregates += 1
             prop = child.prop
         else:
-            op = HashAggregate(child.op, resolved_group, node.aggregates)
+            hash_cls = PartialHashAggregate if partial else HashAggregate
+            op = hash_cls(child.op, resolved_group, node.aggregates)
             prop = EMPTY_PROPERTY
         return _Planned(op, child.statements, prop)
 

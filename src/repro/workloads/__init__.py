@@ -6,6 +6,9 @@
   thirteen rewrite-eligible date queries;
 * :mod:`repro.workloads.snowflake` — the snowflaked dimension chains and
   multi-join queries the cost-based join-ordering search reorders;
+* :mod:`repro.workloads.rewrite_pack` — planted-win table pairs for the
+  logical rewrite pack (eager aggregation, scan consolidation, FD join
+  elimination);
 * :mod:`repro.workloads.random_instances` — reproducible fuzzing inputs.
 """
 from .datedim import (
@@ -15,6 +18,7 @@ from .datedim import (
     date_dim_schema,
     generate_date_dim,
 )
+from .rewrite_pack import REWRITE_PACK_QUERIES, build_rewrite_pack
 from .random_instances import (
     random_attrlist,
     random_od,
@@ -43,6 +47,8 @@ __all__ = [
     "build_snowflake",
     "Snowflake",
     "SNOWFLAKE_QUERIES",
+    "build_rewrite_pack",
+    "REWRITE_PACK_QUERIES",
     "random_attrlist",
     "random_od",
     "random_od_set",

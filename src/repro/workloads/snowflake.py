@@ -197,6 +197,16 @@ def build_snowflake(
     database.create_index("sales_date", "sales", ["f_date_sk"], clustered=True)
     database.create_index("sales_item", "sales", ["f_item_sk"])
 
+    # Referential integrity along the dimension chains, declared so the
+    # rewrite pack's FD join elimination has proofs to work with.  The
+    # promo and date_dim joins are deliberately *not* declared: promo
+    # covers only part of the fact's key domain (the join genuinely
+    # filters), and date_dim is the Section 2.3 rewrite's territory.
+    database.declare_foreign_key("sales", ["f_item_sk"], "item", ["i_item_sk"])
+    database.declare_foreign_key("sales", ["f_store_sk"], "store", ["st_store_sk"])
+    database.declare_foreign_key("store", ["st_region_sk"], "region", ["r_region_sk"])
+    database.declare_foreign_key("item", ["i_brand_sk"], "brand", ["b_brand_sk"])
+
     # The promotion calendar covers only the opening ~3% of the calendar
     # — the *thin tail* of the beta(2,2)-distributed fact dates — with
     # PROMO_KINDS rows per covered day.  ``sales ⋈ promo`` therefore has

@@ -172,7 +172,8 @@ class TestAggregates:
             StreamAggregate(SeqScan(empty), [], specs),
         ):
             rows, _ = run(op)
-            assert rows == [(0, 0)]
+            # SQL semantics: COUNT of nothing is 0, SUM of nothing is NULL.
+            assert rows == [(0, None)]
 
     def test_grouped_aggregate_empty_input(self):
         empty = make_table(rows=[])

@@ -334,6 +334,73 @@ def test_joinorder_not_regressed():
     assert db.execute(sn3, join_order="syntactic").metrics.get("sorts") == 1
 
 
+def test_rewrites_not_regressed():
+    """Proxy for bench_rewrites::test_rewrites_claim.
+
+    1. the committed baseline must document each rewrite rule's edge on
+       its planted-win query — eager aggregation ≥1.5×, scan
+       consolidation ≥1.2×, FD join elimination ≥1.5× in deterministic
+       ``Metrics.work`` (off vs on);
+    2. live, on a tiny rewrite_pack fixture: every rule still fires on
+       its planted query (and only with the pack on), the on/off result
+       multisets are identical, and conservative work ratios hold
+       (1.3× / 1.1× / 1.3× — ``work`` is exact on every host, so a
+       rewrite regression — a rule silently not firing, a proof gate
+       accidentally always false — trips CI deterministically.
+    """
+    import json as _json
+
+    path = ROOT / "BENCH_bench_rewrites.json"
+    if not path.exists():
+        pytest.skip("no committed baseline BENCH_bench_rewrites.json")
+    entries = _json.loads(path.read_text())
+    claim = entries.get("test_rewrites_claim", {}).get("extra_info", {})
+    bars = {
+        "eager-agg": 1.5,
+        "scan-consolidation": 1.2,
+        "join-elimination": 1.5,
+    }
+    for rule, bar in bars.items():
+        recorded = claim.get(f"work_ratio_off_vs_on_{rule}")
+        assert recorded is not None, (
+            f"BENCH_bench_rewrites.json carries no {rule} claim — the "
+            "acceptance record went missing"
+        )
+        assert recorded >= bar, (
+            f"committed baseline lost the {rule} edge: off/on work ratio "
+            f"only {recorded}x (acceptance bar: {bar}x)"
+        )
+
+    from repro.workloads.rewrite_pack import (
+        REWRITE_PACK_QUERIES,
+        build_rewrite_pack,
+    )
+
+    db = build_rewrite_pack(
+        fact_rows=3_000, wide_rows=2_000, order_rows=3_000, customers=1_500
+    )
+    live_bars = {"RW1": 1.3, "RW2": 1.1, "RW3": 1.3}
+    planted = {
+        "RW1": "eager-agg",
+        "RW2": "scan-consolidation",
+        "RW3": "join-elimination",
+    }
+    for qid, sql, _ in REWRITE_PACK_QUERIES:
+        on = db.execute(sql)
+        off = db.execute(sql, rewrites="off")
+        assert sorted(on.rows, key=repr) == sorted(off.rows, key=repr), qid
+        assert [r.rule for r in on.plan.plan_info.rewrites] == [planted[qid]], (
+            f"{qid}: the {planted[qid]} rule no longer fires on its "
+            "planted-win query"
+        )
+        assert off.plan.plan_info.rewrites == [], qid
+        live_ratio = off.metrics.work / on.metrics.work
+        assert live_ratio >= live_bars[qid], (
+            f"{qid}: {planted[qid]} lost its live edge — off/on work "
+            f"ratio {live_ratio:.2f}x (gate {live_bars[qid]}x)"
+        )
+
+
 def test_stats_not_regressed():
     """Proxy for bench_stats::test_stats_qerror_claim.
 

@@ -60,6 +60,16 @@ leg real reorderings to check: its templates are written with
 deliberately suboptimal parse orders and integer aggregate measures, so
 cost-vs-syntactic results are exactly comparable (float sums would
 differ in the last bits across fold orders).
+
+And the **rewrites-off leg**: every query is re-planned with
+``rewrites="off"`` (the logical rewrite pack disabled), which must cache
+under its own rewrite-qualified mode key (``od+norw``), record no
+rewrite-pack rules, and agree with the default plan on columns, row
+multiset, and ORDER BY.  The rewrite_pack workload
+(``repro.workloads.rewrite_pack``) makes this leg a real on-vs-off
+differential: each of its templates fires exactly one rule (eager
+aggregation, scan consolidation, FD join elimination), again with
+integer measures so rewritten and unrewritten folds compare exactly.
 """
 from __future__ import annotations
 
@@ -75,6 +85,7 @@ from repro.engine.schema import Schema
 from repro.engine.types import DataType
 from repro.workloads.datedim import build_date_dim
 from repro.workloads.random_instances import relation_satisfying
+from repro.workloads.rewrite_pack import REWRITE_PACK_QUERIES, build_rewrite_pack
 from repro.workloads.snowflake import SNOWFLAKE_QUERIES, build_snowflake
 from repro.workloads.taxes import build_taxes
 from repro.workloads.tpcds_lite import DATE_QUERIES, build_tpcds_lite
@@ -296,6 +307,41 @@ def run_differential(database, sql, order_keys=()):
         assert syn_par.metrics.counters == syn_cold.metrics.counters, (
             "joinorder parallel: counters differ"
         )
+
+    # Rewrite-pack leg: the same query with the logical rewrite pack
+    # disabled (``rewrites="off"``) must plan under its own
+    # rewrite-qualified mode key (``od+norw`` — never sharing a tree
+    # with the default), carry no rewrite-pack records, and agree with
+    # the default plan on columns, row multiset, and ORDER BY.  Where no
+    # rule fires the two trees are the same shape anyway; where one does
+    # (the rewrite_pack workload), this is the on-vs-off differential.
+    norw_cold = database.execute(sql, optimize=True, rewrites="off")
+    assert norw_cold.plan is not cold.plan, (
+        "rewrite regimes must never share plans"
+    )
+    assert norw_cold.plan.plan_info.cache_state == "miss"
+    assert norw_cold.plan.plan_info.rewrites == [], (
+        "rewrites=off must never record rewrite-pack rules"
+    )
+    norw_warm = database.execute(sql, optimize=True, rewrites="off")
+    assert norw_warm.plan is norw_cold.plan, "rewrites-off warm: not cached"
+    assert norw_warm.plan.plan_info.cache_state == "hit"
+    assert norw_warm.rows == norw_cold.rows, "rewrites-off warm: rows drifted"
+    assert norw_cold.columns == cold.columns, "rewrites-off: column mismatch"
+    assert _multiset(norw_cold.rows) == _multiset(cold.rows), (
+        "rewrites-off: row multiset differs from the rewritten plan"
+    )
+    _assert_respects_order(norw_cold, order_keys, "rewrites_off")
+    if BATCH_SIZES:
+        norw_batch = database.execute(
+            sql, optimize=True, rewrites="off", batch_size=BATCH_SIZES[0]
+        )
+        assert norw_batch.rows == norw_cold.rows, (
+            "rewrites-off batch: rows differ"
+        )
+        assert norw_batch.metrics.counters == norw_cold.metrics.counters, (
+            "rewrites-off batch: counters differ"
+        )
     return baseline, cold, warm
 
 
@@ -337,6 +383,13 @@ def tpcds():
 @pytest.fixture(scope="module")
 def snowflake():
     return build_snowflake(days=150, sales_rows=4_000, items=60, brands=12, stores=8)
+
+
+@pytest.fixture(scope="module")
+def rewrite_db():
+    return build_rewrite_pack(
+        fact_rows=3_000, wide_rows=2_000, order_rows=3_000, customers=1_500
+    )
 
 
 def _random_db(seed: int) -> Database:
@@ -469,6 +522,24 @@ def test_snowflake_differential(snowflake, qid):
     lo, hi = snowflake.date_range(30, 40)
     sql = template.format(lo=lo, hi=hi)
     run_differential(snowflake.database, sql, keys)
+
+
+@pytest.mark.parametrize("qid", [qid for qid, _, _ in REWRITE_PACK_QUERIES])
+def test_rewrite_pack_differential(rewrite_db, qid):
+    """The planted-win workload: every rule fires, on-vs-off must agree
+    (and the full matrix — batch, parallel, join-order, rewrites-off —
+    runs over the rewritten trees, partial aggregates included)."""
+    entry = {q[0]: q for q in REWRITE_PACK_QUERIES}[qid]
+    _, sql, keys = entry
+    run_differential(rewrite_db, sql, keys)
+    # This workload exists to make the rules fire — assert they did.
+    expected_rule = {
+        "RW1": "eager-agg",
+        "RW2": "scan-consolidation",
+        "RW3": "join-elimination",
+    }[qid]
+    plan = rewrite_db.plan(sql)
+    assert [r.rule for r in plan.plan_info.rewrites] == [expected_rule]
 
 
 def test_tpcds_differential_empty_range(tpcds):

@@ -1,0 +1,253 @@
+"""SQLite ground-truth oracle: every workload query, replayed.
+
+The differential harness (test_differential.py) proves our execution
+modes agree with *each other*; this harness proves they agree with an
+independent SQL implementation.  Every table of every workload database
+is mirrored into an in-memory ``sqlite3`` database (INT → INTEGER,
+FLOAT → REAL, STR → TEXT, BOOL → INTEGER, DATE → ISO-8601 TEXT — which
+preserves comparison order, so date range predicates mean the same
+thing), every workload query runs on both engines — ours both with the
+rewrite pack on and off — and the result multisets must agree.
+
+Floats are canonicalized to 9 significant digits before comparison:
+different engines fold SUMs in different orders, so the last couple of
+ulps are not meaningful, but 9 digits comfortably survive these
+laptop-scale workloads.  Queries with LIMIT compare only the ORDER BY
+key columns — SQL leaves the choice among tied boundary rows to the
+implementation.
+
+The headline regression this file pins: an ungrouped SUM over zero rows
+is NULL (sqlite agrees), never 0.
+"""
+from __future__ import annotations
+
+import datetime
+import re
+import sqlite3
+
+import pytest
+
+from repro.engine.types import DataType
+from repro.workloads.rewrite_pack import REWRITE_PACK_QUERIES, build_rewrite_pack
+from repro.workloads.snowflake import (
+    SNOWFLAKE_QUERIES,
+    build_snowflake,
+    skewed_query_sql,
+)
+from repro.workloads.taxes import build_taxes
+from repro.workloads.tpcds_lite import DATE_QUERIES, build_tpcds_lite
+from repro.workloads.datedim import build_date_dim
+from repro.engine.database import Database
+
+from test_differential import (
+    DATEDIM_QUERIES,
+    RANDOM_QUERIES,
+    TAXES_QUERIES,
+    _random_db,
+)
+
+# ----------------------------------------------------------------------
+# Mirroring and comparison
+# ----------------------------------------------------------------------
+_SQLITE_TYPE = {
+    DataType.INT: "INTEGER",
+    DataType.FLOAT: "REAL",
+    DataType.STR: "TEXT",
+    DataType.BOOL: "INTEGER",
+    DataType.DATE: "TEXT",
+}
+
+
+def _to_sqlite(value):
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    return value
+
+
+def sqlite_mirror(database) -> sqlite3.Connection:
+    """An in-memory sqlite copy of every table in ``database``."""
+    conn = sqlite3.connect(":memory:")
+    for name, table in database.tables.items():
+        columns = ", ".join(
+            f'"{column}" {_SQLITE_TYPE[table.schema.dtype_of(column)]}'
+            for column in table.schema.names
+        )
+        conn.execute(f'CREATE TABLE "{name}" ({columns})')
+        placeholders = ", ".join("?" for _ in table.schema.names)
+        conn.executemany(
+            f'INSERT INTO "{name}" VALUES ({placeholders})',
+            ([_to_sqlite(v) for v in row] for row in table.rows),
+        )
+    conn.commit()
+    return conn
+
+
+def _translate(sql: str) -> str:
+    """Our dialect → sqlite: DATE literals become plain TEXT literals."""
+    return re.sub(r"DATE\s+'", "'", sql)
+
+
+def _canon_value(value):
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float):
+        return float(f"{value:.9g}")
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    return value
+
+
+def _canon(rows):
+    return sorted(
+        (tuple(_canon_value(v) for v in row) for row in rows), key=repr
+    )
+
+
+def _project(rows, columns, keys):
+    positions = [columns.index(k) for k in keys if k in columns]
+    return [tuple(row[p] for p in positions) for row in rows]
+
+
+def check_against_oracle(database, conn, sql, order_keys=()):
+    """Run ``sql`` on both engines (ours twice: rewrites on and off) and
+    require identical canonical multisets."""
+    cursor = conn.execute(_translate(sql))
+    oracle_columns = tuple(d[0] for d in cursor.description)
+    oracle_rows = cursor.fetchall()
+    for rewrites in ("on", "off"):
+        result = database.execute(sql, rewrites=rewrites)
+        assert len(result.columns) == len(oracle_columns), (
+            f"rewrites={rewrites}: column count differs from sqlite"
+        )
+        if "LIMIT" in sql.upper():
+            ours = _project(result.rows, list(result.columns), order_keys)
+            theirs = _project(oracle_rows, list(oracle_columns), order_keys)
+        else:
+            ours, theirs = result.rows, oracle_rows
+        assert _canon(ours) == _canon(theirs), (
+            f"rewrites={rewrites}: result multiset differs from sqlite for:\n{sql}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Workload fixtures (module-scoped, laptop-tiny) and their mirrors
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tax_pair():
+    database = Database("oracletax")
+    build_taxes(database, rows=2_000)
+    return database, sqlite_mirror(database)
+
+
+@pytest.fixture(scope="module")
+def date_pair():
+    database = Database("oracledate")
+    build_date_dim(database, days=400)
+    return database, sqlite_mirror(database)
+
+
+@pytest.fixture(scope="module")
+def tpcds_pair():
+    workload = build_tpcds_lite(days=180, sales_rows=4_000, items=40, stores=6)
+    return workload, sqlite_mirror(workload.database)
+
+
+@pytest.fixture(scope="module")
+def snowflake_pair():
+    workload = build_snowflake(
+        days=150, sales_rows=3_000, items=60, brands=12, stores=8
+    )
+    return workload, sqlite_mirror(workload.database)
+
+
+@pytest.fixture(scope="module")
+def rewrite_pair():
+    database = build_rewrite_pack(
+        fact_rows=3_000, wide_rows=2_000, order_rows=3_000, customers=1_500
+    )
+    return database, sqlite_mirror(database)
+
+
+# ----------------------------------------------------------------------
+# The oracle matrix: every workload query against sqlite
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "name,sql,keys", TAXES_QUERIES, ids=[q[0] for q in TAXES_QUERIES]
+)
+def test_taxes_oracle(tax_pair, name, sql, keys):
+    database, conn = tax_pair
+    check_against_oracle(database, conn, sql, keys)
+
+
+@pytest.mark.parametrize(
+    "name,sql,keys", DATEDIM_QUERIES, ids=[q[0] for q in DATEDIM_QUERIES]
+)
+def test_datedim_oracle(date_pair, name, sql, keys):
+    database, conn = date_pair
+    check_against_oracle(database, conn, sql, keys)
+
+
+@pytest.mark.parametrize("qid", [qid for qid, _ in DATE_QUERIES])
+def test_tpcds_oracle(tpcds_pair, qid):
+    workload, conn = tpcds_pair
+    lo, hi = workload.date_range(30, 45)
+    sql = dict(DATE_QUERIES)[qid].format(lo=lo, hi=hi)
+    check_against_oracle(workload.database, conn, sql)
+
+
+@pytest.mark.parametrize("qid", [qid for qid, _, _ in SNOWFLAKE_QUERIES])
+def test_snowflake_oracle(snowflake_pair, qid):
+    workload, conn = snowflake_pair
+    _, template, keys = {q[0]: q for q in SNOWFLAKE_QUERIES}[qid]
+    lo, hi = workload.date_range(30, 40)
+    check_against_oracle(
+        workload.database, conn, template.format(lo=lo, hi=hi), keys
+    )
+
+
+def test_snowflake_skewed_oracle(snowflake_pair):
+    workload, conn = snowflake_pair
+    for qid, sql in sorted(skewed_query_sql(workload).items()):
+        check_against_oracle(workload.database, conn, sql)
+
+
+@pytest.mark.parametrize("qid", [qid for qid, _, _ in REWRITE_PACK_QUERIES])
+def test_rewrite_pack_oracle(rewrite_pair, qid):
+    """The rewritten trees (each template fires one rule) against sqlite."""
+    database, conn = rewrite_pair
+    _, sql, keys = {q[0]: q for q in REWRITE_PACK_QUERIES}[qid]
+    check_against_oracle(database, conn, sql, keys)
+
+
+@pytest.mark.parametrize("seed", [11, 12])
+def test_random_instances_oracle(seed):
+    database = _random_db(seed)
+    conn = sqlite_mirror(database)
+    for name, sql, keys in RANDOM_QUERIES:
+        check_against_oracle(database, conn, sql, keys)
+
+
+# ----------------------------------------------------------------------
+# The headline bugfix, pinned against the ground truth
+# ----------------------------------------------------------------------
+def test_empty_sum_is_null_like_sqlite(tax_pair):
+    """Ungrouped SUM over zero rows is NULL (COUNT stays 0) — on both
+    engines, in every execution mode."""
+    database, conn = tax_pair
+    sql = (
+        "SELECT COUNT(*) AS n, SUM(payable) AS total FROM taxes "
+        "WHERE income < 0"
+    )
+    oracle_rows = conn.execute(_translate(sql)).fetchall()
+    assert oracle_rows == [(0, None)]
+    for kwargs in (
+        {},
+        {"rewrites": "off"},
+        {"optimize": False},
+        {"batch_size": 7},
+        {"batch_size": 256},
+    ):
+        result = database.execute(sql, **kwargs)
+        assert result.rows == [(0, None)], f"{kwargs}: empty SUM must be NULL"

@@ -132,13 +132,16 @@ class TestSearchWins:
 
     def test_good_parse_order_kept(self, snowflake):
         """A two-relation fact-probe join is already in its best shape —
-        the search must agree with the parse order and say so."""
+        the search must agree with the parse order and say so.  The
+        rewrite pack would eliminate this join outright (bare dimension
+        behind a declared FK), so it is disabled: the join-order search
+        is what's under test here."""
         db = snowflake.database
         sql = (
             "SELECT COUNT(*) AS n FROM sales f "
             "JOIN store st ON f.f_store_sk = st.st_store_sk"
         )
-        plan = db.plan(sql, use_cache=False)
+        plan = db.plan(sql, use_cache=False, rewrites="off")
         decision = plan.plan_info.join_orders[0]
         assert decision.chosen == decision.syntactic == "(f ⋈ st)"
 

@@ -1,0 +1,413 @@
+"""The logical rewrite pack: rule-by-rule fire/block proofs, the
+rewrites knob, EXPLAIN surfacing, post-rewrite estimates, and
+hypothesis properties (on ≡ off on randomized instances).
+"""
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dependency import fd
+from repro.engine.database import Database
+from repro.engine.schema import Schema
+from repro.engine.table import Table
+from repro.engine.types import DataType
+from repro.optimizer.costing import estimate_plan
+from repro.workloads.rewrite_pack import REWRITE_PACK_QUERIES, build_rewrite_pack
+
+
+def _multiset(rows):
+    return sorted(rows, key=repr)
+
+
+def _rules(database, sql, **kwargs):
+    plan = database.plan(sql, use_cache=False, **kwargs)
+    return [record.rule for record in plan.plan_info.rewrites]
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_rewrite_pack(
+        fact_rows=3_000, wide_rows=2_000, order_rows=3_000, customers=1_500
+    )
+
+
+RW = {qid: sql for qid, sql, _ in REWRITE_PACK_QUERIES}
+
+
+# ----------------------------------------------------------------------
+# Eager aggregation
+# ----------------------------------------------------------------------
+class TestEagerAggregation:
+    def test_fires_on_planted_query(self, db):
+        assert _rules(db, RW["RW1"]) == ["eager-agg"]
+
+    def test_partial_stage_in_the_tree(self, db):
+        text = db.plan(RW["RW1"], use_cache=False).explain()
+        assert "PartialHashAggregate" in text or "PartialStreamAggregate" in text
+        assert "__partial_" in text
+
+    def test_results_match_off(self, db):
+        on = db.execute(RW["RW1"])
+        off = db.execute(RW["RW1"], rewrites="off")
+        assert on.columns == off.columns
+        assert _multiset(on.rows) == _multiset(off.rows)
+
+    def test_blocked_by_avg(self, db):
+        sql = RW["RW1"].replace("SUM(f.f_val)", "AVG(f.f_val)")
+        assert _rules(db, sql) == []
+
+    def test_blocked_by_float_sum(self):
+        """A float measure blocks the split: re-associating the fold is
+        not value-identical for floats."""
+        database = _eager_db(float_measure=True)
+        assert _rules(database, _EAGER_SQL) == []
+
+    def test_blocked_when_group_spans_both_sides(self, db):
+        sql = """
+            SELECT x.x_seq, SUM(f.f_val) AS total
+            FROM fact f JOIN expand x ON f.f_key = x.x_key
+            GROUP BY x_seq
+        """
+        assert _rules(db, sql) == []
+
+    def test_blocked_when_unprofitable(self):
+        """Partial-group NDV product close to the row count: no shrink,
+        no rewrite."""
+        database = _eager_db(rows_per_group=1)
+        assert _rules(database, _EAGER_SQL) == []
+
+    def test_clustered_order_relaxes_the_threshold(self):
+        """Between the hash (0.5) and streaming (0.9) thresholds the
+        rewrite fires only when a clustered index provides the partial
+        grouping order — and then plans the partial stage streaming."""
+        without = _eager_db(rows_per_group=1, extra_half=True)
+        assert _rules(without, _EAGER_SQL) == []
+        with_index = _eager_db(
+            rows_per_group=1, extra_half=True, cluster_partial_group=True
+        )
+        assert _rules(with_index, _EAGER_SQL) == ["eager-agg"]
+        text = with_index.plan(_EAGER_SQL, use_cache=False).explain()
+        assert "PartialStreamAggregate" in text
+
+
+_EAGER_SQL = """
+    SELECT f.f_grp, COUNT(*) AS n, SUM(f.f_val) AS total
+    FROM fact f JOIN expand x ON f.f_key = x.x_key
+    GROUP BY f_grp
+"""
+
+
+def _eager_db(
+    rows_per_group=40,
+    float_measure=False,
+    cluster_partial_group=False,
+    extra_half=False,
+):
+    """A tiny eager-aggregation instance with a controlled partial-group
+    ratio: 8 × 10 = 80 partial groups, ``rows_per_group`` rows each
+    (``extra_half`` adds one more row to half the groups, landing the
+    groups/rows ratio at 2/3 — between the 0.5 and 0.9 thresholds)."""
+    database = Database("eagerparam")
+    measure = DataType.FLOAT if float_measure else DataType.INT
+    fact = Table(
+        "fact",
+        Schema.of(
+            ("f_grp", DataType.INT),
+            ("f_key", DataType.INT),
+            ("f_val", measure),
+        ),
+    )
+    fact.load(
+        (grp, key, float(seq) if float_measure else seq)
+        for grp in range(8)
+        for key in range(10)
+        for seq in range(rows_per_group + (1 if extra_half and key < 5 else 0))
+    )
+    database.tables["fact"] = fact
+    if cluster_partial_group:
+        database.create_index(
+            "fact_gk", "fact", ["f_grp", "f_key"], clustered=True
+        )
+    expand = Table(
+        "expand", Schema.of(("x_key", DataType.INT), ("x_seq", DataType.INT))
+    )
+    expand.load((key, seq) for key in range(10) for seq in range(3))
+    database.tables["expand"] = expand
+    return database
+
+
+# ----------------------------------------------------------------------
+# Scan consolidation
+# ----------------------------------------------------------------------
+class TestScanConsolidation:
+    def test_fires_on_planted_query(self, db):
+        assert _rules(db, RW["RW2"]) == ["scan-consolidation"]
+
+    def test_single_scan_with_conjoined_filters(self, db):
+        text = db.plan(RW["RW2"], use_cache=False).explain()
+        assert "Join" not in text, text
+        # The removed alias's scan is gone (output *names* keep the
+        # original b.w_b spelling — only references were renamed).
+        assert "wide AS b" not in text, text
+        assert "a.w_b < 700" in text or "(a.w_a >= 300 AND a.w_b < 700)" in text, text
+
+    def test_results_match_off(self, db):
+        on = db.execute(RW["RW2"])
+        off = db.execute(RW["RW2"], rewrites="off")
+        assert on.columns == off.columns
+        assert _multiset(on.rows) == _multiset(off.rows)
+
+    def test_blocked_by_select_star(self, db):
+        sql = "SELECT * FROM wide a JOIN wide b ON a.w_id = b.w_id"
+        assert _rules(db, sql) == []
+        # And the un-consolidated star really does expose both copies.
+        assert len(db.execute(sql).columns) == 6
+
+    def test_blocked_without_key_proof(self, db):
+        # w_a is not a declared key of wide.
+        sql = """
+            SELECT a.w_id, b.w_b FROM wide a
+            JOIN wide b ON a.w_a = b.w_a
+            WHERE a.w_id < 50
+        """
+        assert _rules(db, sql) == []
+
+    def test_blocked_by_duplicate_rows(self):
+        """A declared FD key that is not data-unique (duplicate rows
+        satisfy any FD) must not consolidate: the self-join genuinely
+        multiplies the duplicates."""
+        database = Database("dupes")
+        table = Table(
+            "d", Schema.of(("k", DataType.INT), ("v", DataType.INT))
+        )
+        table.load([(1, 10), (1, 10), (2, 20)])
+        database.tables["d"] = table
+        table.declare(fd("k", "v"))
+        sql = "SELECT a.k, b.v FROM d a JOIN d b ON a.k = b.k"
+        assert _rules(database, sql) == []
+        result = database.execute(sql)
+        # Key 1 appears twice on each side: 4 joined rows, plus 1.
+        assert len(result.rows) == 5
+
+
+# ----------------------------------------------------------------------
+# FD join elimination
+# ----------------------------------------------------------------------
+class TestJoinElimination:
+    def test_fires_on_planted_query(self, db):
+        assert _rules(db, RW["RW3"]) == ["join-elimination"]
+
+    def test_dimension_gone_from_the_tree(self, db):
+        text = db.plan(RW["RW3"], use_cache=False).explain()
+        assert "Join" not in text, text
+        assert "AS c" not in text, text  # the dimension scan is gone
+
+    def test_results_match_off(self, db):
+        on = db.execute(RW["RW3"])
+        off = db.execute(RW["RW3"], rewrites="off")
+        assert on.columns == off.columns
+        assert _multiset(on.rows) == _multiset(off.rows)
+
+    def test_blocked_without_declared_fk(self, db):
+        # wide joins cust on a column with no declared foreign key.
+        sql = """
+            SELECT o.o_cust, COUNT(*) AS n FROM orders o
+            JOIN wide w ON o.o_cust = w.w_id
+            GROUP BY o_cust
+        """
+        assert "join-elimination" not in _rules(db, sql)
+
+    def test_blocked_when_dimension_is_read(self, db):
+        sql = """
+            SELECT o.o_cust, c.c_name, COUNT(*) AS n FROM orders o
+            JOIN cust c ON o.o_cust = c.c_id
+            GROUP BY o_cust, c_name
+        """
+        assert "join-elimination" not in _rules(db, sql)
+
+    def test_blocked_when_dimension_is_filtered(self, db):
+        sql = """
+            SELECT o.o_cust, COUNT(*) AS n FROM orders o
+            JOIN cust c ON o.o_cust = c.c_id
+            WHERE c.c_id < 100
+            GROUP BY o_cust
+        """
+        assert "join-elimination" not in _rules(db, sql)
+
+    def test_orphan_row_disarms_the_fk(self):
+        """An insert that breaks containment must stop the elimination
+        at the next epoch — the join really drops the orphan."""
+        database = build_rewrite_pack(
+            fact_rows=100, wide_rows=100, order_rows=200, customers=50
+        )
+        sql = RW["RW3"]
+        assert _rules(database, sql) == ["join-elimination"]
+        database.table("orders").insert((999_999, 1))  # no such customer
+        assert "join-elimination" not in _rules(database, sql)
+        on = database.execute(sql)
+        off = database.execute(sql, rewrites="off")
+        assert _multiset(on.rows) == _multiset(off.rows)
+        assert all(row[0] != 999_999 for row in on.rows)
+
+
+# ----------------------------------------------------------------------
+# The knob, the cache keys, EXPLAIN, and the estimate
+# ----------------------------------------------------------------------
+class TestKnobAndSurfacing:
+    def test_invalid_knob_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.plan(RW["RW1"], rewrites="maybe")
+
+    def test_off_records_nothing(self, db):
+        assert _rules(db, RW["RW1"], rewrites="off") == []
+
+    def test_regimes_cache_separately(self, db):
+        db.plan_cache.clear()
+        on = db.plan(RW["RW1"])
+        off = db.plan(RW["RW1"], rewrites="off")
+        assert on is not off
+        assert db.plan(RW["RW1"]) is on
+        assert db.plan(RW["RW1"], rewrites="off") is off
+
+    @pytest.mark.parametrize(
+        "qid,needle",
+        [
+            ("RW1", "rewrites: eager-agg(f.f_val below join)"),
+            ("RW2", "rewrites: consolidated scan(wide AS b into a)"),
+            ("RW3", "rewrites: eliminated join(c)"),
+        ],
+    )
+    def test_explain_lines(self, db, qid, needle):
+        assert needle in db.explain(RW[qid], verbose=True)
+
+    @pytest.mark.parametrize("qid", sorted(RW))
+    def test_estimate_prices_the_post_rewrite_tree(self, db, qid):
+        """The EXPLAIN ``estimate:`` must price the final tree — the one
+        that executes — not the pre-rewrite shape.  Re-estimating the
+        planned operators must reproduce the recorded numbers exactly."""
+        plan = db.plan(RW[qid], use_cache=False)
+        recorded = plan.plan_info.estimate
+        assert recorded is not None
+        again = estimate_plan(db, plan)
+        assert again.rows == recorded.rows
+        assert again.cost == recorded.cost
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: on ≡ off over randomized instances of each rule's shape
+# ----------------------------------------------------------------------
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    data=st.lists(
+        st.tuples(
+            st.integers(0, 2),  # grp
+            st.integers(0, 3),  # key
+            st.integers(-50, 50),  # val
+        ),
+        min_size=1,
+        max_size=80,
+    ),
+    expansion=st.integers(1, 4),
+)
+def test_eager_aggregation_on_off_property(data, expansion):
+    database = Database("propeager")
+    fact = Table(
+        "fact",
+        Schema.of(
+            ("f_grp", DataType.INT),
+            ("f_key", DataType.INT),
+            ("f_val", DataType.INT),
+        ),
+    )
+    fact.load(data)
+    database.tables["fact"] = fact
+    expand = Table(
+        "expand", Schema.of(("x_key", DataType.INT), ("x_seq", DataType.INT))
+    )
+    expand.load((key, seq) for key in range(4) for seq in range(expansion))
+    database.tables["expand"] = expand
+    on = database.execute(_EAGER_SQL, use_cache=False)
+    off = database.execute(_EAGER_SQL, use_cache=False, rewrites="off")
+    assert on.columns == off.columns
+    assert _multiset(on.rows) == _multiset(off.rows)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    values=st.lists(
+        st.tuples(st.integers(0, 1000), st.integers(0, 1000)),
+        min_size=1,
+        max_size=60,
+    ),
+    lo=st.integers(0, 1000),
+    hi=st.integers(0, 1000),
+)
+def test_scan_consolidation_on_off_property(values, lo, hi):
+    database = Database("propwide")
+    table = Table(
+        "wide",
+        Schema.of(
+            ("w_id", DataType.INT),
+            ("w_a", DataType.INT),
+            ("w_b", DataType.INT),
+        ),
+    )
+    table.load((i, a, b) for i, (a, b) in enumerate(values))
+    database.tables["wide"] = table
+    table.declare(fd("w_id", "w_a,w_b"))
+    sql = f"""
+        SELECT a.w_id, a.w_a, b.w_b
+        FROM wide a JOIN wide b ON a.w_id = b.w_id
+        WHERE a.w_a >= {lo} AND b.w_b < {hi}
+    """
+    on = database.execute(sql, use_cache=False)
+    off = database.execute(sql, use_cache=False, rewrites="off")
+    assert on.columns == off.columns
+    assert _multiset(on.rows) == _multiset(off.rows)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    customers=st.integers(1, 12),
+    orders=st.lists(st.integers(1, 500), min_size=0, max_size=60),
+)
+def test_join_elimination_on_off_property(customers, orders):
+    database = Database("propfk")
+    cust = Table(
+        "cust", Schema.of(("c_id", DataType.INT), ("c_name", DataType.STR))
+    )
+    cust.load((i, f"c{i}") for i in range(1, customers + 1))
+    database.tables["cust"] = cust
+    cust.declare(fd("c_id", "c_name"))
+    table = Table(
+        "orders",
+        Schema.of(("o_cust", DataType.INT), ("o_amount", DataType.INT)),
+    )
+    table.load(
+        (1 + amount % customers, amount) for amount in orders
+    )
+    database.tables["orders"] = table
+    database.declare_foreign_key("orders", ["o_cust"], "cust", ["c_id"])
+    sql = """
+        SELECT o.o_cust, COUNT(*) AS n, SUM(o.o_amount) AS amt
+        FROM orders o JOIN cust c ON o.o_cust = c.c_id
+        GROUP BY o_cust
+    """
+    on = database.execute(sql, use_cache=False)
+    off = database.execute(sql, use_cache=False, rewrites="off")
+    assert on.columns == off.columns
+    assert _multiset(on.rows) == _multiset(off.rows)
