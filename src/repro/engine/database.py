@@ -9,12 +9,17 @@ comparison.
 """
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from time import perf_counter_ns
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from collections import OrderedDict
 
 from ..core.dependency import Statement
+from ..obs import SLOW_QUERY_MS, TRACE_DEFAULT, EngineMetrics
+from ..obs.tracer import Tracer
 from .batch import DEFAULT_BATCH_SIZE
 from .epoch import bump_epoch, current_epoch
 from .errors import CancelToken, QueryError, QueryTimeout
@@ -23,6 +28,9 @@ from .operators.base import Metrics, Operator
 from .schema import Schema
 from .stats import TableStats, collect_stats
 from .table import Table
+
+#: Stable empty mapping for fault-free/serial results' ``exchange_stats``.
+_EMPTY_STATS: Mapping[str, object] = MappingProxyType({})
 
 __all__ = ["Database", "ForeignKey", "QueryResult"]
 
@@ -70,6 +78,21 @@ class QueryResult:
     #: the mirror field on ``plan_info.recovery`` records timeouts for
     #: EXPLAIN post-mortems.
     timed_out: bool = False
+    #: Merged per-exchange accounting for this execution, as a *stable
+    #: read-only mapping* (the supported surface — digging
+    #: ``exchange_stats`` out of the plan tree is deprecated): retries,
+    #: degraded partitions, the deepest ``degraded_to`` rung, and the
+    #: process backend's serialization totals (``chain_bytes``,
+    #: ``morsel_bytes``, ``morsels``, ``rows_shipped``).  Empty for
+    #: serial/fault-free-inline runs.
+    exchange_stats: Mapping[str, object] = field(default_factory=lambda: _EMPTY_STATS)
+    #: Wall-clock milliseconds for plan + execution (what the slow-query
+    #: ring records).
+    wall_ms: float = 0.0
+    #: Chrome ``trace_event`` dict when the execution was traced
+    #: (``trace=True`` / ``REPRO_TRACE=1``), else ``None``.  Dump with
+    #: ``json.dump`` and load in ``chrome://tracing`` / Perfetto.
+    trace: Optional[dict] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -117,6 +140,11 @@ class Database:
         #: the epoch-keyed memo of their containment re-verifications.
         self._foreign_keys: List[ForeignKey] = []
         self._fk_checks: Dict[ForeignKey, Tuple[int, bool]] = {}
+        #: Cumulative query/timing counters + slow-query ring (see
+        #: :mod:`repro.obs.registry`); surfaced by :meth:`stats_snapshot`.
+        self._registry = EngineMetrics(SLOW_QUERY_MS)
+        #: Lifetime exchange totals (monotonic, summed across executions).
+        self._exchange_totals: Dict[str, int] = {"parallel_runs": 0}
 
     # ------------------------------------------------------------------
     # Catalog
@@ -301,6 +329,7 @@ class Database:
         join_order: str = "cost",
         backend: Optional[str] = None,
         rewrites: str = "on",
+        tracer: Optional[Tracer] = None,
     ) -> Operator:
         """Parse, bind, optimize (optionally) and return the physical plan.
 
@@ -351,7 +380,9 @@ class Database:
                     f"unknown backend {backend!r} "
                     f"(expected one of {tuple(self._BACKEND_MODE_TOKENS)})"
                 )
-        logical, fp = self._bind(sql)
+        span = tracer.span if tracer is not None else None
+        with span("parse-bind", "optimizer") if span else nullcontext():
+            logical, fp = self._bind(sql)
         if not use_cache:
             plan = Planner(
                 self,
@@ -360,6 +391,7 @@ class Database:
                 join_order=join_order,
                 backend=backend,
                 rewrites=rewrites,
+                tracer=tracer,
             ).plan(logical)
             plan.plan_info.cache_state = "bypass"
             return plan
@@ -373,7 +405,8 @@ class Database:
             token = self._BACKEND_MODE_TOKENS[backend or "thread"]
             mode = f"{mode}+w{workers}+{token}"
         epoch = current_epoch()
-        entry = self.plan_cache.lookup(fp, mode, epoch)
+        with span("cache-lookup", "optimizer", mode=mode) if span else nullcontext():
+            entry = self.plan_cache.lookup(fp, mode, epoch)
         if entry is not None:
             info = entry.plan.plan_info  # type: ignore[attr-defined]
             info.cache_state = "hit"
@@ -386,6 +419,7 @@ class Database:
             join_order=join_order,
             backend=backend,
             rewrites=rewrites,
+            tracer=tracer,
         ).plan(logical)
         info = plan.plan_info  # type: ignore[attr-defined]
         info.fingerprint = fp
@@ -398,6 +432,37 @@ class Database:
         """Plan-cache counters: hits, misses, stores, evictions,
         stale_invalidations, size, capacity, hit_rate."""
         return self.plan_cache.stats()
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """One unified point-in-time reading of every engine metric.
+
+        The counter contract (shared by every sub-registry): keys under a
+        ``counters`` mapping are **monotonic** — they only grow for this
+        database's lifetime, so deltas between snapshots are meaningful
+        rates — while sizes, hit rates, and the slow-query list are
+        **gauges**.  Sections:
+
+        * ``engine`` — cumulative query/failure/timeout/row counters,
+          average wall ms, and the slow-query ring
+          (:mod:`repro.obs.registry`);
+        * ``plan_cache`` — whole-plan memoization counters;
+        * ``theory_cache`` — the OD-oracle theory cache: live size plus
+          oracle-work gauges summed over the live theories;
+        * ``exchange`` — lifetime parallel-execution totals (retries,
+          degradations, process-backend serialization bytes);
+        * ``logical_memo_size`` / ``epoch`` — parse-memo occupancy and
+          the current catalog epoch.
+        """
+        from ..optimizer.context import theory_cache_stats
+
+        return {
+            "epoch": current_epoch(),
+            "engine": self._registry.snapshot(),
+            "plan_cache": self.plan_cache.stats(),
+            "theory_cache": theory_cache_stats(),
+            "exchange": dict(self._exchange_totals),
+            "logical_memo_size": len(self._logical_memo),
+        }
 
     @staticmethod
     def _resolve_batch(
@@ -431,13 +496,17 @@ class Database:
 
     @staticmethod
     def _collect_recovery(plan: Operator) -> Dict[str, object]:
-        """Sum fault-tolerance accounting over the plan's exchanges.
+        """Merge exchange accounting over the plan's exchanges.
 
         Walks the physical tree for ``exchange_stats`` (set by the most
-        recent batch execution) and totals ``retries`` and
-        ``degraded_partitions``; ``degraded_to`` reports the *deepest*
-        rung any partition fell to (``process`` → ``thread`` →
-        ``inline``).
+        recent batch execution) and totals every integer counter —
+        ``retries``, ``degraded_partitions``, and the process backend's
+        serialization accounting (``chain_bytes``, ``morsel_bytes``,
+        ``morsels``, ``rows_shipped``, ``token_shipped_chains``);
+        ``degraded_to`` reports the *deepest* rung any partition fell to
+        (``process`` → ``thread`` → ``inline``) and ``exchanges`` counts
+        the exchange operators that executed.  The merged mapping is
+        what ``QueryResult.exchange_stats`` freezes.
         """
         depth = {None: 0, "thread": 1, "inline": 2}
         totals: Dict[str, object] = {
@@ -445,20 +514,25 @@ class Database:
             "degraded_partitions": 0,
             "degraded_to": None,
         }
+        exchanges = 0
         stack = [plan]
         while stack:
             node = stack.pop()
             stats = getattr(node, "exchange_stats", None)
             if stats:
-                totals["retries"] += stats.get("retries", 0)
-                totals["degraded_partitions"] += stats.get("degraded_partitions", 0)
-                rung = stats.get("degraded_to")
-                if depth.get(rung, 0) > depth.get(totals["degraded_to"], 0):
-                    totals["degraded_to"] = rung
+                exchanges += 1
+                for key, value in stats.items():
+                    if key == "degraded_to":
+                        if depth.get(value, 0) > depth.get(totals["degraded_to"], 0):
+                            totals["degraded_to"] = value
+                    elif isinstance(value, int) and not isinstance(value, bool):
+                        totals[key] = totals.get(key, 0) + value  # type: ignore[operator]
             # Exchanges expose their serial subtree as children(); the
             # partition clones hold no exchanges, so children() covers
             # every exchange in the tree exactly once.
             stack.extend(node.children())
+        if exchanges:
+            totals["exchanges"] = exchanges
         return totals
 
     def execute(
@@ -472,6 +546,7 @@ class Database:
         backend: Optional[str] = None,
         timeout_s: Optional[float] = None,
         rewrites: str = "on",
+        trace: Optional[bool] = None,
     ) -> QueryResult:
         """Run a query to completion.
 
@@ -496,40 +571,94 @@ class Database:
         producers are unblocked, and the worker pools stay healthy for
         the next query.  Worker/partition failures are retried and
         degraded transparently (see :mod:`repro.engine.parallel`); the
-        result's ``retries``/``degraded_to`` report what recovery ran.
+        result's ``retries``/``degraded_to``/``exchange_stats`` report
+        what recovery ran.
+
+        ``trace=True`` (or ``REPRO_TRACE=1`` in the environment) records
+        a hierarchical span trace of the optimizer phases and every
+        operator's execution — across worker pools too — and attaches it
+        as a Chrome ``trace_event`` dict on ``QueryResult.trace`` (on the
+        raised :class:`QueryError` for failed queries).  Tracing is
+        observational only: rows and ``Metrics`` counters are
+        bit-identical to an untraced run.
         """
         batch_size = self._resolve_batch(batch_size, workers)
-        plan = self.plan(
-            sql,
-            optimize=optimize,
-            use_cache=use_cache,
-            workers=workers,
-            join_order=join_order,
-            backend=backend,
-            rewrites=rewrites,
-        )
-        info = getattr(plan, "plan_info", None)
+        if trace is None:
+            trace = TRACE_DEFAULT
+        tracer = Tracer() if trace else None
+        started = perf_counter_ns()
         token = CancelToken(timeout_s) if timeout_s is not None else None
+        plan: Optional[Operator] = None
+        info = None
         try:
-            if batch_size is not None:
-                rows, metrics = plan.run_batches(batch_size, token=token)
-            else:
-                rows, metrics = plan.run(token=token)
+            with tracer.span("query", "query", sql=sql) if tracer else nullcontext():
+                plan = self.plan(
+                    sql,
+                    optimize=optimize,
+                    use_cache=use_cache,
+                    workers=workers,
+                    join_order=join_order,
+                    backend=backend,
+                    rewrites=rewrites,
+                    tracer=tracer,
+                )
+                info = getattr(plan, "plan_info", None)
+                with tracer.span("execute", "execute") if tracer else nullcontext():
+                    if batch_size is not None:
+                        rows, metrics = plan.run_batches(
+                            batch_size, token=token, tracer=tracer
+                        )
+                    else:
+                        rows, metrics = plan.run(token=token, tracer=tracer)
         except QueryError as exc:
-            if info is not None:
+            wall_ns = perf_counter_ns() - started
+            self._registry.record(
+                sql,
+                wall_ns,
+                0,
+                backend=(backend or "thread") if workers is not None else None,
+                workers=workers,
+                error=exc,
+                timed_out=isinstance(exc, QueryTimeout),
+            )
+            if tracer is not None:
+                tracer.finish()
+                exc.trace = tracer.chrome()
+            if info is not None and plan is not None:
                 info.execution = self._execution_desc(batch_size, workers, backend)
-                recovery = self._collect_recovery(plan)
+                merged = self._collect_recovery(plan)
+                self._fold_exchange_totals(merged)
+                recovery = {
+                    key: merged[key]
+                    for key in ("retries", "degraded_partitions", "degraded_to")
+                }
                 recovery["timed_out"] = isinstance(exc, QueryTimeout)
                 recovery["failed"] = type(exc).__name__
                 info.recovery = recovery
             raise
-        recovery = self._collect_recovery(plan)
+        wall_ns = perf_counter_ns() - started
+        self._registry.record(
+            sql,
+            wall_ns,
+            len(rows),
+            backend=(backend or "thread") if workers is not None else None,
+            workers=workers,
+        )
+        merged = self._collect_recovery(plan)
+        self._fold_exchange_totals(merged)
         if info is not None:
             info.execution = self._execution_desc(batch_size, workers, backend)
-            if recovery["retries"] or recovery["degraded_partitions"]:
-                info.recovery = dict(recovery, timed_out=False)
+            if merged["retries"] or merged["degraded_partitions"]:
+                info.recovery = {
+                    "retries": merged["retries"],
+                    "degraded_partitions": merged["degraded_partitions"],
+                    "degraded_to": merged["degraded_to"],
+                    "timed_out": False,
+                }
             else:
                 info.recovery = {}
+        if tracer is not None:
+            tracer.finish()
         return QueryResult(
             plan.schema.names,
             rows,
@@ -538,10 +667,26 @@ class Database:
             batch_size,
             workers,
             (backend or "thread") if workers is not None else None,
-            retries=recovery["retries"],  # type: ignore[arg-type]
-            degraded_to=recovery["degraded_to"],  # type: ignore[arg-type]
+            retries=merged["retries"],  # type: ignore[arg-type]
+            degraded_to=merged["degraded_to"],  # type: ignore[arg-type]
             timed_out=False,
+            exchange_stats=(
+                MappingProxyType(merged) if merged.get("exchanges") else _EMPTY_STATS
+            ),
+            wall_ms=wall_ns / 1e6,
+            trace=tracer.chrome() if tracer is not None else None,
         )
+
+    def _fold_exchange_totals(self, merged: Dict[str, object]) -> None:
+        """Accumulate one execution's merged exchange stats into the
+        database-lifetime monotonic totals (``stats_snapshot()["exchange"]``)."""
+        if not merged.get("exchanges"):
+            return
+        self._exchange_totals["parallel_runs"] += 1
+        for key, value in merged.items():
+            if key == "exchanges" or not isinstance(value, int) or isinstance(value, bool):
+                continue
+            self._exchange_totals[key] = self._exchange_totals.get(key, 0) + value
 
     def explain(
         self,
@@ -554,6 +699,7 @@ class Database:
         join_order: str = "cost",
         backend: Optional[str] = None,
         rewrites: str = "on",
+        analyze: bool = False,
     ) -> str:
         """The physical plan as text.
 
@@ -569,6 +715,13 @@ class Database:
         catalog epoch), and which execution mode the given
         ``batch_size``/``workers`` select (row iterators, vectorized
         batches, or parallel batches).
+
+        ``analyze=True`` *runs the query* under a tracer and annotates
+        every node with its measured actuals — rows, batches, wall time —
+        plus the planner's cardinality estimate and the Q-error between
+        them (``max(est/actual, actual/est)``), the engine auditing its
+        own statistics subsystem.  The per-node summary also lands on
+        ``plan_info.analyze`` for programmatic use.
         """
         batch_size = self._resolve_batch(batch_size, workers)
         plan = self.plan(
@@ -580,8 +733,34 @@ class Database:
             backend=backend,
             rewrites=rewrites,
         )
-        text = plan.explain()
         info = getattr(plan, "plan_info", None)
+        if analyze:
+            from ..obs.analyze import annotate_plan
+
+            tracer = Tracer()
+            started = perf_counter_ns()
+            with tracer.span("query", "query", sql=sql):
+                with tracer.span("execute", "execute"):
+                    if batch_size is not None:
+                        plan.run_batches(batch_size, tracer=tracer)
+                    else:
+                        plan.run(tracer=tracer)
+            wall_ns = perf_counter_ns() - started
+            tracer.finish()
+            text, summary = annotate_plan(self, plan, tracer.spans)
+            if info is not None:
+                q_errors = [
+                    entry["q_error"] for entry in summary if "q_error" in entry
+                ]
+                info.analyze = {
+                    "nodes": len(summary),
+                    "wall_ms": wall_ns / 1e6,
+                    "summary": summary,
+                }
+                if q_errors:
+                    info.analyze["max_q_error"] = max(q_errors)
+        else:
+            text = plan.explain()
         if verbose and info is not None:
             info.execution = self._execution_desc(batch_size, workers, backend)
             text = f"{text}\n{info.describe()}"

@@ -32,7 +32,15 @@ __all__ = [
 
 
 class QueryError(RuntimeError):
-    """Base of every typed query-lifecycle error."""
+    """Base of every typed query-lifecycle error.
+
+    When the failed execution was traced (``execute(trace=True)`` /
+    ``REPRO_TRACE=1``), ``Database.execute`` attaches the Chrome
+    ``trace_event`` dict collected up to the failure as ``trace`` —
+    failed queries keep their flight recorder."""
+
+    #: Chrome trace dict of the failed execution, ``None`` when untraced.
+    trace: Optional[dict] = None
 
 
 class QueryTimeout(QueryError):

@@ -145,6 +145,12 @@ class _AggregateBase(Operator):
         ]
         return f"{type(self).__name__}({', '.join(parts)})"
 
+    def trace_args(self) -> dict:
+        return {
+            "group_by": ", ".join(self.group_columns),
+            "aggs": ", ".join(spec.render() for spec in self.aggregates),
+        }
+
 
 class HashAggregate(_AggregateBase):
     """Group-by via a hash partition; output order is unspecified.

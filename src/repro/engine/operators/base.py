@@ -65,9 +65,20 @@ class Metrics:
 
     counters: Dict[str, int] = field(default_factory=dict)
     token: Optional[Any] = None
+    #: Optional :class:`~repro.obs.tracer.Tracer` (duck-typed — the engine
+    #: never imports :mod:`repro.obs`).  ``None`` means tracing is off and
+    #: the operator wrappers return the raw stream untouched.
+    tracer: Optional[Any] = None
+    #: Revision stamp for the :attr:`work` cache — bumped by every
+    #: :meth:`add` so repeated ``work`` reads (EXPLAIN ANALYZE, snapshots)
+    #: don't recompute the weighted sum against unchanged counters.
+    _rev: int = field(default=0, init=False, repr=False, compare=False)
+    _work_rev: int = field(default=-1, init=False, repr=False, compare=False)
+    _work_cache: float = field(default=0.0, init=False, repr=False, compare=False)
 
     def add(self, key: str, amount: int = 1) -> None:
         self.counters[key] = self.counters.get(key, 0) + amount
+        self._rev += 1
 
     def check_cancel(self) -> None:
         """Raise the typed timeout/cancel error if the token says stop."""
@@ -81,7 +92,10 @@ class Metrics:
     @property
     def work(self) -> float:
         """A single scalar summary: rows touched, with sorts and probes
-        weighted as in :mod:`repro.engine.cost`."""
+        weighted as in :mod:`repro.engine.cost`.  Cached against the
+        counter revision — counters only change through :meth:`add`."""
+        if self._work_rev == self._rev:
+            return self._work_cache
         total = 0.0
         total += self.get("rows_scanned")
         total += 4.0 * self.get("index_probes")
@@ -89,6 +103,8 @@ class Metrics:
         sort_rows = self.get("sort_rows")
         if sort_rows > 1:
             total += 1.2 * sort_rows * math.log2(sort_rows)
+        self._work_cache = total
+        self._work_rev = self._rev
         return total
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -96,8 +112,41 @@ class Metrics:
         return f"Metrics({inner}, work={self.work:.0f})"
 
 
+def _traced(fn: Callable, mode: str) -> Callable:
+    """Wrap an ``execute``/``execute_batches`` method for span capture.
+
+    Pay-as-you-go contract: with no tracer on the ``Metrics`` the wrapper
+    returns the raw stream — one attribute read and one ``is None`` test
+    per *stream creation* (never per row/batch), so the disabled-tracer
+    overhead is unmeasurable next to execution itself.
+    """
+
+    def wrapper(self, metrics, *args, **kwargs):
+        stream = fn(self, metrics, *args, **kwargs)
+        tracer = metrics.tracer
+        if tracer is None:
+            return stream
+        return tracer.wrap_stream(self, stream, mode)
+
+    wrapper._obs_traced = True
+    wrapper.__wrapped__ = fn
+    wrapper.__name__ = getattr(fn, "__name__", mode)
+    wrapper.__doc__ = fn.__doc__
+    return wrapper
+
+
 class Operator:
     """Base class for physical operators."""
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Install trace wrappers on every subclass's own execution
+        methods — one hook instead of editing every operator module's
+        hot loops (which stay byte-for-byte untouched)."""
+        super().__init_subclass__(**kwargs)
+        for name, mode in (("execute", "row"), ("execute_batches", "batch")):
+            fn = cls.__dict__.get(name)
+            if fn is not None and not getattr(fn, "_obs_traced", False):
+                setattr(cls, name, _traced(fn, mode))
 
     #: Output schema; set by subclasses.
     schema: Schema
@@ -187,6 +236,13 @@ class Operator:
     def label(self) -> str:
         return type(self).__name__
 
+    def trace_args(self) -> Dict[str, Any]:
+        """Extra key/values stamped into this operator's trace spans.
+
+        Must be cheap and static (called once per stream creation when
+        tracing); default is nothing."""
+        return {}
+
     def explain_lines(self, indent: int = 0) -> List[str]:
         lines = ["  " * indent + "-> " + self.label()]
         for child in self.children():
@@ -197,24 +253,40 @@ class Operator:
         """The full plan tree as text."""
         return "\n".join(self.explain_lines())
 
-    def run(self, token: Optional[Any] = None) -> "tuple[List[tuple], Metrics]":
+    def run(
+        self, token: Optional[Any] = None, tracer: Optional[Any] = None
+    ) -> "tuple[List[tuple], Metrics]":
         """Execute to completion, returning (rows, metrics).  ``token``
         is an optional :class:`~repro.engine.errors.CancelToken` enforced
-        cooperatively throughout."""
-        metrics = Metrics(token=token)
+        cooperatively throughout; ``tracer`` an optional
+        :class:`~repro.obs.tracer.Tracer` capturing per-operator spans."""
+        if tracer is not None:
+            tracer.register_plan(self)
+        metrics = Metrics(token=token, tracer=tracer)
         rows = list(self.execute(metrics))
         return rows, metrics
 
     def run_batches(
-        self, batch_size: int = DEFAULT_BATCH_SIZE, token: Optional[Any] = None
+        self,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        token: Optional[Any] = None,
+        tracer: Optional[Any] = None,
     ) -> "tuple[List[tuple], Metrics]":
         """Execute in vectorized mode to completion, flattening batches
         back to row tuples — bit-identical to :meth:`run`."""
-        metrics = Metrics(token=token)
+        if tracer is not None:
+            tracer.register_plan(self)
+        metrics = Metrics(token=token, tracer=tracer)
         rows: List[tuple] = []
         for batch in self.execute_batches(metrics, batch_size):
             rows.extend(batch.rows())
         return rows, metrics
+
+
+# The base row→batch adapter is Operator's own method, so the subclass
+# hook never sees it — wrap it once here.  Subclasses overriding
+# ``execute_batches`` get their own wrapper from ``__init_subclass__``.
+Operator.execute_batches = _traced(Operator.__dict__["execute_batches"], "batch")
 
 
 @dataclass(frozen=True)

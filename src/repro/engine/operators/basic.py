@@ -77,6 +77,9 @@ class Filter(Operator):
     def label(self) -> str:
         return f"Filter({self.predicate.render()})"
 
+    def trace_args(self) -> dict:
+        return {"predicate": self.predicate.render()}
+
     # Picklable for process-backend shipping: the compiled row closure
     # and vectorized kernel are code objects (unpicklable) *derived from*
     # the predicate — ship the constructor args, recompile in the worker.
@@ -178,6 +181,9 @@ class Project(Operator):
             for expr, name in zip(self.exprs, self.names)
         )
         return f"Project({parts})"
+
+    def trace_args(self) -> dict:
+        return {"names": ", ".join(self.names)}
 
     # Picklable for process-backend shipping: compiled closures/kernels
     # are derived state — ship the constructor args, recompile in the

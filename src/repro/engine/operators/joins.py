@@ -69,6 +69,13 @@ class _JoinBase(Operator):
         )
         return f"{type(self).__name__}({condition})"
 
+    def trace_args(self) -> dict:
+        return {
+            "keys": " AND ".join(
+                f"{l} = {r}" for l, r in zip(self.left_keys, self.right_keys)
+            )
+        }
+
 
 class HashJoin(_JoinBase):
     """Equi-join: build a hash table on the right input, probe with the left.

@@ -97,6 +97,9 @@ class SeqScan(Operator):
             suffix = f" [part {self.partition[0] + 1}/{self.partition[1]}]"
         return f"SeqScan({self.table.name} AS {self.alias}{suffix})"
 
+    def trace_args(self) -> dict:
+        return {"table": self.table.name, "alias": self.alias}
+
     def __reduce__(self):
         """Pickling ships the scan to a worker process.
 
@@ -219,6 +222,13 @@ class IndexScan(Operator):
             f"{self.alias}{bounds}{suffix})"
         )
 
+    def trace_args(self) -> dict:
+        return {
+            "index": self.index.name,
+            "table": self.table.name,
+            "alias": self.alias,
+        }
+
     def __reduce__(self):
         """Same two shipping modes as :meth:`SeqScan.__reduce__`.
 
@@ -322,3 +332,6 @@ class ShippedScan(Operator):
 
     def label(self) -> str:
         return f"ShippedScan({self.length} rows x {len(self.columns)} cols)"
+
+    def trace_args(self) -> dict:
+        return {"length": self.length, "cols": len(self.columns)}

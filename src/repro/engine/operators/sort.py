@@ -70,3 +70,6 @@ class Sort(Operator):
 
     def label(self) -> str:
         return f"Sort({', '.join(self.keys)})"
+
+    def trace_args(self) -> dict:
+        return {"keys": ", ".join(self.keys)}

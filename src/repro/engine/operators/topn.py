@@ -99,6 +99,9 @@ class TopN(Operator):
     def label(self) -> str:
         return f"TopN({', '.join(self.keys)}; {self.count})"
 
+    def trace_args(self) -> dict:
+        return {"keys": ", ".join(self.keys), "count": self.count}
+
 
 class _Reverse:
     """Inverts comparison so heapq's min-heap acts as a max-heap."""

@@ -443,6 +443,23 @@ class _Channel:
             pass
 
 
+def _local_tracer(partition: Operator):
+    """A fresh per-attempt tracer for one partition (lazy import: the
+    engine only touches :mod:`repro.obs` when tracing is on)."""
+    from ..obs.tracer import Tracer
+
+    tracer = Tracer()
+    tracer.register_plan(partition)
+    return tracer
+
+
+def _dump_spans(tracer) -> Optional[list]:
+    if tracer is None:
+        return None
+    tracer.finish()
+    return tracer.dump()
+
+
 def _produce_to_channel(
     partition: Operator,
     channel: _Channel,
@@ -451,15 +468,22 @@ def _produce_to_channel(
     attempt: int,
     plans: Tuple,
     backend: str = "thread",
+    trace: bool = False,
 ) -> None:
     """Thread-side producer for one partition attempt.
 
     Message protocol: ``("m", batch)`` morsels, then exactly one terminal
-    ``("d", counters)`` or ``("e", (message, traceback))``.  The injected
-    drop-results fault ends the stream with *no* terminal message — which
-    the consumer detects via ``producer_finished``.
+    ``("d", (counters, spans))`` or ``("e", (message, traceback))``.  The
+    injected drop-results fault ends the stream with *no* terminal
+    message — which the consumer detects via ``producer_finished``.
+
+    ``spans`` is the attempt's local trace dump (``None`` untraced):
+    spans ride only the terminal message, so a failed or superseded
+    attempt's spans vanish with the attempt — exactly the
+    release-on-completion rule batches follow.
     """
-    metrics = Metrics()
+    tracer = _local_tracer(partition) if trace else None
+    metrics = Metrics(tracer=tracer)
     try:
         batch_no = 0
         for batch in partition.execute_batches(metrics, batch_size):
@@ -468,7 +492,7 @@ def _produce_to_channel(
             batch_no += 1
             if len(batch):
                 channel.put(("m", batch))
-        channel.put(("d", metrics.counters))
+        channel.put(("d", (metrics.counters, _dump_spans(tracer))))
     except _ConsumerClosed:
         pass
     except faults_mod.DropResults:
@@ -487,7 +511,7 @@ def _produce_to_channel(
 def _drain_channel(channel: _Channel, buffer: deque, token) -> Tuple[str, object]:
     """Consume one partition channel to its terminal state.
 
-    Returns ``("done", counters)``, ``("error", (message, traceback))``,
+    Returns ``("done", (counters, spans))``, ``("error", (message, traceback))``,
     or ``("dropped", (message, None))`` when the producer finished
     without a terminal message (the lost-result-stream fault).  Checks
     the cancel token between polls so deadlines land while waiting.
@@ -520,14 +544,15 @@ def _run_partition_locally(
     plans: Tuple,
     token,
     rung: str,
-) -> Tuple[List[ColumnBatch], Dict[str, int]]:
+    trace: bool = False,
+) -> Tuple[List[ColumnBatch], Dict[str, int], Optional[list]]:
     """One degraded attempt of a single partition on this process.
 
     ``rung == "thread"``: produce through a fresh channel on the shared
     thread pool (the consumer enforces the token).  ``rung == "inline"``:
     run the partition directly on this thread, token on its Metrics.
-    Returns ``(batches, counters)``; raises :class:`_AttemptFailed` (or
-    the original exception) on failure.
+    Returns ``(batches, counters, spans)``; raises :class:`_AttemptFailed`
+    (or the original exception) on failure.
     """
     partition.prepare_parallel()
     if rung == "thread":
@@ -541,6 +566,7 @@ def _run_partition_locally(
             attempt,
             plans,
             "thread",
+            trace,
         )
         buffer: deque = deque()
         try:
@@ -549,11 +575,13 @@ def _run_partition_locally(
             channel.close()
             raise
         if outcome == "done":
-            return list(buffer), payload  # type: ignore[return-value]
+            counters, spans = payload  # type: ignore[misc]
+            return list(buffer), counters, spans
         message, tb = payload  # type: ignore[misc]
         raise _AttemptFailed(message, tb)
     # inline: the last rung — deterministic, no pool, no queue.
-    metrics = Metrics(token=token)
+    tracer = _local_tracer(partition) if trace else None
+    metrics = Metrics(token=token, tracer=tracer)
     batches: List[ColumnBatch] = []
     batch_no = 0
     for batch in partition.execute_batches(metrics, batch_size):
@@ -562,7 +590,7 @@ def _run_partition_locally(
         batch_no += 1
         if len(batch):
             batches.append(batch)
-    return batches, metrics.counters
+    return batches, metrics.counters, _dump_spans(tracer)
 
 
 # ----------------------------------------------------------------------
@@ -578,18 +606,25 @@ class _InlineStream:
         token=None,
         index: int = 0,
         plans: Tuple = (),
+        trace: bool = False,
     ) -> None:
-        self._metrics = Metrics(token=token)
+        self._tracer = _local_tracer(partition) if trace else None
+        self.trace_spans: Optional[list] = None
+        self._metrics = Metrics(token=token, tracer=self._tracer)
         self._generator = self._produce(partition, batch_size, index, plans)
         self._done = False
 
     def _produce(self, partition, batch_size, index, plans):
-        batch_no = 0
-        for batch in partition.execute_batches(self._metrics, batch_size):
-            if plans:
-                faults_mod.fire(plans, index, batch_no, 0, "inline")
-            batch_no += 1
-            yield batch
+        try:
+            batch_no = 0
+            for batch in partition.execute_batches(self._metrics, batch_size):
+                if plans:
+                    faults_mod.fire(plans, index, batch_no, 0, "inline")
+                batch_no += 1
+                yield batch
+        finally:
+            if self._tracer is not None:
+                self.trace_spans = _dump_spans(self._tracer)
 
     @property
     def counters(self) -> Dict[str, int]:
@@ -630,6 +665,10 @@ class _BufferedStream:
     @property
     def counters(self) -> Dict[str, int]:
         return self.run.partition_counters[self.index]
+
+    @property
+    def trace_spans(self) -> Optional[list]:
+        return self.run.partition_spans[self.index]
 
     def __iter__(self) -> Iterator[ColumnBatch]:
         self.run.ensure_done(self.index)
@@ -679,15 +718,17 @@ class _RecoveringRun(_BackendRun):
     #: The degradation rungs tried, in order, once retries are exhausted.
     ladder: Tuple[str, ...] = ()
 
-    def __init__(self, partitions, batch_size, token, plans, stats) -> None:
+    def __init__(self, partitions, batch_size, token, plans, stats, trace=False) -> None:
         self.partitions = list(partitions)
         count = len(self.partitions)
         self.batch_size = batch_size
         self.token = token
         self.plans = plans
+        self.trace = trace
         self.buffers: List[deque] = [deque() for _ in range(count)]
         self.done = [False] * count
         self.partition_counters: List[Dict[str, int]] = [{} for _ in range(count)]
+        self.partition_spans: List[Optional[list]] = [None] * count
         self.failures = [0] * count
         self.attempt_ids = [0] * count
         self.first_failure: List[Optional[tuple]] = [None] * count
@@ -714,6 +755,7 @@ class _RecoveringRun(_BackendRun):
         self._record_failure(index, error)
         self.failures[index] += 1
         self.buffers[index].clear()
+        self.partition_spans[index] = None
         self.attempt_ids[index] += 1  # supersede in-flight stale messages
         if self.failures[index] <= RETRY_LIMIT:
             self.stats["retries"] += 1
@@ -729,8 +771,9 @@ class _RecoveringRun(_BackendRun):
         for rung in self.ladder:
             self.attempt_ids[index] += 1
             self.buffers[index].clear()
+            self.partition_spans[index] = None
             try:
-                batches, counters = _run_partition_locally(
+                batches, counters, spans = _run_partition_locally(
                     self.partitions[index],
                     self.batch_size,
                     index,
@@ -738,6 +781,7 @@ class _RecoveringRun(_BackendRun):
                     self.plans,
                     self.token,
                     rung,
+                    self.trace,
                 )
             except QueryError:
                 raise  # timeouts/cancellation propagate untyped-free
@@ -751,6 +795,7 @@ class _RecoveringRun(_BackendRun):
                 continue
             self.buffers[index].extend(batches)
             self.partition_counters[index] = counters
+            self.partition_spans[index] = spans
             self.done[index] = True
             self.stats["degraded_partitions"] += 1
             current = self.stats["degraded_to"]
@@ -783,8 +828,12 @@ class ExchangeBackend:
     name = "?"
 
     def run(
-        self, partitions: Sequence[Operator], batch_size: int, token=None
+        self, partitions: Sequence[Operator], batch_size: int, token=None,
+        trace: bool = False,
     ) -> _BackendRun:
+        """``trace=True`` runs every partition attempt under a fresh local
+        tracer; the winning attempt's span dump is exposed per stream as
+        ``trace_spans`` for the exchange to adopt."""
         raise NotImplementedError
 
 
@@ -794,13 +843,13 @@ class InlineBackend(ExchangeBackend):
 
     name = "inline"
 
-    def run(self, partitions, batch_size, token=None):
+    def run(self, partitions, batch_size, token=None, trace=False):
         for partition in partitions:
             partition.prepare_parallel()
         plans = faults_mod.resolve(faults_mod.active_plans(), len(partitions))
         return _BackendRun(
             [
-                _InlineStream(partition, batch_size, token, index, plans)
+                _InlineStream(partition, batch_size, token, index, plans, trace)
                 for index, partition in enumerate(partitions)
             ],
             {"backend": "inline"},
@@ -843,8 +892,10 @@ class _ThreadRun(_RecoveringRun):
 
     ladder = ("inline",)
 
-    def __init__(self, partitions, batch_size, token, plans) -> None:
-        super().__init__(partitions, batch_size, token, plans, {"backend": "thread"})
+    def __init__(self, partitions, batch_size, token, plans, trace=False) -> None:
+        super().__init__(
+            partitions, batch_size, token, plans, {"backend": "thread"}, trace
+        )
         self.channels: List[Optional[_Channel]] = [None] * len(self.partitions)
         self.finished = False
         _THREAD_RUN_STATE.depth = _thread_run_depth() + 1
@@ -863,6 +914,7 @@ class _ThreadRun(_RecoveringRun):
             self.attempt_ids[index],
             self.plans,
             "thread",
+            self.trace,
         )
 
     def ensure_done(self, index: int) -> None:
@@ -871,7 +923,9 @@ class _ThreadRun(_RecoveringRun):
                 self.channels[index], self.buffers[index], self.token
             )
             if outcome == "done":
-                self.partition_counters[index] = payload  # type: ignore[assignment]
+                counters, spans = payload  # type: ignore[misc]
+                self.partition_counters[index] = counters
+                self.partition_spans[index] = spans
                 self.done[index] = True
             else:  # "error" or "dropped": one attempt failed
                 self._partition_failed(index, payload)  # type: ignore[arg-type]
@@ -901,7 +955,7 @@ class ThreadBackend(ExchangeBackend):
 
     name = "thread"
 
-    def run(self, partitions, batch_size, token=None):
+    def run(self, partitions, batch_size, token=None, trace=False):
         for partition in partitions:
             partition.prepare_parallel()  # build shared caches single-threaded
         if _thread_run_depth():
@@ -909,9 +963,9 @@ class ThreadBackend(ExchangeBackend):
             # interleaved) could starve the bounded channels on the shared
             # fixed-size pool — run it inline instead, like the process
             # backend's nested-run rule.
-            return InlineBackend().run(partitions, batch_size, token)
+            return InlineBackend().run(partitions, batch_size, token, trace)
         plans = faults_mod.resolve(faults_mod.active_plans(), len(partitions))
-        return _ThreadRun(partitions, batch_size, token, plans)
+        return _ThreadRun(partitions, batch_size, token, plans, trace)
 
 
 # ----------------------------------------------------------------------
@@ -926,19 +980,21 @@ def _process_worker(tasks, results) -> None:  # pragma: no cover - child process
     vanishing in a queue feeder thread.  Message protocol (all 5-tuples
     ``(kind, index, attempt, payload, extra)``): ``"s"`` started (payload
     = worker pid, for parent-side failure attribution), ``"m"`` morsel,
-    then one terminal ``"d"`` (counters) or ``"e"`` ((message,
-    traceback)).  A kill fault exits before the terminal; a drop fault
-    skips it silently.
+    then one terminal ``"d"`` (payload = counters, extra = the attempt's
+    trace-span dump or ``None``) or ``"e"`` ((message, traceback)).  A
+    kill fault exits before the terminal; a drop fault skips it silently.
     """
     while True:
         task = tasks.get()
         if task is None:
             return
-        index, blob, batch_size, morsel_rows, attempt, plans = task
+        index, blob, batch_size, morsel_rows, attempt, plans, trace = task
         metrics = Metrics()
         try:
             results.put(("s", index, attempt, os.getpid(), None))
             op = pickle.loads(blob)
+            if trace:
+                metrics.tracer = _local_tracer(op)
             pending: List[tuple] = []
             pending_rows = 0
             batch_no = 0
@@ -959,7 +1015,9 @@ def _process_worker(tasks, results) -> None:  # pragma: no cover - child process
             if pending:
                 payload = pickle.dumps(pending, pickle.HIGHEST_PROTOCOL)
                 results.put(("m", index, attempt, payload, pending_rows))
-            results.put(("d", index, attempt, metrics.counters, None))
+            results.put(
+                ("d", index, attempt, metrics.counters, _dump_spans(metrics.tracer))
+            )
         except faults_mod.DropResults:
             continue  # the injected lost-result-stream fault: go silent
         except BaseException as exc:  # noqa: BLE001 - relayed to the parent
@@ -1033,7 +1091,15 @@ class _ProcessPool:
         return all(process.is_alive() for process in self.processes)
 
     def respawn_dead(self) -> None:
-        """Replace dead workers in place, keeping the shared queues.
+        """Rebuild the pool — fresh queues, a full set of new workers.
+
+        The shared queues cannot survive a worker death: an idle worker
+        blocks inside ``tasks.get()`` *holding the queue's reader lock*,
+        so a worker killed there leaves the semaphore acquired forever
+        and every replacement reader deadlocks behind a corpse.  The only
+        safe recovery is wholesale — terminate the survivors too (their
+        in-flight work is re-dispatched by the caller), recreate both
+        queues, and start a new full complement.
 
         A ``fork`` respawn re-forks from the *current* parent image; the
         staleness rules of :func:`_ensure_process_pool` guarantee that
@@ -1041,18 +1107,31 @@ class _ProcessPool:
         restarted the whole pool before this run began), so token lookups
         in the replacement stay valid.
         """
-        for i, process in enumerate(self.processes):
-            if process.is_alive():
-                continue
-            process.join(timeout=1.0)
-            replacement = self.context.Process(
+        if all(process.is_alive() for process in self.processes):
+            return
+        for process in self.processes:
+            process.terminate()
+        for process in self.processes:
+            process.join(timeout=2.0)
+        for q in (self.tasks, self.results):
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+        self.tasks = self.context.Queue()
+        self.results = self.context.Queue(maxsize=_RESULT_QUEUE_DEPTH)
+        self.processes = [
+            self.context.Process(
                 target=_process_worker,
                 args=(self.tasks, self.results),
                 daemon=True,
                 name=f"repro-exchange-{i}",
             )
-            replacement.start()
-            self.processes[i] = replacement
+            for i in range(self.size)
+        ]
+        for process in self.processes:
+            process.start()
 
     def shutdown(self) -> None:
         for process in self.processes:
@@ -1141,7 +1220,9 @@ class _ProcessRun(_RecoveringRun):
 
     ladder = ("thread", "inline")
 
-    def __init__(self, pool, partitions, blobs, batch_size, token, plans) -> None:
+    def __init__(
+        self, pool, partitions, blobs, batch_size, token, plans, trace=False
+    ) -> None:
         self.pool = pool
         self.blobs = list(blobs)
         self.running_pid: List[Optional[int]] = [None] * len(self.blobs)
@@ -1155,7 +1236,7 @@ class _ProcessRun(_RecoveringRun):
             "rows_shipped": 0,
             "token_shipped_chains": 0,
         }
-        super().__init__(partitions, batch_size, token, plans, stats)
+        super().__init__(partitions, batch_size, token, plans, stats, trace)
         # Work stealing: partitions go into one shared task queue; each of
         # the pool's workers pulls the next one the moment it frees up.
         for index in range(len(self.blobs)):
@@ -1172,6 +1253,7 @@ class _ProcessRun(_RecoveringRun):
                 MORSEL_ROWS,
                 self.attempt_ids[index],
                 self.plans,
+                self.trace,
             )
         )
 
@@ -1205,20 +1287,17 @@ class _ProcessRun(_RecoveringRun):
                 self.buffers[index].append(ColumnBatch(schema, columns, length))
         elif kind == "d":
             self.partition_counters[index] = payload
+            self.partition_spans[index] = extra
             self.done[index] = True
         else:  # "e"
             self._partition_failed(index, payload)
 
     def _check_liveness(self) -> None:
-        """After a pull timeout: respawn dead workers and fail the
-        partitions attributable to them (recorded pid dead, or unknown —
-        their "started" message may have died with the worker)."""
-        dead_pids = {
-            process.pid
-            for process in self.pool.processes
-            if not process.is_alive()
-        }
-        if not dead_pids:
+        """After a pull timeout: a dead worker means the pool is rebuilt
+        (fresh queues — the corpse may hold a queue lock), so *every*
+        unfinished partition restarts: the dead worker's, any queued but
+        never started, and any mid-stream on a terminated survivor."""
+        if self.pool.alive():
             return
         try:
             self.pool.respawn_dead()
@@ -1226,12 +1305,10 @@ class _ProcessRun(_RecoveringRun):
             self._pool_failed(f"could not respawn dead workers: {exc!r}")
             return
         for index in range(len(self.partitions)):
-            if self.done[index]:
-                continue
-            pid = self.running_pid[index]
-            if pid is None or pid in dead_pids:
+            if not self.done[index]:
                 self._partition_failed(
-                    index, ("worker process died while running this partition", None)
+                    index,
+                    ("worker process died; pool rebuilt, partition re-run", None),
                 )
 
     def _pool_failed(self, reason: str) -> None:
@@ -1294,7 +1371,7 @@ class ProcessBackend(ExchangeBackend):
 
     name = "process"
 
-    def run(self, partitions, batch_size, token=None):
+    def run(self, partitions, batch_size, token=None, trace=False):
         global _PROCESS_RUN_OWNER
         me = threading.get_ident()
         if _PROCESS_RUN_OWNER == me:
@@ -1302,7 +1379,7 @@ class ProcessBackend(ExchangeBackend):
             # e.g. both inputs of a merge join): the result queue is owned
             # by the outer run, so run this one inline — deterministic,
             # bit-identical, just not process-parallel.
-            return InlineBackend().run(partitions, batch_size, token)
+            return InlineBackend().run(partitions, batch_size, token, trace)
         _PROCESS_RUN_LOCK.acquire()
         _PROCESS_RUN_OWNER = me
         try:
@@ -1320,7 +1397,7 @@ class ProcessBackend(ExchangeBackend):
                     for partition in partitions
                 ]
             plans = faults_mod.resolve(faults_mod.active_plans(), len(partitions))
-            run = _ProcessRun(pool, partitions, blobs, batch_size, token, plans)
+            run = _ProcessRun(pool, partitions, blobs, batch_size, token, plans, trace)
             run.stats["token_shipped_chains"] = len(tokens)
             return run
         except _PoolUnavailable as exc:
@@ -1328,7 +1405,7 @@ class ProcessBackend(ExchangeBackend):
             # multiprocessing): degrade the whole run to threads.
             _PROCESS_RUN_OWNER = None
             _PROCESS_RUN_LOCK.release()
-            run = ThreadBackend().run(partitions, batch_size, token)
+            run = ThreadBackend().run(partitions, batch_size, token, trace)
             run.stats["degraded_to"] = "thread"
             run.stats["degraded_partitions"] = len(partitions)
             run.stats.setdefault("retries", 0)
@@ -1417,6 +1494,13 @@ class Exchange(Operator):
     def label(self) -> str:
         return f"{type(self).__name__}({len(self.partitions)} partitions)"
 
+    def trace_args(self) -> dict:
+        return {
+            "kind": self.kind,
+            "partitions": len(self.partitions),
+            "backend": self.backend,
+        }
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -1441,7 +1525,13 @@ class Exchange(Operator):
             backend = get_backend("inline")
         else:
             backend = get_backend(self.backend)
-        run = backend.run(self.partitions, batch_size, token=metrics.token)
+        tracer = metrics.tracer
+        run = backend.run(
+            self.partitions,
+            batch_size,
+            token=metrics.token,
+            trace=tracer is not None,
+        )
         try:
             yield from self._emit_streams(run.streams, batch_size)
         except BaseException:
@@ -1457,6 +1547,16 @@ class Exchange(Operator):
         for stream in run.streams:
             for key, value in stream.counters.items():
                 metrics.add(key, value)
+        if tracer is not None:
+            # Graft each partition's winning-attempt spans (local tracers;
+            # failed attempts' spans died with the attempt) under this
+            # exchange's open span, in partition order.
+            attempts = getattr(run, "attempt_ids", None)
+            for index, stream in enumerate(run.streams):
+                spans = getattr(stream, "trace_spans", None)
+                if spans:
+                    attempt = attempts[index] if attempts is not None else 0
+                    tracer.adopt(spans, self, index, attempt)
         self.exchange_stats = run.stats
 
     def _emit_streams(

@@ -1,0 +1,49 @@
+"""Engine observability: tracing, EXPLAIN ANALYZE, metrics registry.
+
+Three layers, all pay-as-you-go:
+
+* :mod:`repro.obs.tracer` — hierarchical wall-clock spans around every
+  optimizer phase and every operator's execution, exportable as Chrome
+  ``trace_event`` JSON (load the export in ``chrome://tracing`` or
+  Perfetto).  Worker-side spans from parallel backends are shipped back
+  and re-parented under the consumer's exchange span.
+* :mod:`repro.obs.analyze` — ``EXPLAIN ANALYZE``: per-plan-node actual
+  rows/batches/time plus Q-error against the planner's cardinality
+  estimates.
+* :mod:`repro.obs.registry` — cumulative engine counters (queries,
+  failures, timings) and the slow-query ring buffer behind
+  ``Database.stats_snapshot()``.
+
+Environment knobs, read once at import like the rest of the engine:
+
+* ``REPRO_TRACE`` — truthy value traces every ``Database.execute`` call
+  by default (per-call ``trace=`` still wins).
+* ``REPRO_SLOW_QUERY_MS`` — threshold for the slow-query log
+  (default 100 ms).
+"""
+from __future__ import annotations
+
+import os
+
+from .registry import EngineMetrics, SlowQuery
+from .tracer import Span, Tracer
+
+__all__ = [
+    "EngineMetrics",
+    "SlowQuery",
+    "Span",
+    "Tracer",
+    "TRACE_DEFAULT",
+    "SLOW_QUERY_MS",
+]
+
+#: Whether ``Database.execute`` traces when the caller doesn't say.
+TRACE_DEFAULT = os.environ.get("REPRO_TRACE", "").strip().lower() not in (
+    "",
+    "0",
+    "false",
+    "off",
+)
+
+#: Queries slower than this (wall milliseconds) enter the slow-query ring.
+SLOW_QUERY_MS = float(os.environ.get("REPRO_SLOW_QUERY_MS", "100"))

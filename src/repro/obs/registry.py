@@ -1,0 +1,102 @@
+"""Cumulative engine counters and the slow-query ring buffer.
+
+One :class:`EngineMetrics` lives on each ``Database`` and backs
+``Database.stats_snapshot()``.  The contract mirrors the plan cache's:
+
+* everything under ``counters`` is **monotonic** — it only ever grows
+  for the lifetime of the database, so deltas between two snapshots are
+  meaningful rates;
+* everything else in a snapshot (sizes, hit rates, the slow-query list)
+  is a **gauge** — a point-in-time reading that may move either way.
+
+The slow-query log is a bounded ring (:data:`RING_SIZE` entries): the
+cheapest structure that answers "what was slow *recently*" without
+unbounded growth on a long-lived database.
+"""
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = ["EngineMetrics", "SlowQuery", "RING_SIZE"]
+
+RING_SIZE = 64
+
+
+@dataclass(frozen=True)
+class SlowQuery:
+    """One slow-query ring entry."""
+
+    sql: str
+    wall_ms: float
+    rows: int
+    backend: Optional[str]
+    workers: Optional[int]
+    error: Optional[str] = None
+
+
+class EngineMetrics:
+    """Monotonic query/timing counters plus the slow-query ring."""
+
+    def __init__(self, slow_ms: float) -> None:
+        self.slow_ms = slow_ms
+        self._counters: Dict[str, int] = {
+            "queries": 0,
+            "failures": 0,
+            "timeouts": 0,
+            "rows_returned": 0,
+            "slow_queries": 0,
+            "wall_ns": 0,
+        }
+        self._slow: Deque[SlowQuery] = deque(maxlen=RING_SIZE)
+
+    def record(
+        self,
+        sql: str,
+        wall_ns: int,
+        rows: int,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        error: Optional[BaseException] = None,
+        timed_out: bool = False,
+    ) -> None:
+        """Fold one finished (or failed) execution into the registry."""
+        self._counters["queries"] += 1
+        self._counters["wall_ns"] += wall_ns
+        self._counters["rows_returned"] += rows
+        if error is not None:
+            self._counters["failures"] += 1
+        if timed_out:
+            self._counters["timeouts"] += 1
+        wall_ms = wall_ns / 1e6
+        if wall_ms >= self.slow_ms:
+            self._counters["slow_queries"] += 1
+            self._slow.append(
+                SlowQuery(
+                    sql=sql,
+                    wall_ms=wall_ms,
+                    rows=rows,
+                    backend=backend,
+                    workers=workers,
+                    error=type(error).__name__ if error is not None else None,
+                )
+            )
+
+    def counters(self) -> Dict[str, int]:
+        """A copy of the monotonic counters."""
+        return dict(self._counters)
+
+    def slow_queries(self) -> List[SlowQuery]:
+        """The slow-query ring, oldest first (gauge: bounded, evicting)."""
+        return list(self._slow)
+
+    def snapshot(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"counters": self.counters()}
+        queries = self._counters["queries"]
+        out["avg_wall_ms"] = (
+            self._counters["wall_ns"] / queries / 1e6 if queries else 0.0
+        )
+        out["slow_query_ms"] = self.slow_ms
+        out["slow_queries"] = [asdict(entry) for entry in self._slow]
+        return out

@@ -40,6 +40,7 @@ __all__ = [
     "build_theory",
     "clear_theory_cache",
     "theory_cache_len",
+    "theory_cache_stats",
 ]
 
 
@@ -131,3 +132,34 @@ def clear_theory_cache() -> None:
 
 def theory_cache_len() -> int:
     return len(_theory_cache)
+
+
+def theory_cache_stats() -> dict:
+    """Point-in-time oracle-cache reading for ``Database.stats_snapshot``.
+
+    Everything here is a **gauge**, not a monotonic counter: ``size`` is
+    the live LRU occupancy and the oracle-work keys are summed over the
+    *currently interned* theories only — evicted theories take their
+    counts with them.  (The per-plan monotonic view lives on
+    ``PlanInfo.oracle``, diffed around each planning.)
+    """
+    stats: dict = {
+        "size": len(_theory_cache),
+        "capacity": _THEORY_CACHE_SIZE,
+        "implies_calls": 0,
+        "fast_path": 0,
+        "cache_hits": 0,
+        "cache_misses": 0,
+        "enumerations": 0,
+    }
+    for theory in _theory_cache.values():
+        counters = theory.stats()
+        for key in (
+            "implies_calls",
+            "fast_path",
+            "cache_hits",
+            "cache_misses",
+            "enumerations",
+        ):
+            stats[key] += counters[key]
+    return stats

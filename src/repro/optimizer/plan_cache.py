@@ -192,7 +192,15 @@ class PlanCache:
         return self._stats["hits"] / lookups if lookups else 0.0
 
     def stats(self) -> Dict[str, object]:
-        """Counters plus current occupancy — the ``plan_cache_stats()`` payload."""
+        """Counters plus current occupancy — the ``plan_cache_stats()`` payload.
+
+        Follows the snapshot contract of ``Database.stats_snapshot``:
+        ``hits`` / ``misses`` / ``stores`` / ``evictions`` /
+        ``stale_invalidations`` are **monotonic** for the cache's lifetime
+        (``clear()`` drops entries, never counters), so deltas between two
+        readings are meaningful; ``size``, ``capacity``, and ``hit_rate``
+        are **gauges** — point-in-time values that may move either way.
+        """
         out: Dict[str, object] = dict(self._stats)
         out["size"] = len(self._entries)
         out["capacity"] = self.capacity

@@ -28,6 +28,7 @@ per-plan oracle activity (calls, cache hits, enumerations) is reported in
 """
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -195,6 +196,11 @@ class PlanInfo:
     #: (:class:`~repro.optimizer.costing.PlanEstimate`), computed once at
     #: planning time — what EXPLAIN prints next to measured work.
     estimate: Optional[object] = None
+    #: EXPLAIN-ANALYZE summary for the most recent analyzed execution
+    #: (set by ``Database.explain(analyze=True)``): node count, total
+    #: wall milliseconds, and the worst per-node Q-error.  Like
+    #: ``execution``, sample it right after the run you care about.
+    analyze: Optional[Dict[str, object]] = None
 
     @property
     def oracle_hit_rate(self) -> float:
@@ -249,6 +255,15 @@ class PlanInfo:
             lines.append(
                 f"estimate: ≈{self.estimate.rows:,.0f} rows, {self.estimate.cost}"
             )
+        if self.analyze is not None:
+            a = self.analyze
+            line = (
+                f"analyze: {a['nodes']} node(s), "
+                f"wall {a['wall_ms']:.3f}ms"
+            )
+            if a.get("max_q_error") is not None:
+                line += f", max q-err {a['max_q_error']:.2f}"
+            lines.append(line)
         lines.append(f"sorts avoided: {self.avoided_sorts}")
         lines.append(f"stream aggregates: {self.stream_aggregates}")
         for note in self.notes:
@@ -293,6 +308,7 @@ class Planner:
         backend: Optional[str] = None,
         parallel_min_rows: Optional[int] = None,
         rewrites: str = "on",
+        tracer: Optional[object] = None,
     ):
         self.database = database
         if mode is None:
@@ -319,12 +335,21 @@ class Planner:
         #: pass 0 to force placement on tiny tables.
         self.parallel_min_rows = parallel_min_rows
         self.info = PlanInfo(mode=mode)
+        #: Optional :class:`~repro.obs.tracer.Tracer` (duck-typed): each
+        #: optimizer phase gets its own span under the caller's open span.
+        self.tracer = tracer
         self.resolver: Optional[NameResolver] = None
         #: id(theory) -> (theory, stats snapshot at first acquisition); the
         #: post-plan diff attributes interned-oracle work to this plan.
         self._theories: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
+    def _span(self, name: str):
+        """A tracer phase span, or a no-op context when tracing is off."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, "optimizer")
+
     def plan(self, logical: LogicalNode) -> Operator:
         aliases = collect_aliases(logical)
         self.resolver = NameResolver(self.database, aliases)
@@ -334,14 +359,16 @@ class Planner:
         # to decide whether the compensating projection is needed).
         self.star_projection = _contains_star(logical)
         if self.mode != "naive":
-            logical = push_filters(logical, self.resolver)
-        if self.mode == "od":
-            logical, applied = apply_date_rewrite(
-                self.database, logical, self.resolver, theory_source=self._theory
-            )
-            self.info.date_rewrites = applied
-            if applied:
+            with self._span("pushdown"):
                 logical = push_filters(logical, self.resolver)
+        if self.mode == "od":
+            with self._span("date-rewrite"):
+                logical, applied = apply_date_rewrite(
+                    self.database, logical, self.resolver, theory_source=self._theory
+                )
+                self.info.date_rewrites = applied
+                if applied:
+                    logical = push_filters(logical, self.resolver)
             if self.rewrites == "on":
                 # The rewrite pack (eager aggregation, scan consolidation,
                 # FD join elimination) runs after the date rewrite so an
@@ -350,10 +377,12 @@ class Planner:
                 # below automatically prices the post-rewrite tree.
                 from .rewrite_pack import apply_rewrites  # lazy: cycle
 
-                logical, self.info.rewrites = apply_rewrites(
-                    self.database, logical, self.resolver
-                )
-        planned = self._plan(logical, Desired())
+                with self._span("rewrite-pack"):
+                    logical, self.info.rewrites = apply_rewrites(
+                        self.database, logical, self.resolver
+                    )
+        with self._span("physical-plan"):
+            planned = self._plan(logical, Desired())
         self._finalize_oracle_stats()
         op = planned.op
         # Estimated rows/cost for EXPLAIN, computed on the logical-order
@@ -363,7 +392,8 @@ class Planner:
         try:
             from .costing import estimate_plan  # lazy: avoids cycle
 
-            self.info.estimate = estimate_plan(self.database, op)
+            with self._span("estimate"):
+                self.info.estimate = estimate_plan(self.database, op)
         except (TypeError, KeyError, ValueError) as exc:
             self.info.estimate = None
             self.info.notes.append(f"estimate unavailable: {exc}")
@@ -384,14 +414,15 @@ class Planner:
                 if self.parallel_min_rows is not None
                 else parallel.PARALLEL_MIN_ROWS
             )
-            op = parallel.insert_exchanges(
-                op,
-                self.workers,
-                self.info,
-                backend=self.backend,
-                min_rows=min_rows,
-                row_estimator=self._estimated_rows,
-            )
+            with self._span("exchange-placement"):
+                op = parallel.insert_exchanges(
+                    op,
+                    self.workers,
+                    self.info,
+                    backend=self.backend,
+                    min_rows=min_rows,
+                    row_estimator=self._estimated_rows,
+                )
         op.plan_info = self.info  # type: ignore[attr-defined]
         return op
 
@@ -560,7 +591,8 @@ class Planner:
         if self.join_order == "cost" and self.mode != "naive":
             from .joinorder import search_join_order  # lazy: module cycle
 
-            result = search_join_order(self, node, desired)
+            with self._span("join-order"):
+                result = search_join_order(self, node, desired)
             if result is not None:
                 self.info.join_orders.append(result.record)
                 return result.planned

@@ -600,6 +600,76 @@ def test_faults_not_regressed():
     )
 
 
+def test_observe_not_regressed():
+    """Proxy for bench_observe::*.
+
+    1. the committed baseline must document both tracing-overhead
+       acceptance claims — disabled <2% (the wrappers are pay-as-you-go)
+       and enabled <10% (spans are per-stream, not per-row) — and carry
+       timings for the traced thread exchange and the stats snapshot;
+    2. live, on a small fixture: a fully traced run stays bit- and
+       counter-identical to the untraced run (tracing must never perturb
+       ``Metrics``), actually produces spans, and stays within a wide
+       1.5× gate (CI hosts are noisy at these millisecond scales; the
+       tight bars are asserted where the baseline is recorded) — so a
+       per-row span or an accidentally always-on tracer trips CI.
+    """
+    import json as _json
+
+    path = ROOT / "BENCH_bench_observe.json"
+    if not path.exists():
+        pytest.skip("no committed baseline BENCH_bench_observe.json")
+    entries = _json.loads(path.read_text())
+    disabled = entries.get("test_tracing_disabled_overhead_claim", {}).get(
+        "extra_info", {}
+    ).get("tracing_disabled_overhead")
+    assert disabled is not None, (
+        "BENCH_bench_observe.json carries no disabled-tracing claim — "
+        "the acceptance record went missing"
+    )
+    assert disabled < 1.02, (
+        f"committed baseline documents {disabled}x disabled-tracing "
+        "overhead (acceptance bar: <2%)"
+    )
+    enabled = entries.get("test_tracing_enabled_overhead_claim", {}).get(
+        "extra_info", {}
+    ).get("tracing_enabled_overhead")
+    assert enabled is not None, (
+        "BENCH_bench_observe.json carries no enabled-tracing claim — "
+        "the acceptance record went missing"
+    )
+    assert enabled < 1.10, (
+        f"committed baseline documents {enabled}x enabled-tracing "
+        "overhead (acceptance bar: <10%)"
+    )
+    for scenario in ("test_traced_thread_exchange", "test_stats_snapshot_cost"):
+        assert entries.get(scenario, {}).get("mean_s") is not None, (
+            f"BENCH_bench_observe.json lost its {scenario} timing"
+        )
+
+    from repro.obs.tracer import Tracer
+
+    pipeline = _fact_pipeline(seed=37)
+    serial_rows, serial_metrics = pipeline().run_batches(1024)
+
+    def traced():
+        tracer = Tracer()
+        rows, metrics = pipeline().run_batches(1024, tracer=tracer)
+        assert rows == serial_rows, "traced run: rows differ from untraced"
+        assert metrics.counters == serial_metrics.counters, (
+            "traced run: counters differ — tracing leaked into Metrics"
+        )
+        assert tracer.spans, "traced run produced no spans"
+
+    bare_s = _best_of(lambda: pipeline().run_batches(1024))
+    traced_s = _best_of(traced)
+    assert traced_s <= bare_s * 1.5, (
+        f"tracing overhead regressed: {traced_s * 1e3:.2f}ms traced vs "
+        f"{bare_s * 1e3:.2f}ms untraced ({traced_s / bare_s:.2f}x, "
+        "live gate 1.5x)"
+    )
+
+
 def test_memoized_oracle_repeats_not_regressed():
     """Proxy for bench_inference::test_memoized_repeat_queries[8]."""
     from repro.core.dependency import od

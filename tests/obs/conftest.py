@@ -1,0 +1,30 @@
+"""Shared fixtures for the observability suite: one small fact database
+(fast to build, joins/aggregates/sorts in the plans) plus its serial
+baseline result for parity assertions."""
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import Database
+from repro.workloads.microbench import build_fact
+
+ROWS = 4_000
+SQL = (
+    "SELECT bracket, COUNT(*) AS n, SUM(payable) AS total "
+    "FROM fact WHERE income > 1000 GROUP BY bracket ORDER BY bracket"
+)
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    fact = build_fact(ROWS, seed=11)
+    table = database.create_table("fact", fact.schema)
+    for row in fact.rows:
+        table.insert(row)
+    return database
+
+
+@pytest.fixture
+def serial(db):
+    return db.execute(SQL)

@@ -1,0 +1,142 @@
+"""The unified metrics registry: ``Database.stats_snapshot()``, the
+monotonic-counter contract, the slow-query ring, the lifetime exchange
+totals, and the ``Metrics.work`` recomputation cache."""
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.errors import QueryTimeout
+from repro.engine.operators.base import Metrics
+from repro.obs.registry import RING_SIZE, EngineMetrics
+
+SQL = (
+    "SELECT bracket, COUNT(*) AS n, SUM(payable) AS total "
+    "FROM fact WHERE income > 1000 GROUP BY bracket ORDER BY bracket"
+)
+
+SECTIONS = ("epoch", "engine", "plan_cache", "theory_cache", "exchange",
+            "logical_memo_size")
+
+
+def test_snapshot_has_every_section(db):
+    snap = db.stats_snapshot()
+    assert set(SECTIONS) <= set(snap)
+    assert set(snap["engine"]["counters"]) == {
+        "queries", "failures", "timeouts", "rows_returned",
+        "slow_queries", "wall_ns",
+    }
+    assert snap["theory_cache"]["capacity"] == 256
+    assert snap["plan_cache"]["capacity"] == 128
+
+
+def test_engine_counters_are_monotonic_across_queries(db):
+    readings = []
+    for _ in range(3):
+        db.execute(SQL)
+        readings.append(db.stats_snapshot()["engine"]["counters"])
+    for before, after in zip(readings, readings[1:]):
+        for key, value in before.items():
+            assert after[key] >= value, key
+        assert after["queries"] == before["queries"] + 1
+    assert readings[-1]["rows_returned"] >= 3  # brackets per run
+
+
+def test_failures_and_timeouts_are_counted(db):
+    with pytest.raises(QueryTimeout):
+        db.execute(SQL, timeout_s=1e-9)
+    counters = db.stats_snapshot()["engine"]["counters"]
+    assert counters["queries"] == 1
+    assert counters["failures"] == 1
+    assert counters["timeouts"] == 1
+
+
+def test_failed_traced_query_keeps_its_flight_recorder(db):
+    with pytest.raises(QueryTimeout) as excinfo:
+        db.execute(SQL, timeout_s=1e-9, trace=True)
+    trace = excinfo.value.trace
+    assert trace is not None
+    names = {e["name"] for e in trace["traceEvents"]}
+    assert "query" in names
+
+
+def test_slow_query_ring_records_and_bounds(db):
+    db._registry.slow_ms = 0.0  # every query is "slow"
+    result = None
+    for _ in range(3):
+        result = db.execute(SQL)
+    snap = db.stats_snapshot()["engine"]
+    assert snap["counters"]["slow_queries"] == 3
+    entry = snap["slow_queries"][-1]
+    assert entry["sql"] == SQL
+    assert entry["wall_ms"] > 0
+    assert entry["rows"] == len(result.rows)
+    assert entry["error"] is None
+
+
+def test_slow_query_ring_is_bounded():
+    registry = EngineMetrics(slow_ms=0.0)
+    for index in range(RING_SIZE + 10):
+        registry.record(f"q{index}", wall_ns=1_000_000, rows=1)
+    assert len(registry.slow_queries()) == RING_SIZE
+    # Oldest evicted first: the ring keeps the most recent entries.
+    assert registry.slow_queries()[0].sql == "q10"
+    assert registry.counters()["slow_queries"] == RING_SIZE + 10
+
+
+def test_exchange_totals_accumulate_across_parallel_runs(db):
+    assert db.stats_snapshot()["exchange"] == {"parallel_runs": 0}
+    db.execute(SQL, workers=2, backend="thread")
+    db.execute(SQL, workers=2, backend="thread")
+    db.execute(SQL)  # serial: not a parallel run
+    totals = db.stats_snapshot()["exchange"]
+    assert totals["parallel_runs"] == 2
+    assert totals["retries"] == 0
+
+
+def test_result_exchange_stats_is_read_only_and_merged(db):
+    result = db.execute(SQL, workers=2, backend="thread")
+    stats = result.exchange_stats
+    assert stats["exchanges"] == 1
+    assert stats["retries"] == 0 and stats["degraded_to"] is None
+    with pytest.raises(TypeError):
+        stats["retries"] = 7  # type: ignore[index]
+    serial = db.execute(SQL)
+    assert dict(serial.exchange_stats) == {}
+
+
+def test_theory_cache_stats_are_gauges_over_live_entries(db):
+    from repro.optimizer.context import clear_theory_cache, theory_cache_stats
+
+    clear_theory_cache()
+    assert theory_cache_stats()["size"] == 0
+    db.execute(SQL)
+    stats = theory_cache_stats()
+    assert stats["size"] >= 1
+    assert stats["implies_calls"] >= 0
+    clear_theory_cache()
+    assert theory_cache_stats()["size"] == 0  # gauge: it went down
+
+
+# ----------------------------------------------------------------------
+# Metrics.work: cached until the counters actually change
+# ----------------------------------------------------------------------
+def test_work_reflects_counter_updates():
+    metrics = Metrics()
+    assert metrics.work == 0.0
+    metrics.add("rows_scanned", 100)
+    first = metrics.work
+    assert first > 0.0
+    metrics.add("rows_scanned", 100)
+    assert metrics.work == 2 * first
+
+
+def test_work_is_cached_between_updates():
+    metrics = Metrics()
+    metrics.add("sort_rows", 1024)
+    value = metrics.work
+    rev = metrics._work_rev
+    assert metrics.work == value
+    assert metrics._work_rev == rev  # served from cache, not recomputed
+    metrics.add("sort_rows", 1024)
+    assert metrics.work > value
+    assert metrics._work_rev != rev
